@@ -1,0 +1,52 @@
+//! Experiment-regeneration benchmarks: times a reduced-budget version of
+//! each paper experiment so `cargo bench` exercises the full
+//! figure/table harness end-to-end. The actual paper-scale tables are
+//! produced by the `paper` binary (see README).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpc::experiments::{self, ExperimentContext, ExperimentOptions};
+use dpc_workloads::Scale;
+
+fn tiny_options() -> ExperimentOptions {
+    ExperimentOptions {
+        scale: Scale::Tiny,
+        seed: 42,
+        warmup_mem_ops: 1_000,
+        measure_mem_ops: 10_000,
+    }
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments_tiny");
+    group.sample_size(10);
+
+    group.bench_function("fig1_characterization", |b| {
+        b.iter(|| {
+            let mut ctx = ExperimentContext::new(tiny_options());
+            experiments::fig1_llt_deadness(&mut ctx)
+        });
+    });
+
+    group.bench_function("fig9_tlb_predictors", |b| {
+        b.iter(|| {
+            let mut ctx = ExperimentContext::new(tiny_options());
+            experiments::fig9_tlb_predictor_ipc(&mut ctx)
+        });
+    });
+
+    group.bench_function("table7_cb_accuracy", |b| {
+        b.iter(|| {
+            let mut ctx = ExperimentContext::new(tiny_options());
+            experiments::table7_cb_accuracy(&mut ctx)
+        });
+    });
+
+    group.bench_function("storage_overhead_analytic", |b| {
+        b.iter(experiments::storage_overhead_report);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

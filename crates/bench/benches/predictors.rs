@@ -1,0 +1,97 @@
+//! Microbenchmarks of the predictor hot paths: dpPred fill decisions and
+//! eviction training, cbPred fill decisions under PFQ filtering, and the
+//! baseline predictors for comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dpc_memsim::policy::{EvictedPage, LlcPolicy, LltPolicy};
+use dpc_memsim::set_assoc::LineLife;
+use dpc_predictors::{AipTlb, CbPred, DpPred, ShipLlc, ShipTlb};
+use dpc_types::{BlockAddr, Pc, Pfn, SystemConfig, Vpn};
+
+fn doa_life() -> LineLife {
+    LineLife { fill_seq: 0, last_hit_seq: 0, hits: 0 }
+}
+
+fn bench_dppred(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dppred");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("fill_decision", |b| {
+        let mut pred = DpPred::paper_default();
+        let mut i = 0u64;
+        b.iter(|| {
+            let vpn = Vpn::new(i % 100_000);
+            black_box(pred.on_fill(vpn, Pfn::new(i), Pc::new(0x40_0000 + (i % 13) * 4)));
+            i += 1;
+        });
+    });
+    group.bench_function("evict_train", |b| {
+        let mut pred = DpPred::paper_default();
+        let mut i = 0u64;
+        b.iter(|| {
+            pred.on_evict(EvictedPage {
+                vpn: Vpn::new(i % 100_000),
+                pfn: Pfn::new(i),
+                state: (i % 64) as u32,
+                life: doa_life(),
+            });
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_cbpred(c: &mut Criterion) {
+    let config = SystemConfig::paper_baseline();
+    let mut group = c.benchmark_group("cbpred");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("fill_decision_with_pfq", |b| {
+        let mut pred = CbPred::paper_default(&config.llc);
+        for p in 0..8u64 {
+            pred.note_doa_page(Pfn::new(p));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            black_box(pred.on_fill(BlockAddr::new(i % 1_000_000), Pc::new(0x40_0000)));
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let config = SystemConfig::paper_baseline();
+    let mut group = c.benchmark_group("baseline_predictors");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("ship_tlb_fill", |b| {
+        let mut pred = ShipTlb::paper_default();
+        let mut i = 0u64;
+        b.iter(|| {
+            black_box(pred.on_fill(
+                Vpn::new(i % 100_000),
+                Pfn::new(i),
+                Pc::new(0x40_0000 + (i % 13) * 4),
+            ));
+            i += 1;
+        });
+    });
+    group.bench_function("ship_llc_fill", |b| {
+        let mut pred = ShipLlc::for_cache(&config.llc);
+        let mut i = 0u64;
+        b.iter(|| {
+            black_box(pred.on_fill(BlockAddr::new(i % 1_000_000), Pc::new(0x40_0000)));
+            i += 1;
+        });
+    });
+    group.bench_function("aip_tlb_fill", |b| {
+        let mut pred = AipTlb::paper_default();
+        let mut i = 0u64;
+        b.iter(|| {
+            black_box(pred.on_fill(Vpn::new(i % 100_000), Pfn::new(i), Pc::new(0x40_0000)));
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dppred, bench_cbpred, bench_baselines);
+criterion_main!(benches);

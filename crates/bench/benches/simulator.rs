@@ -1,0 +1,60 @@
+//! End-to-end simulator throughput: memory operations per second through
+//! the full system (TLBs + walks + caches + timing model) for
+//! representative workloads and policy configurations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dpc::prelude::*;
+
+const OPS_PER_ITER: u64 = 20_000;
+
+fn system_with(
+    config: SystemConfig,
+    tlb: TlbPolicySel,
+    llc: LlcPolicySel,
+    factory: &mut WorkloadFactory,
+    workload: &str,
+) -> (System, Box<dyn Workload>) {
+    let run = RunConfig::baseline(0, 0).with_policies(tlb, llc).with_system(config);
+    // Build via the public selector machinery by doing a zero-op run.
+    let _ = run;
+    let system = match (tlb, llc) {
+        (TlbPolicySel::Baseline, LlcPolicySel::Baseline) => System::new(config).unwrap(),
+        _ => System::with_policies(
+            config,
+            Box::new(DpPred::paper_default()),
+            Box::new(CbPred::paper_default(&config.llc)),
+        )
+        .unwrap(),
+    };
+    (system, factory.build(workload).unwrap())
+}
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let config = SystemConfig::paper_baseline();
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(OPS_PER_ITER));
+    group.sample_size(10);
+
+    for workload in ["canneal", "bfs", "lbm"] {
+        group.bench_function(format!("{workload}_baseline"), |b| {
+            let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+            b.iter_batched(
+                || system_with(config, TlbPolicySel::Baseline, LlcPolicySel::Baseline, &mut factory, workload),
+                |(mut system, mut w)| system.run_until(w.as_mut(), OPS_PER_ITER),
+                BatchSize::PerIteration,
+            );
+        });
+        group.bench_function(format!("{workload}_dppred_cbpred"), |b| {
+            let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+            b.iter_batched(
+                || system_with(config, TlbPolicySel::DpPred, LlcPolicySel::CbPred, &mut factory, workload),
+                |(mut system, mut w)| system.run_until(w.as_mut(), OPS_PER_ITER),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation_throughput);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Microbenchmarks of the core hardware structures: set-associative
+//! lookups under each replacement policy, TLB and cache operations, and
+//! the page-table walk path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dpc_memsim::cache::Cache;
+use dpc_memsim::page_table::PageTable;
+use dpc_memsim::set_assoc::{InsertPriority, SetAssoc};
+use dpc_memsim::tlb::Tlb;
+use dpc_types::{BlockAddr, Pfn, ReplacementKind, SystemConfig, Vpn};
+
+fn bench_set_assoc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_assoc");
+    group.throughput(Throughput::Elements(1));
+    for kind in [ReplacementKind::Lru, ReplacementKind::Srrip, ReplacementKind::Fifo] {
+        group.bench_function(format!("lookup_fill_{kind}"), |b| {
+            let mut array: SetAssoc<u32> = SetAssoc::new(128, 8, kind);
+            let mut i = 0u64;
+            b.iter(|| {
+                let addr = i.wrapping_mul(0x9E37_79B1) % 4096;
+                if array.lookup(addr, addr).is_none() {
+                    array.fill(addr, addr, 0, InsertPriority::Normal);
+                }
+                i += 1;
+                black_box(&array);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let config = SystemConfig::paper_baseline();
+    let mut group = c.benchmark_group("tlb");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("llt_lookup_fill", |b| {
+        let mut tlb = Tlb::new(&config.l2_tlb);
+        let mut i = 0u64;
+        b.iter(|| {
+            let vpn = Vpn::new(i.wrapping_mul(0x9E37_79B1) % 8192);
+            if tlb.lookup(vpn).is_none() {
+                tlb.fill(vpn, Pfn::new(vpn.raw()), InsertPriority::Normal, 0);
+            }
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let config = SystemConfig::paper_baseline();
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("llc_lookup_fill", |b| {
+        let mut cache = Cache::new(&config.llc);
+        let mut i = 0u64;
+        b.iter(|| {
+            let block = BlockAddr::new(i.wrapping_mul(0x9E37_79B1) % 200_000);
+            if cache.lookup(block).is_none() {
+                cache.fill(block, InsertPriority::Normal, 0);
+            }
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_page_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_table");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("translate_warm", |b| {
+        let mut pt = PageTable::new();
+        for i in 0..10_000u64 {
+            pt.translate(Vpn::new(i));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            black_box(pt.translate(Vpn::new(i % 10_000)));
+            i += 1;
+        });
+    });
+    group.bench_function("translate_demand_map", |b| {
+        let mut pt = PageTable::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            black_box(pt.translate(Vpn::new(i)));
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_set_assoc, bench_tlb, bench_cache, bench_page_table);
+criterion_main!(benches);

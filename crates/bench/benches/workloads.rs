@@ -1,0 +1,27 @@
+//! Workload-generator throughput: events per second from each of the 14
+//! trace generators (at Tiny scale, so the bench measures generator code,
+//! not input construction).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dpc_workloads::{Scale, WorkloadFactory, WORKLOAD_NAMES};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.throughput(Throughput::Elements(10_000));
+    group.sample_size(10);
+    let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+    for name in WORKLOAD_NAMES {
+        let mut workload = factory.build(name).expect("known workload");
+        group.bench_function(name.replace('.', "_"), |b| {
+            b.iter(|| {
+                for _ in 0..10_000 {
+                    black_box(workload.next_event());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,210 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! paper all                 # every experiment, paper order
+//! paper fig9 table4         # a subset
+//! paper --list              # available experiment ids
+//! ```
+//!
+//! Environment knobs: `DPC_SCALE` (`tiny`/`small`/`paper`), `DPC_WARMUP`,
+//! `DPC_MEASURE`, `DPC_SEED`.
+
+use dpc::experiments::{self, ExperimentContext, ExperimentOptions};
+use std::time::Instant;
+
+const EXPERIMENTS: [&str; 21] = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "table3",
+    "fig9",
+    "table4",
+    "fig10",
+    "table5",
+    "table6",
+    "table7",
+    "fig11a",
+    "fig11b",
+    "fig11c",
+    "fig11d",
+    "fig11e",
+    "fig11f",
+    "storage",
+    "ablation_fill",
+    "ablation_threshold",
+    "ablation_dueling",
+];
+
+/// One regenerated experiment: either a structured table or prose.
+enum Output {
+    Table(dpc::ExpTable),
+    Text(String),
+}
+
+impl Output {
+    fn render(&self) -> String {
+        match self {
+            Output::Table(t) => t.render(),
+            Output::Text(s) => s.clone(),
+        }
+    }
+}
+
+fn run_one(ctx: &mut ExperimentContext, id: &str) -> Option<Output> {
+    use Output::{Table, Text};
+    Some(match id {
+        "fig1" => Table(experiments::fig1_llt_deadness(ctx)),
+        "fig2" => Table(experiments::fig2_llt_eviction_classes(ctx)),
+        "fig3" => Table(experiments::fig3_llc_deadness(ctx)),
+        "fig4" => Table(experiments::fig4_llc_eviction_classes(ctx)),
+        "table3" => Table(experiments::table3_doa_correlation(ctx)),
+        "fig9" => Table(experiments::fig9_tlb_predictor_ipc(ctx)),
+        "table4" => Table(experiments::table4_llt_mpki(ctx)),
+        "fig10" => Table(experiments::fig10_llc_predictor_ipc(ctx)),
+        "table5" => Table(experiments::table5_llc_mpki(ctx)),
+        "table6" => Table(experiments::table6_dp_accuracy(ctx)),
+        "table7" => Table(experiments::table7_cb_accuracy(ctx)),
+        "fig11a" => Table(experiments::fig11a_llt_size(ctx)),
+        "fig11b" => Table(experiments::fig11b_phist_config(ctx)),
+        "fig11c" => Table(experiments::fig11c_shadow_size(ctx)),
+        "fig11d" => Table(experiments::fig11d_pfq_size(ctx)),
+        "fig11e" => Table(experiments::fig11e_llc_size(ctx)),
+        "fig11f" => Table(experiments::fig11f_srrip(ctx)),
+        "storage" => Text(experiments::storage_overhead_report()),
+        "ablation_fill" => Table(experiments::ablation_fill_policy(ctx)),
+        "ablation_threshold" => Table(experiments::ablation_threshold(ctx)),
+        "ablation_dueling" => Table(experiments::ablation_dueling(ctx)),
+        _ => return None,
+    })
+}
+
+/// Diagnostic dump: raw baseline + dpPred/cbPred counters per workload.
+fn probe(names: &[&str]) {
+    use dpc::prelude::*;
+    let options = ExperimentOptions::from_env();
+    let mut ctx = ExperimentContext::new(options);
+    let base = options.base_run();
+    for name in names {
+        let b = ctx.run(name, base);
+        let d = ctx.run(name, base.with_policies(TlbPolicySel::DpPred, LlcPolicySel::CbPred));
+        let s = &b.stats;
+        println!(
+            "{name}: walks {} avg_walk {:.1}cyc pwc {:?} | cycles {} walk_cyc_share {:.1}%",
+            s.walks,
+            if s.walks > 0 { s.walk_cycles as f64 / s.walks as f64 } else { 0.0 },
+            s.pwc_hits,
+            s.cycles,
+            s.walk_cycles as f64 * 100.0 / s.cycles.max(1) as f64,
+        );
+        println!(
+            "{name}: base IPC {:.3} | LLT lookups {} hits {:.1}% MPKI {:.3} evic {} | LLC MPKI {:.3} hits {:.1}%",
+            s.ipc(),
+            s.llt.lookups,
+            s.llt.hit_rate() * 100.0,
+            s.llt_mpki(),
+            s.llt.evictions,
+            s.llc_mpki(),
+            s.llc.hit_rate() * 100.0,
+        );
+        let ds = &d.stats;
+        let acc = d.llt_accuracy.unwrap_or_default();
+        let cacc = d.llc_accuracy.unwrap_or_default();
+        println!(
+            "  dpPred: IPC {:.3} LLT MPKI {:.3} bypass {} shadow {} acc {:.0}% cov {:.0}% | cbPred: LLC MPKI {:.3} bypass {} acc {:.0}% cov {:.0}%",
+            ds.ipc(),
+            ds.llt_mpki(),
+            ds.llt.bypasses,
+            ds.llt.shadow_hits,
+            acc.accuracy() * 100.0,
+            acc.coverage() * 100.0,
+            ds.llc_mpki(),
+            ds.llc.bypasses,
+            cacc.accuracy() * 100.0,
+            cacc.coverage() * 100.0,
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("probe") {
+        let names: Vec<&str> = if args.len() > 1 {
+            args[1..].iter().map(String::as_str).collect()
+        } else {
+            dpc::prelude::WORKLOAD_NAMES.to_vec()
+        };
+        probe(&names);
+        return;
+    }
+    // Optional `--csv <dir>`: also write each experiment as CSV.
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--csv" {
+            match iter.next() {
+                Some(dir) => csv_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--csv requires a directory argument");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            positional.push(arg.as_str());
+        }
+    }
+    let requested: Vec<&str> = if positional.is_empty() || positional.contains(&"all") {
+        EXPERIMENTS.to_vec()
+    } else {
+        positional
+    };
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+
+    let options = ExperimentOptions::from_env();
+    eprintln!(
+        "# scale={:?} warmup={} measure={} seed={}",
+        options.scale, options.warmup_mem_ops, options.measure_mem_ops, options.seed
+    );
+    let mut ctx = ExperimentContext::new(options);
+    let start = Instant::now();
+    for id in requested {
+        let t0 = Instant::now();
+        match run_one(&mut ctx, id) {
+            Some(output) => {
+                println!("{}", output.render());
+                if let (Some(dir), Output::Table(table)) = (&csv_dir, &output) {
+                    let path = dir.join(format!("{id}.csv"));
+                    if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                    }
+                }
+                eprintln!(
+                    "# {id} done in {:.1}s ({} runs total)",
+                    t0.elapsed().as_secs_f64(),
+                    ctx.runs_performed()
+                );
+            }
+            None => {
+                eprintln!("unknown experiment {id:?}; try --list");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "# campaign finished in {:.1}s, {} distinct runs",
+        start.elapsed().as_secs_f64(),
+        ctx.runs_performed()
+    );
+}

@@ -1,0 +1,75 @@
+//! # dpc — Dead Page and Dead Block Predictors
+//!
+//! A from-scratch Rust reproduction of *"Dead Page and Dead Block
+//! Predictors: Cleaning TLBs and Caches Together"* (Mazumdar, Mitra &
+//! Basu, HPCA 2021): the **dpPred** dead-page predictor for the last-level
+//! TLB, the **cbPred** correlating dead-block predictor for the LLC, the
+//! full simulation substrate they run on, the baselines they are compared
+//! against (SHiP, AIP, iso-storage, approximate oracle, SRRIP), the 14
+//! synthetic workloads of the evaluation, and a harness regenerating every
+//! table and figure of the paper.
+//!
+//! This crate is the front door: it re-exports the building blocks and
+//! hosts the experiment definitions. The layers underneath:
+//!
+//! * `dpc-types` — addresses, hashing, configuration;
+//! * `dpc-memsim` — caches, TLBs, page walks, core timing model;
+//! * `dpc-predictors` — dpPred, cbPred, SHiP, AIP, oracle, storage model;
+//! * `dpc-workloads` — the 14 trace generators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dpc::prelude::*;
+//!
+//! // Build the paper's machine with dpPred + cbPred attached.
+//! let config = SystemConfig::paper_baseline();
+//! let mut system = System::with_policies(
+//!     config,
+//!     Box::new(DpPred::paper_default()),
+//!     Box::new(CbPred::paper_default(&config.llc)),
+//! )?;
+//!
+//! // Run a workload for 50K memory operations.
+//! let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+//! let mut workload = factory.build("bfs").expect("bfs is a known workload");
+//! let stats = system.run_until(workload.as_mut(), 50_000);
+//!
+//! println!("IPC {:.3}, LLT MPKI {:.2}, LLC MPKI {:.2}",
+//!          stats.ipc(), stats.llt_mpki(), stats.llc_mpki());
+//! # Ok::<(), dpc_memsim::SystemError>(())
+//! ```
+//!
+//! # Regenerating the paper's results
+//!
+//! Each table and figure has an experiment function in [`experiments`];
+//! the `paper` binary in `dpc-bench` drives them:
+//!
+//! ```text
+//! cargo run --release -p dpc-bench --bin paper -- all
+//! cargo run --release -p dpc-bench --bin paper -- fig9 table4
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use experiments::{ExperimentContext, ExperimentOptions};
+pub use report::{geomean, ExpTable, Summary};
+pub use runner::{run_oracle, run_workload, LlcPolicySel, RunConfig, RunResult, TlbPolicySel};
+
+/// Convenient re-exports for applications.
+pub mod prelude {
+    pub use crate::experiments::{self, ExperimentContext, ExperimentOptions};
+    pub use crate::report::ExpTable;
+    pub use crate::runner::{
+        run_oracle, run_workload, LlcPolicySel, RunConfig, RunResult, TlbPolicySel,
+    };
+    pub use dpc_memsim::{LlcPolicy, LltPolicy, NullBlockPolicy, NullPagePolicy, SimStats, System};
+    pub use dpc_predictors::{AipLlc, AipTlb, CbPred, DpPred, OracleBypass, ShipLlc, ShipTlb};
+    pub use dpc_types::{AccessKind, Event, Pc, SystemConfig, VirtAddr, Workload};
+    pub use dpc_workloads::{Scale, WorkloadFactory, WORKLOAD_NAMES};
+}

@@ -1,0 +1,245 @@
+//! Rendering of experiment results as fixed-width text tables, in the
+//! format of the paper's tables and figure data series.
+
+use std::fmt::Write as _;
+
+/// A rendered experiment: one row per workload, one column per
+/// configuration, plus summary rows.
+#[derive(Clone, Debug)]
+pub struct ExpTable {
+    /// Table/figure title (e.g. `"Fig. 9: normalized IPC"`).
+    pub title: String,
+    /// Column headers (after the workload column).
+    pub columns: Vec<String>,
+    /// `(workload, values)` rows in Table II order.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// How the summary row aggregates each column.
+    pub summary: Summary,
+    /// Decimal places for values.
+    pub precision: usize,
+}
+
+/// Summary-row aggregation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Summary {
+    /// Geometric mean (for normalized IPC, as the paper reports).
+    Geomean,
+    /// Arithmetic mean (for percentages).
+    Mean,
+    /// No summary row.
+    None,
+}
+
+impl ExpTable {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        columns: Vec<String>,
+        summary: Summary,
+        precision: usize,
+    ) -> Self {
+        ExpTable { title: title.into(), columns, rows: Vec::new(), summary, precision }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the column count.
+    pub fn push(&mut self, workload: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width must match columns");
+        self.rows.push((workload.into(), values));
+    }
+
+    /// Per-column summary values according to [`Summary`].
+    pub fn summary_values(&self) -> Option<Vec<f64>> {
+        if self.rows.is_empty() {
+            return None;
+        }
+        match self.summary {
+            Summary::None => None,
+            Summary::Mean => Some(
+                (0..self.columns.len())
+                    .map(|c| {
+                        self.rows.iter().map(|(_, v)| v[c]).sum::<f64>() / self.rows.len() as f64
+                    })
+                    .collect(),
+            ),
+            Summary::Geomean => Some(
+                (0..self.columns.len())
+                    .map(|c| geomean(self.rows.iter().map(|(_, v)| v[c])))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Renders the table as CSV (header row, one row per workload, and a
+    /// summary row when the table has one). Values use full precision so
+    /// downstream plotting is lossless.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "workload");
+        for c in &self.columns {
+            let _ = write!(out, ",{}", csv_escape(c));
+        }
+        out.push('\n');
+        for (workload, values) in &self.rows {
+            let _ = write!(out, "{}", csv_escape(workload));
+            for v in values {
+                let _ = write!(out, ",{v}");
+            }
+            out.push('\n');
+        }
+        if let Some(summary) = self.summary_values() {
+            let label = match self.summary {
+                Summary::Geomean => "geomean",
+                Summary::Mean => "mean",
+                Summary::None => unreachable!("None yields no summary"),
+            };
+            let _ = write!(out, "{label}");
+            for v in summary {
+                let _ = write!(out, ",{v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as fixed-width text.
+    pub fn render(&self) -> String {
+        let name_width = self
+            .rows
+            .iter()
+            .map(|(w, _)| w.len())
+            .chain(["workload".len(), "geomean".len()])
+            .max()
+            .unwrap_or(8)
+            + 2;
+        let col_width = self.columns.iter().map(|c| c.len()).max().unwrap_or(6).max(8) + 2;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let _ = write!(out, "{:<name_width$}", "workload");
+        for c in &self.columns {
+            let _ = write!(out, "{c:>col_width$}");
+        }
+        out.push('\n');
+        let _ = writeln!(out, "{}", "-".repeat(name_width + col_width * self.columns.len()));
+        for (workload, values) in &self.rows {
+            let _ = write!(out, "{workload:<name_width$}");
+            for v in values {
+                let _ = write!(out, "{:>col_width$.prec$}", v, prec = self.precision);
+            }
+            out.push('\n');
+        }
+        if let Some(summary) = self.summary_values() {
+            let label = match self.summary {
+                Summary::Geomean => "geomean",
+                Summary::Mean => "mean",
+                Summary::None => unreachable!("None yields no summary"),
+            };
+            let _ = writeln!(out, "{}", "-".repeat(name_width + col_width * self.columns.len()));
+            let _ = write!(out, "{label:<name_width$}");
+            for v in summary {
+                let _ = write!(out, "{:>col_width$.prec$}", v, prec = self.precision);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote, or newline.
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Geometric mean of an iterator of positive values (zeroes contribute as
+/// tiny values to avoid -inf).
+pub fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v.max(1e-12).ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0].into_iter()) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+        // Zero doesn't produce NaN/-inf.
+        assert!(geomean([0.0, 1.0].into_iter()).is_finite());
+    }
+
+    #[test]
+    fn render_contains_rows_and_summary() {
+        let mut t = ExpTable::new(
+            "Demo",
+            vec!["a".into(), "b".into()],
+            Summary::Geomean,
+            3,
+        );
+        t.push("bfs", vec![1.0, 2.0]);
+        t.push("pr", vec![4.0, 8.0]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("bfs"));
+        assert!(s.contains("geomean"));
+        assert!(s.contains("2.000"), "geomean of 1 and 4 is 2: {s}");
+    }
+
+    #[test]
+    fn mean_summary() {
+        let mut t = ExpTable::new("M", vec!["x".into()], Summary::Mean, 1);
+        t.push("a", vec![1.0]);
+        t.push("b", vec![3.0]);
+        assert_eq!(t.summary_values(), Some(vec![2.0]));
+    }
+
+    #[test]
+    fn none_summary_is_absent() {
+        let mut t = ExpTable::new("N", vec!["x".into()], Summary::None, 1);
+        t.push("a", vec![1.0]);
+        assert_eq!(t.summary_values(), None);
+        assert!(!t.render().contains("mean"));
+    }
+
+    #[test]
+    fn csv_has_header_rows_and_summary() {
+        let mut t = ExpTable::new("Demo", vec!["a,b".into(), "c".into()], Summary::Mean, 3);
+        t.push("bfs", vec![1.5, 2.0]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "workload,\"a,b\",c");
+        assert_eq!(lines[1], "bfs,1.5,2");
+        assert_eq!(lines[2], "mean,1.5,2");
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = ExpTable::new("P", vec!["x".into()], Summary::None, 1);
+        t.push("a", vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Single-run plumbing: policy selection, warm-up, and result capture.
+
+use dpc_memsim::policy::AccuracyReport;
+use dpc_memsim::{LlcPolicy, LltPolicy, NullBlockPolicy, NullPagePolicy, SimStats, System};
+use dpc_predictors::{
+    AipLlc, AipTlb, BeladyOracle, CbPred, CbPredConfig, DpPred, DpPredConfig, DuelingDpPred,
+    LookupRecorder, ShipLlc, ShipTlb,
+};
+use dpc_types::SystemConfig;
+use dpc_workloads::WorkloadFactory;
+
+/// TLB-side policy selector. Selectors are plain values so experiment
+/// configurations can be hashed and memoized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum TlbPolicySel {
+    /// Plain replacement, no predictor.
+    #[default]
+    Baseline,
+    /// The paper's dpPred with default parameters (adapted to the LLT
+    /// geometry).
+    DpPred,
+    /// dpPred with the shadow table disabled (paper's dpPred−SH).
+    DpPredNoShadow,
+    /// dpPred with explicit parameters (sensitivity studies).
+    DpPredCustom(DpPredConfig),
+    /// dpPred under DIP-style set-dueling bypass control (extension).
+    DuelingDpPred,
+    /// SHiP adapted to the LLT.
+    ShipTlb,
+    /// Counter-based AIP adapted to the LLT.
+    AipTlb,
+}
+
+/// LLC-side policy selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum LlcPolicySel {
+    /// Plain replacement, no predictor.
+    #[default]
+    Baseline,
+    /// The paper's cbPred with default parameters.
+    CbPred,
+    /// cbPred without PFQ filtering (paper's cbPred−PF).
+    CbPredNoPfq,
+    /// cbPred with a custom PFQ capacity (Fig. 11d).
+    CbPredPfq(usize),
+    /// SHiP-LLC.
+    ShipLlc,
+    /// AIP-LLC.
+    AipLlc,
+}
+
+/// One simulation run's configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RunConfig {
+    /// Machine configuration.
+    pub system: SystemConfig,
+    /// TLB-side policy.
+    pub tlb_policy: TlbPolicySel,
+    /// LLC-side policy.
+    pub llc_policy: LlcPolicySel,
+    /// Memory operations simulated before statistics are reset.
+    pub warmup_mem_ops: u64,
+    /// Memory operations measured after warm-up.
+    pub measure_mem_ops: u64,
+}
+
+impl RunConfig {
+    /// Baseline machine with the given event budget.
+    pub fn baseline(warmup_mem_ops: u64, measure_mem_ops: u64) -> Self {
+        RunConfig {
+            system: SystemConfig::paper_baseline(),
+            tlb_policy: TlbPolicySel::Baseline,
+            llc_policy: LlcPolicySel::Baseline,
+            warmup_mem_ops,
+            measure_mem_ops,
+        }
+    }
+
+    /// Returns a copy with the given policies.
+    pub fn with_policies(mut self, tlb: TlbPolicySel, llc: LlcPolicySel) -> Self {
+        self.tlb_policy = tlb;
+        self.llc_policy = llc;
+        self
+    }
+
+    /// Returns a copy with a different machine configuration.
+    pub fn with_system(mut self, system: SystemConfig) -> Self {
+        self.system = system;
+        self
+    }
+}
+
+/// Captured output of one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Full simulator statistics.
+    pub stats: SimStats,
+    /// TLB-side predictor accuracy, when the policy reports one.
+    pub llt_accuracy: Option<AccuracyReport>,
+    /// LLC-side predictor accuracy, when the policy reports one.
+    pub llc_accuracy: Option<AccuracyReport>,
+}
+
+fn build_tlb_policy(sel: TlbPolicySel, system: &SystemConfig) -> Box<dyn LltPolicy> {
+    match sel {
+        TlbPolicySel::Baseline => Box::new(NullPagePolicy),
+        TlbPolicySel::DpPred => Box::new(DpPred::new(DpPredConfig::for_tlb(&system.l2_tlb))),
+        TlbPolicySel::DpPredNoShadow => Box::new(DpPred::new(DpPredConfig {
+            shadow_entries: 0,
+            ..DpPredConfig::for_tlb(&system.l2_tlb)
+        })),
+        TlbPolicySel::DpPredCustom(config) => Box::new(DpPred::new(config)),
+        TlbPolicySel::DuelingDpPred => {
+            Box::new(DuelingDpPred::new(DpPredConfig::for_tlb(&system.l2_tlb)))
+        }
+        TlbPolicySel::ShipTlb => Box::new(ShipTlb::for_tlb(&system.l2_tlb)),
+        TlbPolicySel::AipTlb => Box::new(AipTlb::paper_default()),
+    }
+}
+
+fn build_llc_policy(sel: LlcPolicySel, system: &SystemConfig) -> Box<dyn LlcPolicy> {
+    match sel {
+        LlcPolicySel::Baseline => Box::new(NullBlockPolicy),
+        LlcPolicySel::CbPred => Box::new(CbPred::paper_default(&system.llc)),
+        LlcPolicySel::CbPredNoPfq => Box::new(CbPred::without_pfq(&system.llc)),
+        LlcPolicySel::CbPredPfq(entries) => Box::new(CbPred::new(CbPredConfig {
+            pfq_entries: entries,
+            ..CbPredConfig::paper_default(&system.llc)
+        })),
+        LlcPolicySel::ShipLlc => Box::new(ShipLlc::for_cache(&system.llc)),
+        LlcPolicySel::AipLlc => Box::new(AipLlc::paper_default()),
+    }
+}
+
+fn run_system(
+    mut system: System,
+    factory: &mut WorkloadFactory,
+    workload: &str,
+    config: &RunConfig,
+) -> RunResult {
+    let mut w = factory.build(workload).expect("experiment uses known workload names");
+    // Sample deadness ~200 times over the measured window.
+    let approx_instructions = config.measure_mem_ops * 3;
+    system.set_sample_interval((approx_instructions / 200).max(1000));
+    if config.warmup_mem_ops > 0 {
+        system.run_until(w.as_mut(), config.warmup_mem_ops);
+        system.reset_stats();
+    }
+    let stats = system.run_until(w.as_mut(), config.measure_mem_ops);
+    RunResult {
+        workload: workload.to_owned(),
+        llt_accuracy: system.llt_policy().accuracy_report(),
+        llc_accuracy: system.llc_policy().accuracy_report(),
+        stats,
+    }
+}
+
+/// Runs `workload` under `config`.
+///
+/// # Panics
+///
+/// Panics if the system configuration is invalid or the workload name is
+/// unknown — experiment definitions control both.
+pub fn run_workload(
+    factory: &mut WorkloadFactory,
+    workload: &str,
+    config: &RunConfig,
+) -> RunResult {
+    let system = System::with_policies(
+        config.system,
+        build_tlb_policy(config.tlb_policy, &config.system),
+        build_llc_policy(config.llc_policy, &config.system),
+    )
+    .expect("experiment configurations are valid");
+    run_system(system, factory, workload, config)
+}
+
+/// Runs the two-pass approximate oracle (paper Table IV): pass 1 records
+/// every page's LLT lookup times under the baseline (the lookup stream is
+/// policy-independent because the L1 TLBs filter it identically); pass 2
+/// replays the workload under Belady bypass/replacement using those times
+/// as perfect lookahead.
+pub fn run_oracle(
+    factory: &mut WorkloadFactory,
+    workload: &str,
+    config: &RunConfig,
+) -> RunResult {
+    let (recorder, record) = LookupRecorder::new();
+    let pass1 = System::with_policies(config.system, Box::new(recorder), Box::new(NullBlockPolicy))
+        .expect("experiment configurations are valid");
+    run_system(pass1, factory, workload, config);
+    let oracle = BeladyOracle::new(
+        record,
+        u64::from(config.system.l2_tlb.sets()),
+        config.system.l2_tlb.ways as usize,
+    );
+    let pass2 =
+        System::with_policies(config.system, Box::new(oracle), Box::new(NullBlockPolicy))
+            .expect("experiment configurations are valid");
+    run_system(pass2, factory, workload, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_workloads::Scale;
+
+    fn factory() -> WorkloadFactory {
+        WorkloadFactory::new(Scale::Tiny, 42)
+    }
+
+    #[test]
+    fn baseline_run_produces_stats() {
+        let mut f = factory();
+        let config = RunConfig::baseline(1000, 20_000);
+        let result = run_workload(&mut f, "bfs", &config);
+        assert_eq!(result.workload, "bfs");
+        assert_eq!(result.stats.mem_ops, 20_000);
+        assert!(result.llt_accuracy.is_none(), "baseline reports no accuracy");
+    }
+
+    #[test]
+    fn dppred_run_reports_accuracy() {
+        let mut f = factory();
+        let config = RunConfig::baseline(1000, 20_000)
+            .with_policies(TlbPolicySel::DpPred, LlcPolicySel::CbPred);
+        let result = run_workload(&mut f, "canneal", &config);
+        assert!(result.llt_accuracy.is_some());
+        assert!(result.llc_accuracy.is_some());
+    }
+
+    #[test]
+    fn oracle_two_pass_runs() {
+        let mut f = factory();
+        // Tiny-scale footprints fit in the paper's 1024-entry LLT; shrink
+        // it so stays actually end in evictions the recorder can log.
+        let mut config = RunConfig::baseline(0, 60_000);
+        config.system = config.system.with_l2_tlb_entries(64);
+        let oracle = run_oracle(&mut f, "lbm", &config);
+        let base = run_workload(&mut f, "lbm", &config);
+        // lbm's LLT fills are almost all DOA: the oracle must bypass many
+        // and not increase misses.
+        assert!(oracle.stats.llt.bypasses > 0, "oracle must bypass recorded DOAs");
+        assert!(
+            oracle.stats.llt.misses <= base.stats.llt.misses * 101 / 100,
+            "oracle must not increase LLT misses ({} vs {})",
+            oracle.stats.llt.misses,
+            base.stats.llt.misses
+        );
+    }
+
+    #[test]
+    fn all_policy_selectors_construct() {
+        let system = SystemConfig::paper_baseline();
+        for sel in [
+            TlbPolicySel::Baseline,
+            TlbPolicySel::DpPred,
+            TlbPolicySel::DpPredNoShadow,
+            TlbPolicySel::DuelingDpPred,
+            TlbPolicySel::ShipTlb,
+            TlbPolicySel::AipTlb,
+        ] {
+            let _ = build_tlb_policy(sel, &system);
+        }
+        for sel in [
+            LlcPolicySel::Baseline,
+            LlcPolicySel::CbPred,
+            LlcPolicySel::CbPredNoPfq,
+            LlcPolicySel::CbPredPfq(64),
+            LlcPolicySel::ShipLlc,
+            LlcPolicySel::AipLlc,
+        ] {
+            let _ = build_llc_policy(sel, &system);
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The three-level data-cache hierarchy with an inclusive LLC and the
+//! dead-block-policy attachment point.
+//!
+//! Flow of an access (paper Table I latencies accumulate):
+//! L1D (5 cyc) → L2 (11 cyc) → LLC (40 cyc) → memory (191 cyc).
+//! Upper levels are filled on the return path. The LLC is **inclusive**:
+//! evicting an LLC block back-invalidates L1/L2 copies. A block whose LLC
+//! allocation is *bypassed* by the policy is still returned to and cached
+//! by L1/L2 (the paper returns the block to the L2 before the PFQ is even
+//! consulted), which relaxes strict inclusion exactly as LLC-bypass
+//! proposals do.
+//!
+//! Page-table walker loads take the same path (`is_demand = false`) so the
+//! page table competes for cache space, as in the paper's methodology.
+
+use crate::cache::Cache;
+use crate::policy::{BlockFillDecision, EvictedBlock, LlcPolicy};
+use crate::set_assoc::InsertPriority;
+use crate::stats::{DeadnessSampler, EvictionClasses};
+use dpc_types::{AccessKind, BlockAddr, Pc, Pfn, PhysAddr, SystemConfig};
+
+/// The L1D/L2/LLC hierarchy plus main memory.
+#[derive(Debug)]
+pub struct Hierarchy {
+    /// L1 data cache.
+    pub l1d: Cache,
+    /// L2 cache.
+    pub l2: Cache,
+    /// L3 / last-level cache (inclusive).
+    pub llc: Cache,
+    mem_latency: u32,
+    policy: Box<dyn LlcPolicy>,
+    /// LLC eviction-time dead/DOA classification (Fig. 4).
+    pub llc_evictions: EvictionClasses,
+    /// LLC resident-deadness sampler (Fig. 3).
+    pub llc_sampler: DeadnessSampler,
+    /// PFNs of blocks evicted from the LLC as true DOA since the last
+    /// drain — the `System` classifies them against LLT dead-page state
+    /// for Table III.
+    pub pending_doa_evictions: Vec<Pfn>,
+    /// Demand (non-walker) LLC misses.
+    pub llc_demand_misses: u64,
+    /// Walker-induced LLC misses.
+    pub llc_walker_misses: u64,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy with the given LLC policy.
+    pub fn new(config: &SystemConfig, policy: Box<dyn LlcPolicy>) -> Self {
+        Hierarchy {
+            l1d: Cache::new(&config.l1d),
+            l2: Cache::new(&config.l2),
+            llc: Cache::new(&config.llc),
+            mem_latency: config.mem_latency,
+            policy,
+            llc_evictions: EvictionClasses::default(),
+            llc_sampler: DeadnessSampler::new(),
+            pending_doa_evictions: Vec::new(),
+            llc_demand_misses: 0,
+            llc_walker_misses: 0,
+        }
+    }
+
+    /// The attached LLC policy.
+    pub fn policy_mut(&mut self) -> &mut dyn LlcPolicy {
+        self.policy.as_mut()
+    }
+
+    /// Read-only access to the attached LLC policy.
+    pub fn policy(&self) -> &dyn LlcPolicy {
+        self.policy.as_ref()
+    }
+
+    /// Performs an access and returns its latency in cycles.
+    ///
+    /// `is_demand` distinguishes program accesses from page-walker loads
+    /// (both are cached; they are counted separately).
+    pub fn access(&mut self, pa: PhysAddr, _kind: AccessKind, pc: Pc, is_demand: bool) -> u64 {
+        let block = pa.block();
+        let mut latency = u64::from(self.l1d.latency);
+        if self.l1d.lookup(block).is_some() {
+            return latency;
+        }
+        latency += u64::from(self.l2.latency);
+        if self.l2.lookup(block).is_some() {
+            self.l1d.fill(block, InsertPriority::Normal, 0);
+            return latency;
+        }
+        latency += u64::from(self.llc.latency);
+        let hit_way = self.llc.lookup(block);
+        self.policy.on_lookup(block, hit_way.is_some());
+        // Set-access hook (AIP-style interval predictors train on every
+        // access to the set).
+        let policy = self.policy.as_mut();
+        self.llc
+            .array_mut()
+            .with_set_views(block.raw(), hit_way, |views| policy.on_set_access(views));
+        if let Some(way) = hit_way {
+            let state = &mut self.llc.array_mut().line_mut(block.raw(), way).payload.state;
+            self.policy.on_hit(block, state);
+            self.l2.fill(block, InsertPriority::Normal, 0);
+            self.l1d.fill(block, InsertPriority::Normal, 0);
+            return latency;
+        }
+        // LLC miss: go to memory.
+        latency += u64::from(self.mem_latency);
+        if is_demand {
+            self.llc_demand_misses += 1;
+        } else {
+            self.llc_walker_misses += 1;
+        }
+        match self.policy.on_fill(block, pc) {
+            BlockFillDecision::Allocate { priority, state } => {
+                self.fill_llc(block, priority, state);
+            }
+            BlockFillDecision::Bypass => {
+                self.llc.stats.bypasses += 1;
+            }
+        }
+        // The block is returned upward either way.
+        self.l2.fill(block, InsertPriority::Normal, 0);
+        self.l1d.fill(block, InsertPriority::Normal, 0);
+        latency
+    }
+
+    fn fill_llc(&mut self, block: BlockAddr, priority: InsertPriority, state: u32) {
+        // Give the policy a chance to override the victim when the set is
+        // full (AIP victimizes predicted-dead blocks first).
+        let evicted = if self.llc.array().set_full(block.raw()) {
+            let policy = self.policy.as_mut();
+            let choice = self
+                .llc
+                .array_mut()
+                .with_set_views(block.raw(), None, |views| policy.pick_victim(views));
+            match choice {
+                Some(way) => self.llc.fill_way(block, way, priority, state),
+                None => self.llc.fill(block, priority, state),
+            }
+        } else {
+            self.llc.fill(block, priority, state)
+        };
+        if let Some((victim, victim_state, life)) = evicted {
+            let end_seq = self.llc.array().seq();
+            self.llc_evictions.record(life, end_seq);
+            self.llc_sampler.record_stay(life, end_seq);
+            if life.hits == 0 {
+                self.pending_doa_evictions.push(victim.pfn());
+            }
+            self.policy.on_evict(EvictedBlock {
+                block: victim,
+                state: victim_state,
+                life,
+                by_invalidation: false,
+            });
+            // Inclusion: the victim may not survive in upper levels.
+            self.l2.invalidate(victim);
+            self.l1d.invalidate(victim);
+        }
+    }
+
+    /// Takes a deadness sample of the LLC's resident blocks.
+    pub fn sample_llc(&mut self) {
+        let seq = self.llc.array().seq();
+        self.llc_sampler.take_sample(seq);
+    }
+
+    /// Flushes still-resident LLC blocks into the deadness sampler
+    /// (end-of-simulation accounting).
+    pub fn flush_sampler(&mut self) {
+        let end_seq = self.llc.array().seq();
+        let stays: Vec<_> = self.llc.array().iter_valid().map(|l| l.life()).collect();
+        for life in stays {
+            self.llc_sampler.record_stay(life, end_seq);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::NullBlockPolicy;
+
+    fn hierarchy() -> Hierarchy {
+        Hierarchy::new(&SystemConfig::paper_baseline(), Box::new(NullBlockPolicy))
+    }
+
+    fn pa(addr: u64) -> PhysAddr {
+        PhysAddr::new(addr)
+    }
+
+    #[test]
+    fn cold_miss_goes_to_memory() {
+        let mut h = hierarchy();
+        let lat = h.access(pa(0x10000), AccessKind::Read, Pc::new(1), true);
+        assert_eq!(lat, 5 + 11 + 40 + 191);
+        assert_eq!(h.llc_demand_misses, 1);
+    }
+
+    #[test]
+    fn l1_hit_after_fill() {
+        let mut h = hierarchy();
+        h.access(pa(0x10000), AccessKind::Read, Pc::new(1), true);
+        let lat = h.access(pa(0x10008), AccessKind::Read, Pc::new(1), true);
+        assert_eq!(lat, 5, "same block must hit L1");
+    }
+
+    #[test]
+    fn llc_hit_fills_upper_levels() {
+        let mut h = hierarchy();
+        h.access(pa(0x20000), AccessKind::Read, Pc::new(1), true);
+        // Evict from L1 and L2 by filling conflicting sets, then re-access.
+        // Simpler: invalidate the upper copies directly.
+        let block = pa(0x20000).block();
+        h.l1d.invalidate(block);
+        h.l2.invalidate(block);
+        let lat = h.access(pa(0x20000), AccessKind::Read, Pc::new(1), true);
+        assert_eq!(lat, 5 + 11 + 40);
+        assert!(h.l1d.contains(block), "LLC hit must refill L1");
+    }
+
+    #[test]
+    fn inclusion_back_invalidates() {
+        let mut h = hierarchy();
+        // Fill one LLC set (2048 sets × 16 ways): blocks mapping to set 0.
+        let sets = h.llc.array().sets() as u64;
+        for i in 0..17u64 {
+            h.access(pa(i * sets * 64), AccessKind::Read, Pc::new(1), true);
+        }
+        // The first block was evicted from the LLC; inclusion requires it
+        // to have left L1/L2 as well.
+        let first = pa(0).block();
+        assert!(!h.llc.contains(first));
+        assert!(!h.l1d.contains(first));
+        assert!(!h.l2.contains(first));
+        assert_eq!(h.llc_evictions.total, 1);
+        assert_eq!(h.llc_evictions.doa, 1, "never-hit block is DOA");
+        assert_eq!(h.pending_doa_evictions.len(), 1);
+    }
+
+    #[test]
+    fn walker_misses_counted_separately() {
+        let mut h = hierarchy();
+        h.access(pa(0x5000), AccessKind::Read, Pc::new(1), false);
+        assert_eq!(h.llc_walker_misses, 1);
+        assert_eq!(h.llc_demand_misses, 0);
+    }
+
+    #[test]
+    fn sampler_flush_accounts_residents() {
+        let mut h = hierarchy();
+        h.access(pa(0x1000), AccessKind::Read, Pc::new(1), true);
+        h.sample_llc();
+        h.access(pa(0x2000), AccessKind::Read, Pc::new(1), true);
+        h.flush_sampler();
+        let d = h.llc_sampler.stats();
+        assert_eq!(d.samples, 1);
+        assert_eq!(d.present, 1, "one block resident at the sampling instant");
+    }
+
+    #[derive(Debug)]
+    struct BypassAll;
+    impl LlcPolicy for BypassAll {
+        fn policy_name(&self) -> &'static str {
+            "bypass-all"
+        }
+        fn on_fill(&mut self, _block: BlockAddr, _pc: Pc) -> BlockFillDecision {
+            BlockFillDecision::Bypass
+        }
+    }
+
+    /// Victimizes way 0 unconditionally, to verify the override plumbing.
+    #[derive(Debug)]
+    struct AlwaysWayZero {
+        evictions_seen: u64,
+    }
+    impl LlcPolicy for AlwaysWayZero {
+        fn policy_name(&self) -> &'static str {
+            "way-zero"
+        }
+        fn pick_victim(
+            &mut self,
+            _lines: &mut [crate::policy::PolicyLineView<'_>],
+        ) -> Option<usize> {
+            Some(0)
+        }
+        fn on_evict(&mut self, _evicted: EvictedBlock) {
+            self.evictions_seen += 1;
+        }
+    }
+
+    #[test]
+    fn policy_victim_override_is_used() {
+        let mut h = Hierarchy::new(
+            &SystemConfig::paper_baseline(),
+            Box::new(AlwaysWayZero { evictions_seen: 0 }),
+        );
+        let sets = h.llc.array().sets() as u64;
+        // Fill one LLC set completely, then one more block: the policy
+        // must evict way 0 (the first block inserted).
+        for i in 0..17u64 {
+            h.access(pa(i * sets * 64), AccessKind::Read, Pc::new(1), true);
+        }
+        assert!(!h.llc.contains(pa(0).block()), "way 0 must have been victimized");
+        assert!(h.llc.contains(pa(sets * 64).block()), "second block must survive");
+    }
+
+    #[test]
+    fn set_access_hook_sees_hit_flags() {
+        #[derive(Debug, Default)]
+        struct HitWatcher {
+            hits_flagged: std::cell::Cell<u64>,
+        }
+        impl LlcPolicy for HitWatcher {
+            fn policy_name(&self) -> &'static str {
+                "hit-watcher"
+            }
+            fn on_set_access(&mut self, lines: &mut [crate::policy::PolicyLineView<'_>]) {
+                for view in lines {
+                    if view.is_hit {
+                        self.hits_flagged.set(self.hits_flagged.get() + 1);
+                    }
+                }
+            }
+        }
+        let mut h = Hierarchy::new(&SystemConfig::paper_baseline(), Box::<HitWatcher>::default());
+        h.access(pa(0x9000), AccessKind::Read, Pc::new(1), true);
+        // Evict from L1/L2 so the second access reaches the LLC and hits.
+        h.l1d.invalidate(pa(0x9000).block());
+        h.l2.invalidate(pa(0x9000).block());
+        h.access(pa(0x9000), AccessKind::Read, Pc::new(1), true);
+        // The policy cannot be downcast through the trait object; verify
+        // indirectly via LLC hit counters (the hook ran without panicking
+        // and the access pattern produced exactly one LLC hit).
+        assert_eq!(h.llc.stats.hits, 1);
+    }
+
+    #[test]
+    fn bypass_keeps_block_out_of_llc_but_in_l1() {
+        let mut h = Hierarchy::new(&SystemConfig::paper_baseline(), Box::new(BypassAll));
+        h.access(pa(0x3000), AccessKind::Read, Pc::new(1), true);
+        let block = pa(0x3000).block();
+        assert!(!h.llc.contains(block));
+        assert!(h.l1d.contains(block));
+        assert_eq!(h.llc.stats.bypasses, 1);
+        assert_eq!(h.llc.stats.fills, 0);
+    }
+}

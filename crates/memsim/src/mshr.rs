@@ -1,0 +1,102 @@
+//! The LLT's miss-status holding registers.
+//!
+//! Section V-A: *"On an LLT miss, before sending the request downstream,
+//! the hash of the PC that triggered the miss is stored in the LLT's MSHR.
+//! This avoids the need to attach the PC to the page walk request."*
+//!
+//! The simulator processes walks synchronously, so the MSHR's role is to
+//! carry the PC from the miss to the fill — but it is modeled as a real
+//! bounded structure so that its capacity behaviour is testable.
+
+use dpc_types::{Pc, Vpn};
+use std::collections::VecDeque;
+
+/// A bounded FIFO of outstanding LLT misses.
+#[derive(Clone, Debug)]
+pub struct Mshr {
+    entries: VecDeque<(Vpn, Pc)>,
+    capacity: usize,
+    /// Allocations rejected because the MSHR was full (the walk proceeds;
+    /// only the PC is lost, and the fill falls back to PC 0).
+    pub overflows: u64,
+}
+
+impl Mshr {
+    /// Creates an MSHR with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be nonzero");
+        Mshr { entries: VecDeque::with_capacity(capacity), capacity, overflows: 0 }
+    }
+
+    /// Records the PC of the instruction whose miss on `vpn` started a
+    /// walk. Returns `false` (and counts an overflow) when full.
+    pub fn allocate(&mut self, vpn: Vpn, pc: Pc) -> bool {
+        if self.entries.len() >= self.capacity {
+            self.overflows += 1;
+            return false;
+        }
+        self.entries.push_back((vpn, pc));
+        true
+    }
+
+    /// Retrieves and releases the PC recorded for `vpn` at fill time.
+    /// Falls back to PC 0 if the entry was lost to overflow.
+    pub fn complete(&mut self, vpn: Vpn) -> Pc {
+        if let Some(pos) = self.entries.iter().position(|&(v, _)| v == vpn) {
+            self.entries.remove(pos).map(|(_, pc)| pc).unwrap_or(Pc::new(0))
+        } else {
+            Pc::new(0)
+        }
+    }
+
+    /// Outstanding entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no misses are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut mshr = Mshr::new(4);
+        assert!(mshr.allocate(Vpn::new(1), Pc::new(0x400)));
+        assert_eq!(mshr.len(), 1);
+        assert_eq!(mshr.complete(Vpn::new(1)), Pc::new(0x400));
+        assert!(mshr.is_empty());
+    }
+
+    #[test]
+    fn unknown_vpn_falls_back_to_zero() {
+        let mut mshr = Mshr::new(4);
+        assert_eq!(mshr.complete(Vpn::new(9)), Pc::new(0));
+    }
+
+    #[test]
+    fn overflow_counted() {
+        let mut mshr = Mshr::new(1);
+        assert!(mshr.allocate(Vpn::new(1), Pc::new(1)));
+        assert!(!mshr.allocate(Vpn::new(2), Pc::new(2)));
+        assert_eq!(mshr.overflows, 1);
+        // The overflowed miss completes with PC 0.
+        assert_eq!(mshr.complete(Vpn::new(2)), Pc::new(0));
+        assert_eq!(mshr.complete(Vpn::new(1)), Pc::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        Mshr::new(0);
+    }
+}

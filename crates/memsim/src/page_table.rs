@@ -1,0 +1,269 @@
+//! A four-level radix page table allocated in simulated physical memory.
+//!
+//! The paper (Section III): *"we allocate a four-level radix tree data
+//! structure as the page table. The page table contents are cached on the
+//! processor caches as in the real hardware."* [`PageTable::translate`]
+//! returns the physical addresses of the four page-table entries a hardware
+//! walker would read, so the walker can send those loads through the data
+//! caches.
+//!
+//! Pages are mapped on demand (first touch), modeling a demand-paging OS.
+//! Physical frames come from a [`FrameAllocator`] that scatters allocations
+//! over the frame space with a bijective multiplier, emulating the
+//! fragmented VA→PA mappings of a long-running system.
+
+use dpc_types::{PhysAddr, Pfn, Vpn};
+use std::collections::HashMap;
+
+/// Entries per page-table node (512 × 8 B = one 4 KiB page).
+pub const NODE_ENTRIES: usize = 512;
+
+/// Allocates unique physical frames.
+///
+/// Frame numbers are produced by a bijective affine map over a 2^34-frame
+/// space so that consecutively-allocated pages do not occupy consecutive
+/// frames.
+#[derive(Clone, Debug)]
+pub struct FrameAllocator {
+    next: u64,
+}
+
+/// The frame space is 2^34 frames (64 TiB of simulated physical memory);
+/// the multiplier is odd, hence invertible modulo 2^34.
+const FRAME_SPACE_BITS: u32 = 34;
+const FRAME_MULT: u64 = 0x9E37_79B9_7F4A_7C15 | 1;
+
+impl FrameAllocator {
+    /// Creates an allocator.
+    pub fn new() -> Self {
+        FrameAllocator { next: 1 }
+    }
+
+    /// Allocates a fresh, never-before-returned frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the 2^34-frame space is exhausted (far beyond any
+    /// simulated footprint).
+    pub fn alloc(&mut self) -> Pfn {
+        assert!(self.next < (1 << FRAME_SPACE_BITS), "physical frame space exhausted");
+        let scattered = self.next.wrapping_mul(FRAME_MULT) & ((1 << FRAME_SPACE_BITS) - 1);
+        self.next += 1;
+        Pfn::new(scattered)
+    }
+
+    /// Number of frames handed out so far.
+    pub fn allocated(&self) -> u64 {
+        self.next - 1
+    }
+}
+
+impl Default for FrameAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The path a hardware page walk takes through the radix tree, from the
+/// root (level 3, PML4) to the leaf (level 0, PT).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkPath {
+    /// Physical frame of the node visited at each level, indexed by level
+    /// (3 = root).
+    pub node_pfns: [Pfn; 4],
+    /// Physical address of the page-table *entry* read at each level — the
+    /// loads a hardware walker issues into the cache hierarchy.
+    pub pte_addrs: [PhysAddr; 4],
+    /// The translation result.
+    pub pfn: Pfn,
+    /// Whether this walk demand-allocated the data page (first touch).
+    pub newly_mapped: bool,
+}
+
+/// One radix node: 512 slots holding child/leaf PFN + 1 (0 = not present).
+type Node = Box<[u64; NODE_ENTRIES]>;
+
+/// The four-level radix page table.
+#[derive(Debug)]
+pub struct PageTable {
+    root: Pfn,
+    nodes: HashMap<Pfn, Node>,
+    frames: FrameAllocator,
+    mapped_pages: u64,
+}
+
+impl PageTable {
+    /// Creates an empty page table (root node allocated).
+    pub fn new() -> Self {
+        let mut frames = FrameAllocator::new();
+        let root = frames.alloc();
+        let mut nodes = HashMap::new();
+        nodes.insert(root, new_node());
+        PageTable { root, nodes, frames, mapped_pages: 0 }
+    }
+
+    /// Physical frame of the root (PML4) node.
+    pub fn root(&self) -> Pfn {
+        self.root
+    }
+
+    /// Number of data pages mapped so far.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages
+    }
+
+    /// Number of page-table node pages allocated (the table's own
+    /// footprint).
+    pub fn table_pages(&self) -> u64 {
+        self.nodes.len() as u64
+    }
+
+    /// Translates `vpn`, demand-mapping it on first touch, and reports the
+    /// full walk path.
+    pub fn translate(&mut self, vpn: Vpn) -> WalkPath {
+        let mut node_pfns = [Pfn::new(0); 4];
+        let mut pte_addrs = [PhysAddr::new(0); 4];
+        let mut newly_mapped = false;
+        let mut node_pfn = self.root;
+        // Levels 3 (root) down to 1 point at child nodes.
+        for level in (1..=3).rev() {
+            let index = vpn.radix_index(level as u32);
+            node_pfns[level] = node_pfn;
+            pte_addrs[level] = pte_addr(node_pfn, index);
+            let node = self.nodes.get_mut(&node_pfn).expect("interior node must exist");
+            let slot = node[index];
+            let child = if slot == 0 {
+                let child = self.frames.alloc();
+                // Re-borrow after alloc (frames and nodes are disjoint
+                // fields, but the node borrow must be re-established).
+                self.nodes.get_mut(&node_pfn).expect("interior node must exist")[index] =
+                    child.raw() + 1;
+                self.nodes.insert(child, new_node());
+                child
+            } else {
+                Pfn::new(slot - 1)
+            };
+            node_pfn = child;
+        }
+        // Level 0: leaf PT maps the data page.
+        let index = vpn.radix_index(0);
+        node_pfns[0] = node_pfn;
+        pte_addrs[0] = pte_addr(node_pfn, index);
+        let node = self.nodes.get_mut(&node_pfn).expect("leaf node must exist");
+        let pfn = if node[index] == 0 {
+            let frame = self.frames.alloc();
+            node[index] = frame.raw() + 1;
+            self.mapped_pages += 1;
+            newly_mapped = true;
+            frame
+        } else {
+            Pfn::new(node[index] - 1)
+        };
+        WalkPath { node_pfns, pte_addrs, pfn, newly_mapped }
+    }
+
+    /// Returns the node frame a walk starting at `level` for `vpn` would
+    /// visit, if mapped — used to verify page-walk-cache correctness.
+    pub fn node_at(&mut self, vpn: Vpn, level: u32) -> Pfn {
+        self.translate(vpn).node_pfns[level as usize]
+    }
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn new_node() -> Node {
+    Box::new([0u64; NODE_ENTRIES])
+}
+
+/// Physical address of slot `index` in the node at `node_pfn` (8-byte
+/// entries).
+fn pte_addr(node_pfn: Pfn, index: usize) -> PhysAddr {
+    PhysAddr::new(node_pfn.base().raw() + (index as u64) * 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_unique() {
+        let mut alloc = FrameAllocator::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100_000 {
+            assert!(seen.insert(alloc.alloc()), "frame allocator repeated a frame");
+        }
+        assert_eq!(alloc.allocated(), 100_000);
+    }
+
+    #[test]
+    fn translation_is_stable() {
+        let mut pt = PageTable::new();
+        let vpn = Vpn::new(0x12_3456);
+        let first = pt.translate(vpn);
+        assert!(first.newly_mapped);
+        let second = pt.translate(vpn);
+        assert!(!second.newly_mapped);
+        assert_eq!(first.pfn, second.pfn);
+        assert_eq!(first.pte_addrs, second.pte_addrs);
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn distinct_pages_get_distinct_frames() {
+        let mut pt = PageTable::new();
+        let a = pt.translate(Vpn::new(100)).pfn;
+        let b = pt.translate(Vpn::new(101)).pfn;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sibling_pages_share_interior_nodes() {
+        let mut pt = PageTable::new();
+        // Same 512-page region → same leaf PT node, different slots.
+        let a = pt.translate(Vpn::new(0x1000));
+        let b = pt.translate(Vpn::new(0x1001));
+        assert_eq!(a.node_pfns[0], b.node_pfns[0]);
+        assert_ne!(a.pte_addrs[0], b.pte_addrs[0]);
+        // Distant regions → different leaf PT nodes, same root.
+        let c = pt.translate(Vpn::new(0x8000_0000));
+        assert_ne!(a.node_pfns[0], c.node_pfns[0]);
+        assert_eq!(a.node_pfns[3], c.node_pfns[3]);
+    }
+
+    #[test]
+    fn pte_addresses_live_in_their_nodes() {
+        let mut pt = PageTable::new();
+        let walk = pt.translate(Vpn::new(0xABCDE));
+        for level in 0..4 {
+            assert_eq!(
+                walk.pte_addrs[level].pfn(),
+                walk.node_pfns[level],
+                "PTE at level {level} must lie in that level's node frame"
+            );
+        }
+    }
+
+    #[test]
+    fn table_pages_grow_with_spread_mappings() {
+        let mut pt = PageTable::new();
+        let before = pt.table_pages();
+        // Map pages 512 GiB apart: each needs its own PDPT/PD/PT chain.
+        for i in 0..4u64 {
+            pt.translate(Vpn::new(i << 27));
+        }
+        assert!(pt.table_pages() >= before + 9, "interior nodes must be allocated");
+    }
+
+    #[test]
+    fn root_is_constant() {
+        let mut pt = PageTable::new();
+        let root = pt.root();
+        pt.translate(Vpn::new(42));
+        assert_eq!(pt.root(), root);
+        assert_eq!(pt.translate(Vpn::new(42)).node_pfns[3], root);
+    }
+}

@@ -1,0 +1,168 @@
+//! Page-walk caches (PWCs).
+//!
+//! Three fully-associative caches of partial translations (paper Table I:
+//! 4/8/16 entries at 1/1/2 cycles). Level `i` caches the page-table node a
+//! walk can resume from, skipping `3 - i` of the four PTE loads:
+//!
+//! * **PWC L1** (index 0) tags `vpn >> 9` and holds the leaf PT node —
+//!   a hit leaves 1 PTE load;
+//! * **PWC L2** (index 1) tags `vpn >> 18` and holds the PD node —
+//!   2 PTE loads;
+//! * **PWC L3** (index 2) tags `vpn >> 27` and holds the PDPT node —
+//!   3 PTE loads.
+
+use crate::set_assoc::{InsertPriority, SetAssoc};
+use dpc_types::{Pfn, PwcConfig, ReplacementKind, Vpn};
+
+/// Tag shift applied to the VPN for PWC level `i` (0-based).
+const LEVEL_SHIFT: [u32; 3] = [9, 18, 27];
+
+/// Result of probing the PWC hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PwcProbe {
+    /// Which PWC level hit (0 is closest to the leaf), or `None` for a
+    /// full walk from the root.
+    pub hit_level: Option<usize>,
+    /// Node frame to resume the walk from (meaningful only on a hit).
+    pub resume_node: Pfn,
+    /// Cycles spent probing.
+    pub latency: u64,
+    /// Number of PTE loads the walk still needs (1..=4).
+    pub remaining_loads: u32,
+}
+
+/// The three-level page-walk cache hierarchy.
+#[derive(Debug)]
+pub struct PwcSet {
+    levels: [SetAssoc<Pfn>; 3],
+    latency: [u32; 3],
+    hits: [u64; 3],
+    probes: u64,
+}
+
+impl PwcSet {
+    /// Builds the PWC hierarchy from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any level has zero entries.
+    pub fn new(config: &PwcConfig) -> Self {
+        let levels = [
+            SetAssoc::new(1, config.entries[0] as usize, ReplacementKind::Lru),
+            SetAssoc::new(1, config.entries[1] as usize, ReplacementKind::Lru),
+            SetAssoc::new(1, config.entries[2] as usize, ReplacementKind::Lru),
+        ];
+        PwcSet { levels, latency: config.latency, hits: [0; 3], probes: 0 }
+    }
+
+    /// Probes the PWCs closest-to-leaf first, accumulating probe latency,
+    /// exactly like a hardware walker searching for the longest cached
+    /// prefix.
+    pub fn probe(&mut self, vpn: Vpn) -> PwcProbe {
+        self.probes += 1;
+        let mut latency = 0u64;
+        for (level, &shift) in LEVEL_SHIFT.iter().enumerate() {
+            latency += u64::from(self.latency[level]);
+            let tag = vpn.raw() >> shift;
+            if let Some(way) = self.levels[level].lookup(tag, tag) {
+                self.hits[level] += 1;
+                let node = self.levels[level].line(tag, way).payload;
+                return PwcProbe {
+                    hit_level: Some(level),
+                    resume_node: node,
+                    latency,
+                    remaining_loads: level as u32 + 1,
+                };
+            }
+        }
+        PwcProbe { hit_level: None, resume_node: Pfn::new(0), latency, remaining_loads: 4 }
+    }
+
+    /// Installs the nodes discovered by a completed walk into every PWC
+    /// level. `node_pfns[level]` is the node visited at radix level
+    /// `level` (0 = leaf PT), as produced by
+    /// [`WalkPath`](crate::page_table::WalkPath).
+    pub fn fill(&mut self, vpn: Vpn, node_pfns: &[Pfn; 4]) {
+        for level in 0..3 {
+            let tag = vpn.raw() >> LEVEL_SHIFT[level];
+            if self.levels[level].peek(tag, tag).is_none() {
+                self.levels[level].fill(tag, tag, node_pfns[level], InsertPriority::Normal);
+            }
+        }
+    }
+
+    /// Hits per level so far.
+    pub fn hits(&self) -> [u64; 3] {
+        self.hits
+    }
+
+    /// Total probes so far.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_types::SystemConfig;
+
+    fn pwc() -> PwcSet {
+        PwcSet::new(&SystemConfig::paper_baseline().pwc)
+    }
+
+    #[test]
+    fn cold_probe_misses_everywhere() {
+        let mut p = pwc();
+        let probe = p.probe(Vpn::new(0x1234));
+        assert_eq!(probe.hit_level, None);
+        assert_eq!(probe.remaining_loads, 4);
+        // 1 + 1 + 2 cycles of probing.
+        assert_eq!(probe.latency, 4);
+    }
+
+    #[test]
+    fn fill_then_leaf_hit() {
+        let mut p = pwc();
+        let nodes = [Pfn::new(10), Pfn::new(11), Pfn::new(12), Pfn::new(13)];
+        p.fill(Vpn::new(0x1234), &nodes);
+        let probe = p.probe(Vpn::new(0x1234));
+        assert_eq!(probe.hit_level, Some(0));
+        assert_eq!(probe.resume_node, Pfn::new(10));
+        assert_eq!(probe.remaining_loads, 1);
+        assert_eq!(probe.latency, 1);
+        assert_eq!(p.hits(), [1, 0, 0]);
+    }
+
+    #[test]
+    fn sibling_region_hits_higher_level() {
+        let mut p = pwc();
+        let nodes = [Pfn::new(10), Pfn::new(11), Pfn::new(12), Pfn::new(13)];
+        p.fill(Vpn::new(0), &nodes);
+        // Same PD region (shares vpn >> 18) but different PT region.
+        let probe = p.probe(Vpn::new(1 << 9));
+        assert_eq!(probe.hit_level, Some(1));
+        assert_eq!(probe.resume_node, Pfn::new(11));
+        assert_eq!(probe.remaining_loads, 2);
+        assert_eq!(probe.latency, 2);
+    }
+
+    #[test]
+    fn capacity_is_bounded_lru() {
+        let mut p = pwc();
+        // PWC L1 holds 4 entries; the 5th distinct PT region evicts the LRU.
+        for i in 0..5u64 {
+            p.fill(Vpn::new(i << 9), &[Pfn::new(i); 4]);
+        }
+        let probe = p.probe(Vpn::new(0)); // oldest PT region
+        assert_ne!(probe.hit_level, Some(0), "LRU entry must have been evicted");
+    }
+
+    #[test]
+    fn probes_counted() {
+        let mut p = pwc();
+        p.probe(Vpn::new(1));
+        p.probe(Vpn::new(2));
+        assert_eq!(p.probes(), 2);
+    }
+}

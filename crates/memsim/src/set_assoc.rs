@@ -1,0 +1,504 @@
+//! A generic set-associative array with pluggable replacement.
+//!
+//! Caches, TLBs and the (fully-associative) page-walk caches are all
+//! instances of [`SetAssoc`] with different payload types. Replacement is
+//! selected by [`ReplacementKind`]: LRU keeps a per-line recency stamp,
+//! SRRIP a 2-bit re-reference prediction value, FIFO an insertion stamp.
+//!
+//! Lifetime statistics needed by the paper's deadness characterization
+//! (fill time, last-hit time, hit count) are tracked per line in
+//! [`LineLife`].
+
+use crate::policy::PolicyLineView;
+use dpc_types::ReplacementKind;
+
+/// Payloads that expose 32 bits of policy scratch state to the
+/// [`policy`](crate::policy) hooks.
+pub trait HasPolicyState {
+    /// Mutable access to the per-line policy state.
+    fn policy_state_mut(&mut self) -> &mut u32;
+}
+
+/// Maximum RRPV for 2-bit SRRIP (2^2 - 1).
+pub const RRPV_MAX: u8 = 3;
+/// SRRIP "long re-reference interval" insertion value (RRPV_MAX - 1).
+pub const RRPV_LONG: u8 = 2;
+
+/// Where a newly inserted line lands in the replacement order.
+///
+/// Mirrors how the paper adapts SHiP to both base policies: under LRU, a
+/// distant prediction inserts at the LRU position; under SRRIP it inserts
+/// with RRPV = 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum InsertPriority {
+    /// Most-recently-used position (LRU base) / RRPV = 2 (SRRIP base) — the
+    /// default insertion of the respective policy.
+    #[default]
+    Normal,
+    /// LRU position (LRU base) / RRPV = 3 (SRRIP base): predicted to be
+    /// re-referenced in the distant future.
+    Distant,
+    /// MRU position / RRPV = 0: predicted imminent reuse.
+    High,
+}
+
+/// Per-line lifetime statistics, in units of the owning structure's lookup
+/// sequence numbers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LineLife {
+    /// Lookup sequence number at fill.
+    pub fill_seq: u64,
+    /// Lookup sequence number of the most recent hit (equals `fill_seq`
+    /// until the first hit).
+    pub last_hit_seq: u64,
+    /// Number of hits the line has received since fill.
+    pub hits: u64,
+}
+
+/// One way of one set.
+#[derive(Clone, Debug)]
+pub struct Line<P> {
+    valid: bool,
+    tag: u64,
+    stamp: u64,
+    rrpv: u8,
+    life: LineLife,
+    /// Policy- and structure-specific payload (TLB translation + metadata,
+    /// cache block flags, ...).
+    pub payload: P,
+}
+
+impl<P: Default> Line<P> {
+    fn empty() -> Self {
+        Line { valid: false, tag: 0, stamp: 0, rrpv: RRPV_MAX, life: LineLife::default(), payload: P::default() }
+    }
+}
+
+impl<P> Line<P> {
+    /// Whether the line holds valid contents.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// The line's tag (meaningless when invalid).
+    #[inline]
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Lifetime statistics of the current contents.
+    #[inline]
+    pub fn life(&self) -> LineLife {
+        self.life
+    }
+}
+
+/// Contents evicted by an insertion.
+#[derive(Clone, Debug)]
+pub struct Evicted<P> {
+    /// Tag of the evicted line.
+    pub tag: u64,
+    /// Lifetime statistics accumulated during the evictee's stay.
+    pub life: LineLife,
+    /// The evicted payload.
+    pub payload: P,
+}
+
+/// A set-associative array of `sets × ways` lines holding payload `P`.
+#[derive(Clone, Debug)]
+pub struct SetAssoc<P> {
+    sets: usize,
+    ways: usize,
+    replacement: ReplacementKind,
+    lines: Vec<Line<P>>,
+    /// Monotonic recency clock (advanced on every touch/insert).
+    tick: u64,
+    /// Monotonic lookup sequence (advanced on every lookup), used for
+    /// lifetime statistics.
+    seq: u64,
+}
+
+impl<P: Default> SetAssoc<P> {
+    /// Creates an array with `sets` sets of `ways` ways each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize, replacement: ReplacementKind) -> Self {
+        assert!(sets > 0 && ways > 0, "SetAssoc requires nonzero geometry");
+        let mut lines = Vec::with_capacity(sets * ways);
+        lines.resize_with(sets * ways, Line::empty);
+        SetAssoc { sets, ways, replacement, lines, tick: 0, seq: 0 }
+    }
+}
+
+impl<P> SetAssoc<P> {
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    #[inline]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Set index for a line address (block address, VPN, ...): modulo the
+    /// set count, which also handles non-power-of-two organizations such as
+    /// the paper's 3 MB LLC.
+    #[inline]
+    pub fn set_of(&self, addr: u64) -> usize {
+        (addr % self.sets as u64) as usize
+    }
+
+    /// Current lookup sequence number (the structure-local clock used by
+    /// [`LineLife`]).
+    #[inline]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    #[inline]
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        let base = set * self.ways;
+        base..base + self.ways
+    }
+
+    /// Looks up `tag` in its set. On a hit, advances the lookup clock,
+    /// updates recency and lifetime stats, and returns the way index.
+    /// On a miss, only the lookup clock advances.
+    pub fn lookup(&mut self, addr: u64, tag: u64) -> Option<usize> {
+        self.seq += 1;
+        let set = self.set_of(addr);
+        let range = self.set_range(set);
+        let seq = self.seq;
+        for (way, idx) in range.clone().enumerate() {
+            if self.lines[idx].valid && self.lines[idx].tag == tag {
+                self.tick += 1;
+                let tick = self.tick;
+                let line = &mut self.lines[idx];
+                line.life.hits += 1;
+                line.life.last_hit_seq = seq;
+                match self.replacement {
+                    ReplacementKind::Lru => line.stamp = tick,
+                    ReplacementKind::Srrip => line.rrpv = 0,
+                    ReplacementKind::Fifo => {}
+                }
+                return Some(way);
+            }
+        }
+        None
+    }
+
+    /// Probes for `tag` without advancing any clock or updating recency
+    /// (used by inclusion checks and tests).
+    pub fn peek(&self, addr: u64, tag: u64) -> Option<usize> {
+        let set = self.set_of(addr);
+        self.set_range(set)
+            .enumerate()
+            .find(|&(_, idx)| self.lines[idx].valid && self.lines[idx].tag == tag)
+            .map(|(way, _)| way)
+    }
+
+    /// Immutable view of a way in the set that `addr` maps to.
+    pub fn line(&self, addr: u64, way: usize) -> &Line<P> {
+        let set = self.set_of(addr);
+        &self.lines[set * self.ways + way]
+    }
+
+    /// Mutable view of a way in the set that `addr` maps to.
+    pub fn line_mut(&mut self, addr: u64, way: usize) -> &mut Line<P> {
+        let set = self.set_of(addr);
+        &mut self.lines[set * self.ways + way]
+    }
+
+    /// The way the base replacement policy would evict from the set `addr`
+    /// maps to. Invalid ways are preferred. SRRIP ages lines as a side
+    /// effect (that *is* the SRRIP victim-search algorithm).
+    pub fn victim_way(&mut self, addr: u64) -> usize {
+        let set = self.set_of(addr);
+        let range = self.set_range(set);
+        // Prefer an invalid way.
+        for (way, idx) in range.clone().enumerate() {
+            if !self.lines[idx].valid {
+                return way;
+            }
+        }
+        match self.replacement {
+            ReplacementKind::Lru | ReplacementKind::Fifo => {
+                let mut best = 0;
+                let mut best_stamp = u64::MAX;
+                for (way, idx) in range.enumerate() {
+                    if self.lines[idx].stamp < best_stamp {
+                        best_stamp = self.lines[idx].stamp;
+                        best = way;
+                    }
+                }
+                best
+            }
+            ReplacementKind::Srrip => loop {
+                for (way, idx) in range.clone().enumerate() {
+                    if self.lines[idx].rrpv >= RRPV_MAX {
+                        return way;
+                    }
+                }
+                for idx in range.clone() {
+                    self.lines[idx].rrpv += 1;
+                }
+            },
+        }
+    }
+
+    /// Inserts `payload` under `tag` into the given `way` of the set `addr`
+    /// maps to, returning the previous contents if the way was valid.
+    pub fn fill_way(
+        &mut self,
+        addr: u64,
+        way: usize,
+        tag: u64,
+        payload: P,
+        priority: InsertPriority,
+    ) -> Option<Evicted<P>> {
+        assert!(way < self.ways, "way {way} out of range (ways = {})", self.ways);
+        self.tick += 1;
+        let tick = self.tick;
+        let seq = self.seq;
+        let set = self.set_of(addr);
+        let line = &mut self.lines[set * self.ways + way];
+        let evicted = if line.valid {
+            Some(Evicted {
+                tag: line.tag,
+                life: line.life,
+                payload: std::mem::replace(&mut line.payload, payload),
+            })
+        } else {
+            line.payload = payload;
+            None
+        };
+        line.valid = true;
+        line.tag = tag;
+        line.life = LineLife { fill_seq: seq, last_hit_seq: seq, hits: 0 };
+        match self.replacement {
+            ReplacementKind::Lru => {
+                line.stamp = match priority {
+                    InsertPriority::Normal | InsertPriority::High => tick,
+                    InsertPriority::Distant => 0,
+                };
+            }
+            ReplacementKind::Fifo => line.stamp = tick,
+            ReplacementKind::Srrip => {
+                line.rrpv = match priority {
+                    InsertPriority::Normal => RRPV_LONG,
+                    InsertPriority::Distant => RRPV_MAX,
+                    InsertPriority::High => 0,
+                };
+            }
+        }
+        evicted
+    }
+
+    /// Inserts via the base replacement policy's victim choice.
+    pub fn fill(
+        &mut self,
+        addr: u64,
+        tag: u64,
+        payload: P,
+        priority: InsertPriority,
+    ) -> Option<Evicted<P>> {
+        let way = self.victim_way(addr);
+        self.fill_way(addr, way, tag, payload, priority)
+    }
+
+    /// Invalidates `tag` if present, returning the evicted contents
+    /// (used for LLC-inclusion back-invalidation).
+    pub fn invalidate(&mut self, addr: u64, tag: u64) -> Option<Evicted<P>>
+    where
+        P: Default,
+    {
+        let way = self.peek(addr, tag)?;
+        let set = self.set_of(addr);
+        let line = &mut self.lines[set * self.ways + way];
+        line.valid = false;
+        Some(Evicted { tag: line.tag, life: line.life, payload: std::mem::take(&mut line.payload) })
+    }
+
+    /// Whether every way of the set `addr` maps to holds valid contents.
+    pub fn set_full(&self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        self.set_range(set).all(|idx| self.lines[idx].valid)
+    }
+
+    /// Runs `f` over [`PolicyLineView`]s of all *valid* lines in the set
+    /// `addr` maps to. `hit_way` marks which view (if any) corresponds to
+    /// the line the current lookup hit.
+    pub fn with_set_views<R>(
+        &mut self,
+        addr: u64,
+        hit_way: Option<usize>,
+        f: impl FnOnce(&mut [PolicyLineView<'_>]) -> R,
+    ) -> R
+    where
+        P: HasPolicyState,
+    {
+        let set = self.set_of(addr);
+        let range = self.set_range(set);
+        let mut views: Vec<PolicyLineView<'_>> = Vec::with_capacity(self.ways);
+        for (way, line) in self.lines[range].iter_mut().enumerate() {
+            if line.valid {
+                views.push(PolicyLineView {
+                    way,
+                    tag: line.tag,
+                    hits: line.life.hits,
+                    is_hit: hit_way == Some(way),
+                    state: line.payload.policy_state_mut(),
+                });
+            }
+        }
+        f(&mut views)
+    }
+
+    /// Iterates over all valid lines (used by the deadness sampler's final
+    /// flush and by tests).
+    pub fn iter_valid(&self) -> impl Iterator<Item = &Line<P>> {
+        self.lines.iter().filter(|l| l.valid)
+    }
+
+    /// Number of currently valid lines.
+    pub fn valid_count(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sa(sets: usize, ways: usize, kind: ReplacementKind) -> SetAssoc<u32> {
+        SetAssoc::new(sets, ways, kind)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut s = sa(4, 2, ReplacementKind::Lru);
+        assert_eq!(s.lookup(5, 5), None);
+        assert!(s.fill(5, 5, 99, InsertPriority::Normal).is_none());
+        let way = s.lookup(5, 5).expect("filled tag must hit");
+        assert_eq!(s.line(5, way).payload, 99);
+        assert_eq!(s.line(5, way).life().hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut s = sa(1, 2, ReplacementKind::Lru);
+        s.fill(0, 10, 0, InsertPriority::Normal);
+        s.fill(0, 20, 0, InsertPriority::Normal);
+        // Touch 10 so 20 becomes LRU.
+        assert!(s.lookup(0, 10).is_some());
+        let evicted = s.fill(0, 30, 0, InsertPriority::Normal).expect("set full");
+        assert_eq!(evicted.tag, 20);
+        assert!(s.peek(0, 10).is_some());
+        assert!(s.peek(0, 30).is_some());
+    }
+
+    #[test]
+    fn distant_insertion_is_first_victim_under_lru() {
+        let mut s = sa(1, 4, ReplacementKind::Lru);
+        for tag in 1..=3 {
+            s.fill(0, tag, 0, InsertPriority::Normal);
+        }
+        s.fill(0, 4, 0, InsertPriority::Distant);
+        let evicted = s.fill(0, 5, 0, InsertPriority::Normal).expect("set full");
+        assert_eq!(evicted.tag, 4, "distant-inserted line must be evicted first");
+    }
+
+    #[test]
+    fn srrip_victimizes_rrpv_max() {
+        let mut s = sa(1, 2, ReplacementKind::Srrip);
+        s.fill(0, 1, 0, InsertPriority::Normal); // rrpv 2
+        s.fill(0, 2, 0, InsertPriority::Normal); // rrpv 2
+        assert!(s.lookup(0, 1).is_some()); // rrpv -> 0
+        // Victim search ages both to find an RRPV_MAX line; tag 2 ages
+        // 2 -> 3 first.
+        let evicted = s.fill(0, 3, 0, InsertPriority::Normal).unwrap();
+        assert_eq!(evicted.tag, 2);
+        assert!(s.peek(0, 1).is_some());
+    }
+
+    #[test]
+    fn srrip_distant_insert_is_immediate_victim() {
+        let mut s = sa(1, 2, ReplacementKind::Srrip);
+        s.fill(0, 1, 0, InsertPriority::Normal);
+        s.fill(0, 2, 0, InsertPriority::Distant); // rrpv 3
+        let evicted = s.fill(0, 3, 0, InsertPriority::Normal).unwrap();
+        assert_eq!(evicted.tag, 2);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut s = sa(1, 2, ReplacementKind::Fifo);
+        s.fill(0, 1, 0, InsertPriority::Normal);
+        s.fill(0, 2, 0, InsertPriority::Normal);
+        assert!(s.lookup(0, 1).is_some()); // does not refresh under FIFO
+        let evicted = s.fill(0, 3, 0, InsertPriority::Normal).unwrap();
+        assert_eq!(evicted.tag, 1, "FIFO evicts oldest insertion regardless of hits");
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut s = sa(2, 2, ReplacementKind::Lru);
+        s.fill(7, 7, 42, InsertPriority::Normal);
+        let gone = s.invalidate(7, 7).expect("present");
+        assert_eq!(gone.payload, 42);
+        assert!(s.peek(7, 7).is_none());
+        assert!(s.invalidate(7, 7).is_none());
+        assert_eq!(s.valid_count(), 0);
+    }
+
+    #[test]
+    fn lifetime_stats_track_hits() {
+        let mut s = sa(1, 1, ReplacementKind::Lru);
+        s.lookup(0, 9); // seq 1, miss
+        s.fill(0, 9, 0, InsertPriority::Normal); // fill_seq = 1
+        s.lookup(0, 9); // seq 2, hit
+        s.lookup(0, 9); // seq 3, hit
+        s.lookup(0, 8); // seq 4, miss
+        let evicted = s.fill(0, 8, 0, InsertPriority::Normal).unwrap();
+        assert_eq!(evicted.life.fill_seq, 1);
+        assert_eq!(evicted.life.last_hit_seq, 3);
+        assert_eq!(evicted.life.hits, 2);
+    }
+
+    #[test]
+    fn doa_lifetime() {
+        let mut s = sa(1, 1, ReplacementKind::Lru);
+        s.lookup(0, 9);
+        s.fill(0, 9, 0, InsertPriority::Normal);
+        s.lookup(0, 8);
+        let evicted = s.fill(0, 8, 0, InsertPriority::Normal).unwrap();
+        assert_eq!(evicted.life.hits, 0, "never-hit line is DOA");
+        assert_eq!(evicted.life.last_hit_seq, evicted.life.fill_seq);
+    }
+
+    #[test]
+    fn modulo_set_indexing_handles_non_power_of_two() {
+        let s: SetAssoc<u32> = SetAssoc::new(3072, 16, ReplacementKind::Lru);
+        assert_eq!(s.set_of(3072), 0);
+        assert_eq!(s.set_of(3073), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_geometry_rejected() {
+        let _ = sa(0, 1, ReplacementKind::Lru);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fill_way_bounds_checked() {
+        let mut s = sa(1, 1, ReplacementKind::Lru);
+        s.fill_way(0, 1, 0, 0, InsertPriority::Normal);
+    }
+}

@@ -1,0 +1,391 @@
+//! Simulation statistics: per-structure counters, eviction-time dead/DOA
+//! classification (paper Figs. 2 and 4) and resident-deadness sampling
+//! (paper Figs. 1 and 3).
+
+use crate::set_assoc::LineLife;
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss/fill counters for one cache or TLB structure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StructStats {
+    /// Total lookups.
+    pub lookups: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Allocations performed.
+    pub fills: u64,
+    /// Fills suppressed by a bypass prediction.
+    pub bypasses: u64,
+    /// Valid entries displaced by replacement.
+    pub evictions: u64,
+    /// Misses served by the policy's shadow/victim buffer (LLT only).
+    pub shadow_hits: u64,
+    /// Entries removed by back-invalidation (inclusion enforcement).
+    pub invalidations: u64,
+}
+
+impl StructStats {
+    /// Hit rate in `[0, 1]`; zero when there were no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Misses per kilo-instruction.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+/// Eviction-time classification of entries (paper Figs. 2/4): dead-on-
+/// arrival, mostly dead (dead time > live time but at least one hit), or
+/// live.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvictionClasses {
+    /// Total classified evictions.
+    pub total: u64,
+    /// Entries evicted with zero hits.
+    pub doa: u64,
+    /// Entries with ≥1 hit whose dead time exceeded their live time.
+    pub mostly_dead: u64,
+    /// Entries whose live time dominated.
+    pub live: u64,
+}
+
+impl EvictionClasses {
+    /// Classifies an eviction. Time is measured in the owning structure's
+    /// lookup sequence numbers; *live* is fill → last hit, *dead* is last
+    /// hit → eviction, matching Section IV-A of the paper.
+    pub fn record(&mut self, life: LineLife, evict_seq: u64) {
+        self.total += 1;
+        if life.hits == 0 {
+            self.doa += 1;
+        } else {
+            let live = life.last_hit_seq.saturating_sub(life.fill_seq);
+            let dead = evict_seq.saturating_sub(life.last_hit_seq);
+            if dead > live {
+                self.mostly_dead += 1;
+            } else {
+                self.live += 1;
+            }
+        }
+    }
+
+    /// Fraction of evictions that were DOA.
+    pub fn doa_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.doa as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of evictions that were dead (DOA or mostly dead) — the
+    /// total bar height in Figs. 2/4.
+    pub fn dead_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.doa + self.mostly_dead) as f64 / self.total as f64
+        }
+    }
+}
+
+/// Sampled resident deadness (paper Figs. 1/3): at each sampling instant,
+/// what fraction of currently resident entries will receive no further hit
+/// before eviction (*dead*), and what fraction will end their stay with
+/// zero hits (*DOA*)?
+///
+/// Future knowledge is resolved lazily: sampling instants are recorded as
+/// structure-local sequence numbers, and each entry contributes to the
+/// sample accounting when its stay ends (eviction or end-of-simulation
+/// flush), when its full hit history is known.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeadnessSampler {
+    sample_seqs: Vec<u64>,
+    present: u64,
+    dead: u64,
+    doa: u64,
+}
+
+impl DeadnessSampler {
+    /// Creates an empty sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a sampling instant at structure-local sequence `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not monotonically non-decreasing.
+    pub fn take_sample(&mut self, seq: u64) {
+        if let Some(&last) = self.sample_seqs.last() {
+            assert!(seq >= last, "sample sequence numbers must be monotonic");
+        }
+        self.sample_seqs.push(seq);
+    }
+
+    /// Accounts a finished stay: the entry was resident for sequence
+    /// numbers `[life.fill_seq, end_seq)`.
+    pub fn record_stay(&mut self, life: LineLife, end_seq: u64) {
+        let n_present = self.count_in(life.fill_seq, end_seq);
+        self.present += n_present;
+        if life.hits == 0 {
+            self.dead += n_present;
+            self.doa += n_present;
+        } else {
+            // Dead exactly for samples strictly after the last hit.
+            self.dead += self.count_in(life.last_hit_seq + 1, end_seq);
+        }
+    }
+
+    fn count_in(&self, lo: u64, hi: u64) -> u64 {
+        if lo >= hi {
+            return 0;
+        }
+        let start = self.sample_seqs.partition_point(|&s| s < lo);
+        let end = self.sample_seqs.partition_point(|&s| s < hi);
+        (end - start) as u64
+    }
+
+    /// Aggregated results.
+    pub fn stats(&self) -> DeadnessStats {
+        DeadnessStats {
+            samples: self.sample_seqs.len() as u64,
+            present: self.present,
+            dead: self.dead,
+            doa: self.doa,
+        }
+    }
+}
+
+/// Aggregated output of a [`DeadnessSampler`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeadnessStats {
+    /// Number of sampling instants.
+    pub samples: u64,
+    /// Σ over samples of resident entries.
+    pub present: u64,
+    /// Σ over samples of resident entries with no future hit.
+    pub dead: u64,
+    /// Σ over samples of resident entries that end their stay with 0 hits.
+    pub doa: u64,
+}
+
+impl DeadnessStats {
+    /// Average fraction of resident entries that are dead (Fig. 1/3 total
+    /// bar height).
+    pub fn dead_fraction(&self) -> f64 {
+        if self.present == 0 {
+            0.0
+        } else {
+            self.dead as f64 / self.present as f64
+        }
+    }
+
+    /// Average fraction of resident entries that are DOA (Fig. 1/3 lower
+    /// stack).
+    pub fn doa_fraction(&self) -> f64 {
+        if self.present == 0 {
+            0.0
+        } else {
+            self.doa as f64 / self.present as f64
+        }
+    }
+}
+
+/// Full output of one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Retired instructions (memory + compute).
+    pub instructions: u64,
+    /// Retired memory operations.
+    pub mem_ops: u64,
+    /// Total cycles from the core timing model.
+    pub cycles: u64,
+
+    /// L1 instruction TLB counters.
+    pub l1i_tlb: StructStats,
+    /// L1 data TLB counters.
+    pub l1d_tlb: StructStats,
+    /// L2 (last-level) TLB counters.
+    pub llt: StructStats,
+    /// L1 data cache counters.
+    pub l1d: StructStats,
+    /// L2 cache counters.
+    pub l2: StructStats,
+    /// L3 / last-level cache counters.
+    pub llc: StructStats,
+
+    /// Completed page walks.
+    pub walks: u64,
+    /// PTE loads issued by the walker into the data caches.
+    pub walk_pte_loads: u64,
+    /// Page-walk cache hits per level (L1/L2/L3 PWC).
+    pub pwc_hits: [u64; 3],
+    /// Cycles spent in page walks (sum; walks overlap in the ROB model).
+    pub walk_cycles: u64,
+
+    /// Eviction-time classification of LLT entries (Fig. 2).
+    pub llt_evictions: EvictionClasses,
+    /// Eviction-time classification of LLC blocks (Fig. 4).
+    pub llc_evictions: EvictionClasses,
+    /// Sampled LLT deadness (Fig. 1).
+    pub llt_deadness: DeadnessStats,
+    /// Sampled LLC deadness (Fig. 3).
+    pub llc_deadness: DeadnessStats,
+
+    /// DOA-evicted LLC blocks whose page's most recent LLT stay was DOA
+    /// (numerator of Table III).
+    pub doa_blocks_on_doa_pages: u64,
+    /// All DOA-evicted LLC blocks with a known page stay (denominator of
+    /// Table III).
+    pub doa_blocks_classified: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// LLT misses per kilo-instruction.
+    pub fn llt_mpki(&self) -> f64 {
+        self.llt.mpki(self.instructions)
+    }
+
+    /// LLC misses per kilo-instruction.
+    pub fn llc_mpki(&self) -> f64 {
+        self.llc.mpki(self.instructions)
+    }
+
+    /// Fraction of DOA LLC blocks that fell on DOA pages (Table III).
+    pub fn doa_block_page_correlation(&self) -> f64 {
+        if self.doa_blocks_classified == 0 {
+            0.0
+        } else {
+            self.doa_blocks_on_doa_pages as f64 / self.doa_blocks_classified as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn life(fill: u64, last_hit: u64, hits: u64) -> LineLife {
+        LineLife { fill_seq: fill, last_hit_seq: last_hit, hits }
+    }
+
+    #[test]
+    fn struct_stats_rates() {
+        let s = StructStats { lookups: 10, hits: 7, misses: 3, ..Default::default() };
+        assert!((s.hit_rate() - 0.7).abs() < 1e-12);
+        assert!((s.mpki(1000) - 3.0).abs() < 1e-12);
+        assert_eq!(StructStats::default().hit_rate(), 0.0);
+        assert_eq!(StructStats::default().mpki(0), 0.0);
+    }
+
+    #[test]
+    fn eviction_classification() {
+        let mut c = EvictionClasses::default();
+        c.record(life(0, 0, 0), 100); // DOA
+        c.record(life(0, 10, 1), 100); // live 10, dead 90 -> mostly dead
+        c.record(life(0, 90, 5), 100); // live 90, dead 10 -> live
+        assert_eq!((c.doa, c.mostly_dead, c.live), (1, 1, 1));
+        assert!((c.doa_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.dead_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_equals_live_counts_as_live() {
+        let mut c = EvictionClasses::default();
+        c.record(life(0, 50, 1), 100); // dead 50 == live 50
+        assert_eq!(c.live, 1);
+    }
+
+    #[test]
+    fn sampler_counts_doa_stays() {
+        let mut s = DeadnessSampler::new();
+        s.take_sample(10);
+        s.take_sample(20);
+        s.take_sample(30);
+        // Stay [5, 25) with zero hits: samples 10 and 20 present, both DOA.
+        s.record_stay(life(5, 5, 0), 25);
+        let d = s.stats();
+        assert_eq!(d.present, 2);
+        assert_eq!(d.dead, 2);
+        assert_eq!(d.doa, 2);
+    }
+
+    #[test]
+    fn sampler_counts_partially_dead_stays() {
+        let mut s = DeadnessSampler::new();
+        for seq in [10, 20, 30, 40] {
+            s.take_sample(seq);
+        }
+        // Stay [5, 45), last hit at 25, one hit: samples 10..40 present,
+        // dead only at 30 and 40 (after the last hit).
+        s.record_stay(life(5, 25, 1), 45);
+        let d = s.stats();
+        assert_eq!(d.present, 4);
+        assert_eq!(d.dead, 2);
+        assert_eq!(d.doa, 0);
+        assert!((d.dead_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_exactly_at_last_hit_is_live() {
+        let mut s = DeadnessSampler::new();
+        s.take_sample(25);
+        s.record_stay(life(5, 25, 1), 45);
+        assert_eq!(s.stats().dead, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn samples_must_be_monotonic() {
+        let mut s = DeadnessSampler::new();
+        s.take_sample(10);
+        s.take_sample(5);
+    }
+
+    #[test]
+    fn empty_stay_counts_nothing() {
+        let mut s = DeadnessSampler::new();
+        s.take_sample(10);
+        s.record_stay(life(20, 20, 0), 15); // lo >= hi
+        assert_eq!(s.stats().present, 0);
+    }
+
+    #[test]
+    fn sim_stats_derived_metrics() {
+        let stats = SimStats {
+            instructions: 2000,
+            cycles: 1000,
+            llt: StructStats { misses: 10, ..Default::default() },
+            llc: StructStats { misses: 4, ..Default::default() },
+            doa_blocks_on_doa_pages: 3,
+            doa_blocks_classified: 4,
+            ..Default::default()
+        };
+        assert!((stats.ipc() - 2.0).abs() < 1e-12);
+        assert!((stats.llt_mpki() - 5.0).abs() < 1e-12);
+        assert!((stats.llc_mpki() - 2.0).abs() < 1e-12);
+        assert!((stats.doa_block_page_correlation() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,598 @@
+//! The full simulated system: core + TLBs + page walks + caches, with the
+//! dead-page and dead-block policy attachment points.
+
+use crate::core_model::CoreModel;
+use crate::hierarchy::Hierarchy;
+use crate::mshr::Mshr;
+use crate::page_table::PageTable;
+use crate::policy::{
+    EvictedPage, LlcPolicy, LltPolicy, NullBlockPolicy, NullPagePolicy, PageFillDecision,
+};
+use crate::set_assoc::InsertPriority;
+use crate::stats::{DeadnessSampler, EvictionClasses, SimStats};
+use crate::tlb::Tlb;
+use crate::walker::Walker;
+use dpc_types::{
+    AccessKind, ConfigError, Event, Pc, Pfn, PhysAddr, SystemConfig, TlbFillPolicy, VirtAddr, Vpn,
+    Workload,
+};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Default outstanding-miss capacity of the LLT MSHR.
+const MSHR_CAPACITY: usize = 16;
+/// Default instructions between deadness samples.
+const DEFAULT_SAMPLE_INTERVAL: u64 = 50_000;
+
+/// Errors from [`System`] construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemError {
+    /// The machine configuration is structurally invalid.
+    InvalidConfig(ConfigError),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::InvalidConfig(e) => write!(f, "invalid system configuration: {e}"),
+        }
+    }
+}
+
+impl Error for SystemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SystemError::InvalidConfig(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for SystemError {
+    fn from(e: ConfigError) -> Self {
+        SystemError::InvalidConfig(e)
+    }
+}
+
+/// Which L1 TLB a translation request came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Side {
+    Instruction,
+    Data,
+}
+
+/// The simulated machine.
+///
+/// Construct with [`System::new`] (baseline policies) or
+/// [`System::with_policies`] (predictors under test), feed it a
+/// [`Workload`] via [`System::run`], and read the [`SimStats`].
+#[derive(Debug)]
+pub struct System {
+    config: SystemConfig,
+    core: CoreModel,
+    l1i_tlb: Tlb,
+    l1d_tlb: Tlb,
+    llt: Tlb,
+    llt_policy: Box<dyn LltPolicy>,
+    hier: Hierarchy,
+    page_table: PageTable,
+    walker: Walker,
+    mshr: Mshr,
+
+    llt_evictions: EvictionClasses,
+    llt_sampler: DeadnessSampler,
+    /// DOA-ness of each page's most recent completed LLT stay (Table III).
+    page_stay_doa: HashMap<Vpn, bool>,
+    /// Reverse translation map for classifying evicted LLC blocks.
+    pfn_to_vpn: HashMap<Pfn, Vpn>,
+    doa_blocks_on_doa_pages: u64,
+    doa_blocks_classified: u64,
+
+    sample_interval: u64,
+    next_sample_at: u64,
+    cur_code_vpn: Option<Vpn>,
+    mem_ops: u64,
+}
+
+impl System {
+    /// Builds a baseline system (no predictors) from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::InvalidConfig`] if the configuration fails
+    /// [`SystemConfig::validate`].
+    pub fn new(config: SystemConfig) -> Result<Self, SystemError> {
+        Self::with_policies(config, Box::new(NullPagePolicy), Box::new(NullBlockPolicy))
+    }
+
+    /// Builds a system with the given LLT and LLC content-management
+    /// policies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::InvalidConfig`] if the configuration fails
+    /// [`SystemConfig::validate`].
+    pub fn with_policies(
+        config: SystemConfig,
+        llt_policy: Box<dyn LltPolicy>,
+        llc_policy: Box<dyn LlcPolicy>,
+    ) -> Result<Self, SystemError> {
+        config.validate()?;
+        Ok(System {
+            core: CoreModel::new(config.core.width, config.core.rob_size, config.core.mem_slots),
+            l1i_tlb: Tlb::new(&config.l1_itlb),
+            l1d_tlb: Tlb::new(&config.l1_dtlb),
+            llt: Tlb::new(&config.l2_tlb),
+            llt_policy,
+            hier: Hierarchy::new(&config, llc_policy),
+            page_table: PageTable::new(),
+            walker: Walker::new(&config.pwc),
+            mshr: Mshr::new(MSHR_CAPACITY),
+            llt_evictions: EvictionClasses::default(),
+            llt_sampler: DeadnessSampler::new(),
+            page_stay_doa: HashMap::new(),
+            pfn_to_vpn: HashMap::new(),
+            doa_blocks_on_doa_pages: 0,
+            doa_blocks_classified: 0,
+            sample_interval: DEFAULT_SAMPLE_INTERVAL,
+            next_sample_at: DEFAULT_SAMPLE_INTERVAL,
+            cur_code_vpn: None,
+            mem_ops: 0,
+            config,
+        })
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The attached LLT policy (e.g. to read its accuracy report).
+    pub fn llt_policy(&self) -> &dyn LltPolicy {
+        self.llt_policy.as_ref()
+    }
+
+    /// The attached LLC policy (e.g. to read its accuracy report).
+    pub fn llc_policy(&self) -> &dyn LlcPolicy {
+        self.hier.policy()
+    }
+
+    /// Sets the deadness sampling interval in instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn set_sample_interval(&mut self, interval: u64) {
+        assert!(interval > 0, "sample interval must be nonzero");
+        self.sample_interval = interval;
+        self.next_sample_at = self.core.instructions() + interval;
+    }
+
+    /// Runs the workload to completion and returns the statistics.
+    pub fn run(&mut self, workload: &mut dyn Workload) -> SimStats {
+        while let Some(event) = workload.next_event() {
+            self.step(event);
+        }
+        self.stats()
+    }
+
+    /// Runs until the workload ends or `max_mem_ops` memory operations
+    /// have been simulated, then returns the statistics.
+    pub fn run_until(&mut self, workload: &mut dyn Workload, max_mem_ops: u64) -> SimStats {
+        let stop_at = self.mem_ops + max_mem_ops;
+        while self.mem_ops < stop_at {
+            match workload.next_event() {
+                Some(event) => self.step(event),
+                None => break,
+            }
+        }
+        self.stats()
+    }
+
+    /// Zeroes all statistics while keeping the machine state (cache/TLB/
+    /// predictor contents) warm. Use after a warm-up phase.
+    pub fn reset_stats(&mut self) {
+        self.core = CoreModel::new(self.config.core.width, self.config.core.rob_size, self.config.core.mem_slots);
+        self.l1i_tlb.stats = Default::default();
+        self.l1d_tlb.stats = Default::default();
+        self.llt.stats = Default::default();
+        self.hier.l1d.stats = Default::default();
+        self.hier.l2.stats = Default::default();
+        self.hier.llc.stats = Default::default();
+        self.hier.llc_evictions = Default::default();
+        self.hier.llc_sampler = DeadnessSampler::new();
+        self.hier.llc_demand_misses = 0;
+        self.hier.llc_walker_misses = 0;
+        self.walker = Walker::new(&self.config.pwc);
+        self.llt_evictions = Default::default();
+        self.llt_sampler = DeadnessSampler::new();
+        self.doa_blocks_on_doa_pages = 0;
+        self.doa_blocks_classified = 0;
+        self.mem_ops = 0;
+        self.next_sample_at = self.sample_interval;
+    }
+
+    /// Processes one event.
+    pub fn step(&mut self, event: Event) {
+        match event {
+            Event::Compute { ops } => self.core.issue_compute(u64::from(ops)),
+            Event::Mem { pc, vaddr, kind, dependent } => {
+                self.mem_access(pc, vaddr, kind, dependent)
+            }
+        }
+        if self.core.instructions() >= self.next_sample_at {
+            self.llt_sampler.take_sample(self.llt.array().seq());
+            self.hier.sample_llc();
+            self.next_sample_at += self.sample_interval;
+        }
+    }
+
+    fn mem_access(&mut self, pc: Pc, vaddr: VirtAddr, kind: AccessKind, dependent: bool) {
+        self.mem_ops += 1;
+        let mut latency = 0u64;
+        // Instruction-side translation when execution enters a new code
+        // page (fetch within a page reuses the current translation).
+        let code_vpn = VirtAddr::new(pc.raw()).vpn();
+        if self.cur_code_vpn != Some(code_vpn) {
+            self.cur_code_vpn = Some(code_vpn);
+            let (_, ilat) = self.translate(pc, code_vpn, Side::Instruction);
+            latency += ilat;
+        }
+        let (pfn, tlat) = self.translate(pc, vaddr.vpn(), Side::Data);
+        latency += tlat;
+        let pa = PhysAddr::new(pfn.base().raw() | vaddr.page_offset());
+        latency += self.hier.access(pa, kind, pc, true);
+        self.core.issue_mem(latency, dependent);
+        self.drain_doa_evictions();
+    }
+
+    /// Translates `vpn`, going L1 TLB → LLT (+ shadow) → page walk.
+    fn translate(&mut self, pc: Pc, vpn: Vpn, side: Side) -> (Pfn, u64) {
+        let l1 = match side {
+            Side::Instruction => &mut self.l1i_tlb,
+            Side::Data => &mut self.l1d_tlb,
+        };
+        let mut latency = u64::from(l1.latency);
+        if let Some(pfn) = l1.lookup(vpn) {
+            return (pfn, latency);
+        }
+        latency += u64::from(self.llt.latency);
+
+        // --- LLT lookup with policy hooks ---
+        let hit_way = self.llt.lookup_way(vpn);
+        self.llt_policy.on_lookup(vpn, hit_way.is_some());
+        let policy = self.llt_policy.as_mut();
+        self.llt
+            .array_mut()
+            .with_set_views(vpn.raw(), hit_way, |views| policy.on_set_access(views));
+        if let Some(way) = hit_way {
+            let line = self.llt.array_mut().line_mut(vpn.raw(), way);
+            let pfn = Pfn::new(line.payload.pfn);
+            self.llt_policy.on_hit(vpn, &mut line.payload.state);
+            self.fill_l1(side, vpn, pfn, pc);
+            return (pfn, latency);
+        }
+
+        // --- LLT miss: shadow/victim-buffer probe ---
+        if let Some(pfn) = self.llt_policy.shadow_lookup(vpn) {
+            self.llt.stats.shadow_hits += 1;
+            // Paper Fig. 6a: re-allocate the mispredicted entry in the LLT.
+            let state = self.llt_policy.refill_state(vpn, pc);
+            self.fill_llt(vpn, pfn, InsertPriority::Normal, state);
+            self.fill_l1(side, vpn, pfn, pc);
+            return (pfn, latency);
+        }
+
+        // --- True miss: page walk ---
+        self.mshr.allocate(vpn, pc);
+        let outcome = self.walker.walk(vpn, &mut self.page_table, &mut self.hier);
+        latency += outcome.latency;
+        self.pfn_to_vpn.insert(outcome.pfn, vpn);
+        let fill_pc = self.mshr.complete(vpn);
+        if self.config.tlb_fill == TlbFillPolicy::Both {
+            self.llt_insert(vpn, outcome.pfn, fill_pc);
+        }
+        // Under L1ThenVictim, the LLT is filled when the L1 evicts the
+        // entry (see `fill_l1`).
+        self.fill_l1(side, vpn, outcome.pfn, fill_pc);
+        (outcome.pfn, latency)
+    }
+
+    /// Runs the LLT fill-decision flow (policy consultation, bypass
+    /// bookkeeping, dpPred → PFQ message).
+    fn llt_insert(&mut self, vpn: Vpn, pfn: Pfn, pc: Pc) {
+        match self.llt_policy.on_fill(vpn, pfn, pc) {
+            PageFillDecision::Allocate { priority, state } => {
+                self.fill_llt(vpn, pfn, priority, state);
+            }
+            PageFillDecision::Bypass => {
+                self.llt.stats.bypasses += 1;
+                self.llt_policy.on_bypass(vpn, pfn);
+                // A bypassed page had no LLT stay; for the block↔page
+                // correlation it counts as a (predicted) dead page.
+                self.page_stay_doa.insert(vpn, true);
+                // dpPred → PFQ message (paper Fig. 7).
+                self.hier.policy_mut().note_doa_page(pfn);
+            }
+        }
+    }
+
+    fn fill_l1(&mut self, side: Side, vpn: Vpn, pfn: Pfn, pc: Pc) {
+        // Under the victim-TLB organization the L1 entry remembers the PC
+        // that brought it, so the LLT policy can be consulted when the
+        // entry trickles down at L1-eviction time.
+        let state = match self.config.tlb_fill {
+            TlbFillPolicy::Both => 0,
+            TlbFillPolicy::L1ThenVictim => pc.raw() as u32,
+        };
+        let l1 = match side {
+            Side::Instruction => &mut self.l1i_tlb,
+            Side::Data => &mut self.l1d_tlb,
+        };
+        let evicted = l1.fill(vpn, pfn, InsertPriority::Normal, state);
+        if self.config.tlb_fill == TlbFillPolicy::L1ThenVictim {
+            if let Some((evicted_vpn, entry, _)) = evicted {
+                if !self.llt.contains(evicted_vpn) {
+                    self.llt_insert(
+                        evicted_vpn,
+                        Pfn::new(entry.pfn),
+                        Pc::new(u64::from(entry.state)),
+                    );
+                }
+            }
+        }
+    }
+
+    fn fill_llt(&mut self, vpn: Vpn, pfn: Pfn, priority: InsertPriority, state: u32) {
+        let evicted = if self.llt.array().set_full(vpn.raw()) {
+            let policy = self.llt_policy.as_mut();
+            let choice = self
+                .llt
+                .array_mut()
+                .with_set_views(vpn.raw(), None, |views| policy.pick_victim(views));
+            match choice {
+                Some(way) => self.llt.fill_way(vpn, way, pfn, priority, state),
+                None => self.llt.fill(vpn, pfn, priority, state),
+            }
+        } else {
+            self.llt.fill(vpn, pfn, priority, state)
+        };
+        if let Some((evicted_vpn, entry, life)) = evicted {
+            let end_seq = self.llt.array().seq();
+            self.llt_evictions.record(life, end_seq);
+            self.llt_sampler.record_stay(life, end_seq);
+            self.page_stay_doa.insert(evicted_vpn, life.hits == 0);
+            self.llt_policy.on_evict(EvictedPage {
+                vpn: evicted_vpn,
+                pfn: Pfn::new(entry.pfn),
+                state: entry.state,
+                life,
+            });
+        }
+    }
+
+    /// Classifies DOA LLC evictions against dead-page state (Table III).
+    fn drain_doa_evictions(&mut self) {
+        if self.hier.pending_doa_evictions.is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.hier.pending_doa_evictions);
+        for pfn in pending.drain(..) {
+            let Some(&vpn) = self.pfn_to_vpn.get(&pfn) else {
+                continue; // page-table frame or unmapped: unclassifiable
+            };
+            let page_doa = match self.llt.resident_hits(vpn) {
+                Some(hits) => hits == 0,
+                None => match self.page_stay_doa.get(&vpn) {
+                    Some(&doa) => doa,
+                    None => continue,
+                },
+            };
+            self.doa_blocks_classified += 1;
+            if page_doa {
+                self.doa_blocks_on_doa_pages += 1;
+            }
+        }
+        self.hier.pending_doa_evictions = pending;
+    }
+
+    /// Assembles the current statistics. Non-destructive: resident entries
+    /// are flushed into *clones* of the deadness samplers, so this may be
+    /// called repeatedly.
+    pub fn stats(&self) -> SimStats {
+        let mut llt_sampler = self.llt_sampler.clone();
+        let llt_end = self.llt.array().seq();
+        for line in self.llt.array().iter_valid() {
+            llt_sampler.record_stay(line.life(), llt_end);
+        }
+        let mut llc_sampler = self.hier.llc_sampler.clone();
+        let llc_end = self.hier.llc.array().seq();
+        for line in self.hier.llc.array().iter_valid() {
+            llc_sampler.record_stay(line.life(), llc_end);
+        }
+        SimStats {
+            instructions: self.core.instructions(),
+            mem_ops: self.mem_ops,
+            cycles: self.core.cycles(),
+            l1i_tlb: self.l1i_tlb.stats,
+            l1d_tlb: self.l1d_tlb.stats,
+            llt: self.llt.stats,
+            l1d: self.hier.l1d.stats,
+            l2: self.hier.l2.stats,
+            llc: self.hier.llc.stats,
+            walks: self.walker.walks,
+            walk_pte_loads: self.walker.pte_loads,
+            pwc_hits: self.walker.pwc_hits(),
+            walk_cycles: self.walker.walk_cycles,
+            llt_evictions: self.llt_evictions,
+            llc_evictions: self.hier.llc_evictions,
+            llt_deadness: llt_sampler.stats(),
+            llc_deadness: llc_sampler.stats(),
+            doa_blocks_on_doa_pages: self.doa_blocks_on_doa_pages,
+            doa_blocks_classified: self.doa_blocks_classified,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Strided single-pass reader: every page touched `touches_per_page`
+    /// times, never revisited.
+    struct Streamer {
+        next: u64,
+        remaining: u64,
+        stride: u64,
+    }
+
+    impl Workload for Streamer {
+        fn name(&self) -> &str {
+            "streamer"
+        }
+        fn next_event(&mut self) -> Option<Event> {
+            if self.remaining == 0 {
+                return None;
+            }
+            self.remaining -= 1;
+            let va = VirtAddr::new(0x1000_0000 + self.next);
+            self.next += self.stride;
+            Some(Event::load(Pc::new(0x40_0000), va))
+        }
+    }
+
+    fn system() -> System {
+        System::new(SystemConfig::paper_baseline()).expect("baseline config is valid")
+    }
+
+    #[test]
+    fn conservation_laws() {
+        let mut sys = system();
+        let stats = sys.run(&mut Streamer { next: 0, remaining: 20_000, stride: 64 });
+        assert_eq!(stats.mem_ops, 20_000);
+        for s in [&stats.l1d_tlb, &stats.llt, &stats.l1d, &stats.l2, &stats.llc] {
+            assert_eq!(s.hits + s.misses, s.lookups, "hits + misses must equal lookups");
+        }
+        assert!(stats.cycles > 0);
+        assert!(stats.instructions >= stats.mem_ops);
+    }
+
+    #[test]
+    fn page_locality_hits_l1_tlb() {
+        let mut sys = system();
+        // 64 accesses per 4 KiB page at stride 64: one TLB miss per page.
+        let stats = sys.run(&mut Streamer { next: 0, remaining: 6400, stride: 64 });
+        assert_eq!(stats.l1d_tlb.misses, 100, "one L1 TLB miss per fresh page");
+        assert_eq!(stats.walks, 100 + stats.l1i_tlb.misses, "every LLT miss walks");
+    }
+
+    #[test]
+    fn streaming_pages_are_doa_in_llt() {
+        let mut sys = system();
+        sys.set_sample_interval(1000);
+        // Page-stride stream: each page touched once -> all LLT entries DOA.
+        let stats = sys.run(&mut Streamer { next: 0, remaining: 20_000, stride: 4096 });
+        assert!(stats.llt_evictions.total > 0);
+        assert!(
+            stats.llt_evictions.doa_fraction() > 0.95,
+            "single-touch pages must be DOA (got {})",
+            stats.llt_evictions.doa_fraction()
+        );
+        let deadness = stats.llt_deadness;
+        assert!(deadness.doa_fraction() > 0.9, "resident entries are DOA-resident");
+    }
+
+    #[test]
+    fn repeated_small_working_set_is_live() {
+        struct Loop {
+            i: u64,
+            remaining: u64,
+        }
+        impl Workload for Loop {
+            fn name(&self) -> &str {
+                "loop"
+            }
+            fn next_event(&mut self) -> Option<Event> {
+                if self.remaining == 0 {
+                    return None;
+                }
+                self.remaining -= 1;
+                let va = VirtAddr::new(0x2000_0000 + (self.i % 16) * 4096);
+                self.i += 1;
+                Some(Event::load(Pc::new(0x40_0000), va))
+            }
+        }
+        let mut sys = system();
+        let stats = sys.run(&mut Loop { i: 0, remaining: 10_000 });
+        // 16 data pages plus the code page: cold misses only, then hits.
+        assert_eq!(stats.llt.misses, 16 + stats.l1i_tlb.misses);
+        assert_eq!(stats.walks, stats.llt.misses);
+        // Page-stride accesses miss L1/L2 and hit the LLC; throughput is
+        // bounded by the 10 line-fill buffers over the ~56-cycle LLC hit.
+        assert!(stats.ipc() > 0.15, "ipc = {}", stats.ipc());
+    }
+
+    #[test]
+    fn stats_are_idempotent() {
+        let mut sys = system();
+        sys.run(&mut Streamer { next: 0, remaining: 5000, stride: 4096 });
+        let a = sys.stats();
+        let b = sys.stats();
+        assert_eq!(a.llt_deadness, b.llt_deadness);
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn run_until_bounds_mem_ops() {
+        let mut sys = system();
+        let stats = sys.run_until(&mut Streamer { next: 0, remaining: 1_000_000, stride: 64 }, 1000);
+        assert_eq!(stats.mem_ops, 1000);
+    }
+
+    #[test]
+    fn reset_stats_keeps_state_warm() {
+        let mut sys = system();
+        sys.run(&mut Streamer { next: 0, remaining: 6400, stride: 64 });
+        sys.reset_stats();
+        // Re-run over the same pages: everything already mapped; the
+        // 400 KiB working set is LLC-resident, so the LLC now hits.
+        let stats = sys.run(&mut Streamer { next: 0, remaining: 6400, stride: 64 });
+        assert_eq!(stats.mem_ops, 6400);
+        assert_eq!(stats.llt.misses + stats.llt.hits, stats.llt.lookups);
+        assert!(stats.llc.hits > 0);
+    }
+
+    #[test]
+    fn victim_fill_policy_populates_llt_on_l1_eviction() {
+        let config = SystemConfig::paper_baseline().with_tlb_fill(TlbFillPolicy::L1ThenVictim);
+        let mut sys = System::new(config).unwrap();
+        // Touch 100 fresh pages: more than the 64-entry L1 D-TLB, so
+        // evictions trickle translations into the LLT.
+        let stats = sys.run(&mut Streamer { next: 0, remaining: 6400, stride: 64 });
+        assert!(stats.llt.fills > 0, "L1 evictions must fill the LLT");
+        // Re-walk count stays one per page: L1 miss → LLT (victim) hit.
+        assert_eq!(stats.walks, stats.llt.misses - stats.llt.shadow_hits);
+    }
+
+    #[test]
+    fn fill_policies_perform_similarly() {
+        // Paper Section III: "we did not find any significant performance
+        // difference between these two alternative designs."
+        let mut both = System::new(SystemConfig::paper_baseline()).unwrap();
+        let a = both.run(&mut Streamer { next: 0, remaining: 30_000, stride: 4096 });
+        let config = SystemConfig::paper_baseline().with_tlb_fill(TlbFillPolicy::L1ThenVictim);
+        let mut victim = System::new(config).unwrap();
+        let b = victim.run(&mut Streamer { next: 0, remaining: 30_000, stride: 4096 });
+        let ratio = a.ipc() / b.ipc();
+        assert!((0.9..1.1).contains(&ratio), "IPC ratio {ratio} too far from 1");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut config = SystemConfig::paper_baseline();
+        config.l2_tlb.ways = 0;
+        let err = System::new(config).unwrap_err();
+        assert!(matches!(err, SystemError::InvalidConfig(_)));
+        assert!(err.to_string().contains("l2_tlb"));
+    }
+}

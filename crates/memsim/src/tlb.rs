@@ -1,0 +1,186 @@
+//! Translation lookaside buffers.
+//!
+//! [`Tlb`] models one TLB level as a set-associative array of
+//! VPN → PFN translations with 32 bits of per-entry policy scratch state
+//! (dpPred keeps its 6-bit PC hash there; the `Accessed` bit is derived
+//! from the entry's hit count). The last-level-TLB policy logic itself
+//! lives in [`System`](crate::system::System).
+
+use crate::set_assoc::{Evicted, HasPolicyState, InsertPriority, LineLife, SetAssoc};
+use crate::stats::StructStats;
+use dpc_types::{Pfn, TlbConfig, Vpn};
+
+/// Per-entry TLB metadata.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// The translation target.
+    pub pfn: u64,
+    /// Policy scratch state.
+    pub state: u32,
+}
+
+impl HasPolicyState for TlbEntry {
+    fn policy_state_mut(&mut self) -> &mut u32 {
+        &mut self.state
+    }
+}
+
+/// One TLB level.
+#[derive(Debug)]
+pub struct Tlb {
+    array: SetAssoc<TlbEntry>,
+    /// Hit latency in cycles.
+    pub latency: u32,
+    /// Counters for this level.
+    pub stats: StructStats,
+}
+
+impl Tlb {
+    /// Builds a TLB from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero geometry; validate the [`TlbConfig`] first.
+    pub fn new(config: &TlbConfig) -> Self {
+        Tlb {
+            array: SetAssoc::new(
+                config.sets() as usize,
+                config.ways as usize,
+                config.replacement,
+            ),
+            latency: config.latency,
+            stats: StructStats::default(),
+        }
+    }
+
+    /// Looks up `vpn`, updating recency and counters.
+    pub fn lookup(&mut self, vpn: Vpn) -> Option<Pfn> {
+        self.stats.lookups += 1;
+        match self.array.lookup(vpn.raw(), vpn.raw()) {
+            Some(way) => {
+                self.stats.hits += 1;
+                Some(Pfn::new(self.array.line(vpn.raw(), way).payload.pfn))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up `vpn` returning the hit way (for policy hooks).
+    pub fn lookup_way(&mut self, vpn: Vpn) -> Option<usize> {
+        self.stats.lookups += 1;
+        let way = self.array.lookup(vpn.raw(), vpn.raw());
+        if way.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        way
+    }
+
+    /// Probes without side effects.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        self.array.peek(vpn.raw(), vpn.raw()).is_some()
+    }
+
+    /// Hit count of a resident entry (the paper's `Accessed` bit is
+    /// `hits > 0`), or `None` if absent. Side-effect free.
+    pub fn resident_hits(&self, vpn: Vpn) -> Option<u64> {
+        self.array.peek(vpn.raw(), vpn.raw()).map(|way| self.array.line(vpn.raw(), way).life().hits)
+    }
+
+    /// Allocates a translation, evicting via the base replacement policy.
+    pub fn fill(
+        &mut self,
+        vpn: Vpn,
+        pfn: Pfn,
+        priority: InsertPriority,
+        state: u32,
+    ) -> Option<(Vpn, TlbEntry, LineLife)> {
+        self.stats.fills += 1;
+        self.array
+            .fill(vpn.raw(), vpn.raw(), TlbEntry { pfn: pfn.raw(), state }, priority)
+            .map(evicted_parts)
+            .inspect(|_| self.stats.evictions += 1)
+    }
+
+    /// Allocates a translation into a specific way (policy-chosen victim).
+    pub fn fill_way(
+        &mut self,
+        vpn: Vpn,
+        way: usize,
+        pfn: Pfn,
+        priority: InsertPriority,
+        state: u32,
+    ) -> Option<(Vpn, TlbEntry, LineLife)> {
+        self.stats.fills += 1;
+        self.array
+            .fill_way(vpn.raw(), way, vpn.raw(), TlbEntry { pfn: pfn.raw(), state }, priority)
+            .map(evicted_parts)
+            .inspect(|_| self.stats.evictions += 1)
+    }
+
+    /// Direct access to the underlying array (policy views, sampling).
+    pub fn array_mut(&mut self) -> &mut SetAssoc<TlbEntry> {
+        &mut self.array
+    }
+
+    /// Read-only access to the underlying array.
+    pub fn array(&self) -> &SetAssoc<TlbEntry> {
+        &self.array
+    }
+}
+
+fn evicted_parts(e: Evicted<TlbEntry>) -> (Vpn, TlbEntry, LineLife) {
+    (Vpn::new(e.tag), e.payload, e.life)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_types::{ReplacementKind, SystemConfig};
+
+    fn tiny() -> Tlb {
+        Tlb::new(&TlbConfig { entries: 2, ways: 2, latency: 8, replacement: ReplacementKind::Lru })
+    }
+
+    #[test]
+    fn translation_roundtrip() {
+        let mut t = tiny();
+        assert_eq!(t.lookup(Vpn::new(5)), None);
+        t.fill(Vpn::new(5), Pfn::new(50), InsertPriority::Normal, 0);
+        assert_eq!(t.lookup(Vpn::new(5)), Some(Pfn::new(50)));
+        assert_eq!(t.stats.hits, 1);
+        assert_eq!(t.stats.misses, 1);
+    }
+
+    #[test]
+    fn resident_hits_tracks_accessed_bit() {
+        let mut t = tiny();
+        t.fill(Vpn::new(5), Pfn::new(50), InsertPriority::Normal, 0);
+        assert_eq!(t.resident_hits(Vpn::new(5)), Some(0), "freshly filled entry is unaccessed");
+        t.lookup(Vpn::new(5));
+        assert_eq!(t.resident_hits(Vpn::new(5)), Some(1));
+        assert_eq!(t.resident_hits(Vpn::new(99)), None);
+    }
+
+    #[test]
+    fn eviction_reports_vpn_and_state() {
+        let mut t = tiny();
+        t.fill(Vpn::new(1), Pfn::new(10), InsertPriority::Normal, 0xAB);
+        t.fill(Vpn::new(3), Pfn::new(30), InsertPriority::Normal, 0);
+        let (vpn, entry, _) = t.fill(Vpn::new(5), Pfn::new(50), InsertPriority::Normal, 0).unwrap();
+        assert_eq!(vpn, Vpn::new(1));
+        assert_eq!(entry.state, 0xAB);
+        assert_eq!(entry.pfn, 10);
+    }
+
+    #[test]
+    fn paper_llt_geometry() {
+        let t = Tlb::new(&SystemConfig::paper_baseline().l2_tlb);
+        assert_eq!(t.array().sets(), 128);
+        assert_eq!(t.array().ways(), 8);
+    }
+}

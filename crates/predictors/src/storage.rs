@@ -1,0 +1,199 @@
+//! The storage-overhead model (paper Sections V-D and VI-D).
+//!
+//! Reproduces the paper's byte budgets analytically:
+//!
+//! * baseline LLT: 94-bit entries (29-bit VPN tag for 48-bit VAs, 39-bit
+//!   PFN for 51-bit PAs, 12-bit ASID, 4-bit MPK, 10 metadata bits) →
+//!   11.75 KB for 1024 entries;
+//! * dpPred: 7 bits/entry + 1024 × 3-bit pHIST + 2 × 13 B shadow →
+//!   **1306 B**;
+//! * cbPred: 2 bits/block + 4096 × 3-bit bHIST + 8 × 39-bit PFQ →
+//!   **≈ 9.54 KB**; combined ≈ **10.81 KB**;
+//! * SHiP (LLC): 14-bit signature + outcome bit per block + 16K × 3-bit
+//!   SHCT → **66 KB**;
+//! * AIP (LLC): 21 bits/block + 256 × 256 × 5-bit table → **124 KB**.
+
+use dpc_types::{CacheConfig, TlbConfig};
+
+/// Bits in a baseline TLB entry per the paper's analysis.
+pub const TLB_ENTRY_BITS: u64 = 94;
+/// Bytes per dpPred shadow-table entry (VPN + translation ≈ 13 B).
+pub const SHADOW_ENTRY_BYTES: u64 = 13;
+
+/// Storage budget of one predictor configuration, in bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageBudget {
+    /// Metadata added to the host structure's entries.
+    pub entry_metadata_bytes: u64,
+    /// Dedicated table storage (pHIST/bHIST/SHCT/AIP table).
+    pub table_bytes: u64,
+    /// Auxiliary structures (shadow table, PFQ).
+    pub aux_bytes: u64,
+}
+
+impl StorageBudget {
+    /// Total bytes.
+    pub const fn total(&self) -> u64 {
+        self.entry_metadata_bytes + self.table_bytes + self.aux_bytes
+    }
+
+    /// Total in KiB.
+    pub fn total_kib(&self) -> f64 {
+        self.total() as f64 / 1024.0
+    }
+}
+
+const fn bits_to_bytes(bits: u64) -> u64 {
+    bits / 8 + if !bits.is_multiple_of(8) { 1 } else { 0 }
+}
+
+/// Baseline storage of a TLB (no predictor), in bytes.
+pub fn tlb_baseline_bytes(tlb: &TlbConfig) -> u64 {
+    bits_to_bytes(u64::from(tlb.entries) * TLB_ENTRY_BITS)
+}
+
+/// dpPred's budget: `pc_bits + 1` metadata bits per LLT entry, the pHIST,
+/// and the shadow table.
+pub fn dppred_bytes(
+    tlb: &TlbConfig,
+    pc_bits: u32,
+    vpn_bits: u32,
+    counter_bits: u32,
+    shadow_entries: u64,
+) -> StorageBudget {
+    StorageBudget {
+        entry_metadata_bytes: bits_to_bytes(u64::from(tlb.entries) * u64::from(pc_bits + 1)),
+        table_bytes: bits_to_bytes((1u64 << (pc_bits + vpn_bits)) * u64::from(counter_bits)),
+        aux_bytes: shadow_entries * SHADOW_ENTRY_BYTES,
+    }
+}
+
+/// cbPred's budget: 2 bits per LLC block (DP + Accessed), the bHIST, and
+/// the PFQ of 39-bit PFNs.
+pub fn cbpred_bytes(
+    llc: &CacheConfig,
+    bhist_entries: u64,
+    counter_bits: u32,
+    pfq_entries: u64,
+) -> StorageBudget {
+    StorageBudget {
+        entry_metadata_bytes: bits_to_bytes(llc.blocks() * 2),
+        table_bytes: bits_to_bytes(bhist_entries * u64::from(counter_bits)),
+        aux_bytes: bits_to_bytes(pfq_entries * 39),
+    }
+}
+
+/// SHiP-LLC's budget: signature + outcome bit per block plus the SHCT.
+pub fn ship_llc_bytes(llc: &CacheConfig, sig_bits: u32, counter_bits: u32) -> StorageBudget {
+    StorageBudget {
+        entry_metadata_bytes: bits_to_bytes(llc.blocks() * u64::from(sig_bits + 1)),
+        table_bytes: bits_to_bytes((1u64 << sig_bits) * u64::from(counter_bits)),
+        aux_bytes: 0,
+    }
+}
+
+/// SHiP-TLB's budget: signature + outcome bit per LLT entry plus the SHCT.
+pub fn ship_tlb_bytes(tlb: &TlbConfig, sig_bits: u32, counter_bits: u32) -> StorageBudget {
+    StorageBudget {
+        entry_metadata_bytes: bits_to_bytes(u64::from(tlb.entries) * u64::from(sig_bits + 1)),
+        table_bytes: bits_to_bytes((1u64 << sig_bits) * u64::from(counter_bits)),
+        aux_bytes: 0,
+    }
+}
+
+/// AIP-LLC's budget: 21 bits per block plus the 256 × 256 × 5-bit table.
+pub fn aip_llc_bytes(llc: &CacheConfig) -> StorageBudget {
+    StorageBudget {
+        entry_metadata_bytes: bits_to_bytes(llc.blocks() * 21),
+        table_bytes: bits_to_bytes(256 * 256 * 5),
+        aux_bytes: 0,
+    }
+}
+
+/// AIP-TLB's budget: 21 bits per LLT entry plus the table.
+pub fn aip_tlb_bytes(tlb: &TlbConfig) -> StorageBudget {
+    StorageBudget {
+        entry_metadata_bytes: bits_to_bytes(u64::from(tlb.entries) * 21),
+        table_bytes: bits_to_bytes(256 * 256 * 5),
+        aux_bytes: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_types::SystemConfig;
+
+    #[test]
+    fn paper_baseline_llt_is_11_75_kib() {
+        let config = SystemConfig::paper_baseline();
+        let bytes = tlb_baseline_bytes(&config.l2_tlb);
+        assert_eq!(bytes, 12032); // 11.75 KiB
+        assert!((bytes as f64 / 1024.0 - 11.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_dppred_is_1306_bytes() {
+        let config = SystemConfig::paper_baseline();
+        let b = dppred_bytes(&config.l2_tlb, 6, 4, 3, 2);
+        assert_eq!(b.entry_metadata_bytes, 896);
+        assert_eq!(b.table_bytes, 384);
+        assert_eq!(b.aux_bytes, 26);
+        assert_eq!(b.total(), 1306); // paper Section V-D
+    }
+
+    #[test]
+    fn paper_cbpred_is_about_9_54_kib() {
+        let config = SystemConfig::paper_baseline();
+        let b = cbpred_bytes(&config.llc, 4096, 3, 8);
+        assert_eq!(b.entry_metadata_bytes, 8192);
+        assert_eq!(b.table_bytes, 1536);
+        assert_eq!(b.aux_bytes, 39);
+        assert!((b.total_kib() - 9.54).abs() < 0.03, "got {}", b.total_kib());
+    }
+
+    #[test]
+    fn combined_is_about_10_81_kib() {
+        let config = SystemConfig::paper_baseline();
+        let total = dppred_bytes(&config.l2_tlb, 6, 4, 3, 2).total()
+            + cbpred_bytes(&config.llc, 4096, 3, 8).total();
+        assert!((total as f64 / 1024.0 - 10.81).abs() < 0.05, "got {}", total as f64 / 1024.0);
+    }
+
+    #[test]
+    fn ship_llc_is_about_66_kib() {
+        let config = SystemConfig::paper_baseline();
+        let b = ship_llc_bytes(&config.llc, 14, 3);
+        assert!((b.total_kib() - 66.0).abs() < 1.0, "got {}", b.total_kib());
+    }
+
+    #[test]
+    fn aip_llc_is_about_124_kib() {
+        let config = SystemConfig::paper_baseline();
+        let b = aip_llc_bytes(&config.llc);
+        assert!((b.total_kib() - 124.0).abs() < 1.0, "got {}", b.total_kib());
+    }
+
+    #[test]
+    fn predictor_storage_ratio_matches_paper_claim() {
+        // "1/11th - 1/6th of the typical storage overhead"
+        let config = SystemConfig::paper_baseline();
+        let ours = (dppred_bytes(&config.l2_tlb, 6, 4, 3, 2).total()
+            + cbpred_bytes(&config.llc, 4096, 3, 8).total()) as f64;
+        let aip = aip_llc_bytes(&config.llc).total() as f64;
+        let ship = ship_llc_bytes(&config.llc, 14, 3).total() as f64;
+        assert!(aip / ours > 10.0 && aip / ours < 13.0);
+        assert!(ship / ours > 5.0 && ship / ours < 7.0);
+    }
+
+    #[test]
+    fn tlb_predictor_budgets_are_small() {
+        let config = SystemConfig::paper_baseline();
+        let ship = ship_tlb_bytes(&config.l2_tlb, 8, 3);
+        let aip = aip_tlb_bytes(&config.l2_tlb);
+        // SHiP-TLB is sized to be comparable to dpPred (~1.2 KiB).
+        assert!(ship.total_kib() < 2.0, "got {}", ship.total_kib());
+        // AIP-TLB's 21 bits/entry + table dwarf dpPred.
+        assert!(aip.total_kib() > 20.0, "got {}", aip.total_kib());
+    }
+}

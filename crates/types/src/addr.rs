@@ -1,0 +1,319 @@
+//! Strongly-typed addresses.
+//!
+//! The simulator deals with four distinct 64-bit quantities that are all too
+//! easy to confuse: virtual addresses, physical addresses, page numbers in
+//! each space, and program counters. Each gets a newtype so the compiler
+//! keeps them apart ([C-NEWTYPE]).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use crate::{BLOCK_SHIFT, PAGE_SHIFT};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! addr_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw 64-bit value.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw 64-bit value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::Binary for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Binary::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(value: $name) -> u64 {
+                value.0
+            }
+        }
+    };
+}
+
+addr_newtype! {
+    /// A virtual (program-visible) byte address.
+    VirtAddr
+}
+addr_newtype! {
+    /// A physical byte address, produced by address translation.
+    PhysAddr
+}
+addr_newtype! {
+    /// A virtual page number: a [`VirtAddr`] shifted right by [`PAGE_SHIFT`].
+    ///
+    /// [`PAGE_SHIFT`]: crate::PAGE_SHIFT
+    Vpn
+}
+addr_newtype! {
+    /// A physical frame number: a [`PhysAddr`] shifted right by
+    /// [`PAGE_SHIFT`] — the global page-size constant.
+    ///
+    /// [`PAGE_SHIFT`]: crate::PAGE_SHIFT
+    Pfn
+}
+addr_newtype! {
+    /// A program counter: the address of the instruction performing an
+    /// access. In this trace-driven simulator PCs identify static access
+    /// *sites* in a workload generator, which is exactly the property the
+    /// paper's PC-indexed predictors rely on.
+    Pc
+}
+addr_newtype! {
+    /// A physical cache-block address: a [`PhysAddr`] shifted right by
+    /// [`BLOCK_SHIFT`].
+    ///
+    /// [`BLOCK_SHIFT`]: crate::BLOCK_SHIFT
+    BlockAddr
+}
+
+impl VirtAddr {
+    /// Extracts the virtual page number.
+    ///
+    /// ```
+    /// use dpc_types::VirtAddr;
+    /// assert_eq!(VirtAddr::new(0x12345).vpn().raw(), 0x12);
+    /// ```
+    #[inline]
+    pub const fn vpn(self) -> Vpn {
+        Vpn::new(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the page.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 & ((1 << PAGE_SHIFT) - 1)
+    }
+
+    /// Byte offset of the address within its cache block.
+    #[inline]
+    pub const fn block_offset(self) -> u64 {
+        self.0 & ((1 << BLOCK_SHIFT) - 1)
+    }
+}
+
+impl PhysAddr {
+    /// Extracts the physical frame number.
+    #[inline]
+    pub const fn pfn(self) -> Pfn {
+        Pfn::new(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Extracts the physical cache-block address.
+    ///
+    /// ```
+    /// use dpc_types::PhysAddr;
+    /// assert_eq!(PhysAddr::new(0x1040).block().raw(), 0x41);
+    /// ```
+    #[inline]
+    pub const fn block(self) -> BlockAddr {
+        BlockAddr::new(self.0 >> BLOCK_SHIFT)
+    }
+
+    /// Byte offset within the page.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 & ((1 << PAGE_SHIFT) - 1)
+    }
+}
+
+impl Vpn {
+    /// The first byte address of this virtual page.
+    #[inline]
+    pub const fn base(self) -> VirtAddr {
+        VirtAddr::new(self.0 << PAGE_SHIFT)
+    }
+
+    /// Index into page-table level `level` (0 = leaf / PT, 3 = root / PML4)
+    /// for a four-level x86-64 style radix tree with 9 bits per level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= 4`.
+    #[inline]
+    pub fn radix_index(self, level: u32) -> usize {
+        assert!(level < 4, "four-level radix tree has levels 0..=3");
+        ((self.0 >> (9 * level)) & 0x1ff) as usize
+    }
+}
+
+impl Pfn {
+    /// The first byte address of this physical frame.
+    #[inline]
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr::new(self.0 << PAGE_SHIFT)
+    }
+}
+
+impl BlockAddr {
+    /// The first byte address of this cache block.
+    #[inline]
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr::new(self.0 << BLOCK_SHIFT)
+    }
+
+    /// The physical frame this block belongs to.
+    ///
+    /// ```
+    /// use dpc_types::PhysAddr;
+    /// let block = PhysAddr::new(0x2fc0).block();
+    /// assert_eq!(block.pfn(), PhysAddr::new(0x2fc0).pfn());
+    /// ```
+    #[inline]
+    pub const fn pfn(self) -> Pfn {
+        Pfn::new(self.0 >> (PAGE_SHIFT - BLOCK_SHIFT))
+    }
+}
+
+/// Whether an access reads or writes memory.
+///
+/// The simulated hierarchy is write-allocate/write-back, so loads and stores
+/// take the same path; the distinction is kept for statistics and future
+/// extensions (e.g. dirty-block modeling).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Write`].
+    #[inline]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BLOCKS_PER_PAGE, PAGE_SIZE};
+
+    #[test]
+    fn vpn_roundtrip() {
+        let va = VirtAddr::new(0xdead_beef_cafe);
+        assert_eq!(va.vpn().base().raw() + va.page_offset(), va.raw());
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let pa = PhysAddr::new(0x1234_5678);
+        assert_eq!(pa.block().base().raw() + (pa.raw() & 0x3f), pa.raw());
+    }
+
+    #[test]
+    fn block_to_pfn_consistent() {
+        for raw in [0u64, 63, 64, 4095, 4096, 0xffff_ffff] {
+            let pa = PhysAddr::new(raw);
+            assert_eq!(pa.block().pfn(), pa.pfn());
+        }
+    }
+
+    #[test]
+    fn radix_indices_cover_vpn() {
+        // Reassembling the four 9-bit indices must reproduce the low 36 bits
+        // of the VPN (48-bit VA = 36-bit VPN).
+        let vpn = Vpn::new(0x0eba_9876_5432 & ((1 << 36) - 1));
+        let mut rebuilt = 0u64;
+        for level in (0..4).rev() {
+            rebuilt = (rebuilt << 9) | vpn.radix_index(level) as u64;
+        }
+        assert_eq!(rebuilt, vpn.raw());
+    }
+
+    #[test]
+    #[should_panic(expected = "four-level")]
+    fn radix_index_rejects_level_4() {
+        Vpn::new(0).radix_index(4);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(VirtAddr::new(0xff).to_string(), "0xff");
+        assert_eq!(format!("{:x}", Pfn::new(0xab)), "ab");
+        assert_eq!(format!("{:b}", Pc::new(0b101)), "101");
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_named() {
+        let s = format!("{:?}", BlockAddr::new(0));
+        assert!(s.starts_with("BlockAddr("));
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(PAGE_SIZE / crate::BLOCK_SIZE, BLOCKS_PER_PAGE);
+        assert_eq!(BLOCKS_PER_PAGE, 64);
+    }
+
+    #[test]
+    fn conversions() {
+        let v: VirtAddr = 7u64.into();
+        let raw: u64 = v.into();
+        assert_eq!(raw, 7);
+    }
+
+    #[test]
+    fn access_kind() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+        assert_eq!(AccessKind::Read.to_string(), "read");
+    }
+}

@@ -1,0 +1,169 @@
+//! The workload abstraction: a stream of memory and compute events.
+//!
+//! The paper drives Sniper with Pin-instrumented x86 binaries. Here a
+//! [`Workload`] is anything that yields [`Event`]s — the 14 synthetic
+//! generators in `dpc-workloads`, or a user-provided trace.
+
+use crate::{AccessKind, Pc, VirtAddr};
+
+/// One unit of work observed by the simulated core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// A memory access: the instruction at `pc` touches `vaddr`.
+    Mem {
+        /// Program counter of the accessing instruction (a static access
+        /// site in the generator).
+        pc: Pc,
+        /// Virtual byte address accessed.
+        vaddr: VirtAddr,
+        /// Load or store.
+        kind: AccessKind,
+        /// Whether this access *depends on the previous memory access*
+        /// (its address was produced by that access, as in pointer
+        /// chasing or indexed gathers). Dependent accesses cannot begin
+        /// execution before their producer completes, which bounds
+        /// memory-level parallelism in the timing model.
+        dependent: bool,
+    },
+    /// `ops` non-memory instructions (ALU/branch work between accesses).
+    Compute {
+        /// Number of single-cycle, non-memory instructions.
+        ops: u32,
+    },
+}
+
+impl Event {
+    /// Convenience constructor for an independent load event.
+    pub const fn load(pc: Pc, vaddr: VirtAddr) -> Self {
+        Event::Mem { pc, vaddr, kind: AccessKind::Read, dependent: false }
+    }
+
+    /// Convenience constructor for a load whose address depends on the
+    /// previous memory access (pointer chase / gather).
+    pub const fn load_dependent(pc: Pc, vaddr: VirtAddr) -> Self {
+        Event::Mem { pc, vaddr, kind: AccessKind::Read, dependent: true }
+    }
+
+    /// Convenience constructor for an independent store event.
+    pub const fn store(pc: Pc, vaddr: VirtAddr) -> Self {
+        Event::Mem { pc, vaddr, kind: AccessKind::Write, dependent: false }
+    }
+
+    /// Returns `true` if this is a memory event.
+    pub const fn is_mem(&self) -> bool {
+        matches!(self, Event::Mem { .. })
+    }
+}
+
+/// A source of simulation events.
+///
+/// Implementations must be *deterministic*: constructing the same workload
+/// twice (same parameters, same seed) must yield the same event stream.
+///
+/// # Example
+///
+/// A trivial pointer-chase workload:
+///
+/// ```
+/// use dpc_types::workload::{Event, Workload};
+/// use dpc_types::{Pc, VirtAddr};
+///
+/// struct Chase { next: u64, remaining: u64 }
+///
+/// impl Workload for Chase {
+///     fn name(&self) -> &str { "chase" }
+///     fn next_event(&mut self) -> Option<Event> {
+///         if self.remaining == 0 { return None; }
+///         self.remaining -= 1;
+///         let va = VirtAddr::new(0x1000_0000 + (self.next % 4096) * 4096);
+///         self.next = self.next.wrapping_mul(6364136223846793005).wrapping_add(1);
+///         Some(Event::load(Pc::new(0x400000), va))
+///     }
+/// }
+///
+/// let mut w = Chase { next: 1, remaining: 10 };
+/// assert_eq!(w.by_ref().take(100).count(), 10);
+/// # fn main() {}
+/// ```
+pub trait Workload {
+    /// Short, stable identifier (used in reports and tables).
+    fn name(&self) -> &str;
+
+    /// Produces the next event, or `None` when the workload has finished.
+    fn next_event(&mut self) -> Option<Event>;
+
+    /// Adapts the workload into an [`Iterator`] by mutable reference.
+    fn by_ref(&mut self) -> EventIter<'_, Self>
+    where
+        Self: Sized,
+    {
+        EventIter { workload: self }
+    }
+}
+
+/// Iterator over a workload's events, created by [`Workload::by_ref`].
+#[derive(Debug)]
+pub struct EventIter<'a, W: Workload> {
+    workload: &'a mut W,
+}
+
+impl<W: Workload> Iterator for EventIter<'_, W> {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        self.workload.next_event()
+    }
+}
+
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn next_event(&mut self) -> Option<Event> {
+        (**self).next_event()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Two(u8);
+    impl Workload for Two {
+        fn name(&self) -> &str {
+            "two"
+        }
+        fn next_event(&mut self) -> Option<Event> {
+            if self.0 == 0 {
+                return None;
+            }
+            self.0 -= 1;
+            Some(Event::Compute { ops: 1 })
+        }
+    }
+
+    #[test]
+    fn iterator_adapter_drains() {
+        let mut w = Two(2);
+        assert_eq!(w.by_ref().count(), 2);
+        assert_eq!(w.next_event(), None);
+    }
+
+    #[test]
+    fn boxed_workload_delegates() {
+        let mut w: Box<dyn Workload> = Box::new(Two(1));
+        assert_eq!(w.name(), "two");
+        assert!(w.next_event().is_some());
+        assert!(w.next_event().is_none());
+    }
+
+    #[test]
+    fn event_constructors() {
+        let e = Event::load(Pc::new(1), VirtAddr::new(2));
+        assert!(e.is_mem());
+        let s = Event::store(Pc::new(1), VirtAddr::new(2));
+        assert!(matches!(s, Event::Mem { kind: AccessKind::Write, .. }));
+        assert!(!Event::Compute { ops: 3 }.is_mem());
+    }
+}

@@ -1,0 +1,212 @@
+//! Synthetic graph inputs in compressed-sparse-row form.
+//!
+//! Two generators cover the paper's inputs: uniform random graphs (GAPBS /
+//! Ligra defaults) and R-MAT/Kronecker graphs (Graph500). Adjacency lists
+//! are sorted, making them usable for intersection-based algorithms
+//! (triangle counting).
+
+use crate::layout::{AddressSpace, VArray};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Virtual-address layout of a CSR graph: the 8-byte offsets array and the
+/// 4-byte targets array, as GAPBS/Ligra lay them out.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphLayout {
+    /// `vertices + 1` offsets, 8 bytes each.
+    pub offsets: VArray,
+    /// `edges` target vertex ids, 4 bytes each.
+    pub targets: VArray,
+}
+
+impl GraphLayout {
+    /// Reserves address space for `graph`'s CSR arrays.
+    pub fn new(space: &mut AddressSpace, graph: &CsrGraph) -> Self {
+        GraphLayout {
+            offsets: space.array(u64::from(graph.vertices()) + 1, 8),
+            targets: space.array(graph.edges().max(1), 4),
+        }
+    }
+}
+
+/// A directed graph in CSR form (generated symmetric: every edge is added
+/// in both directions, so in- and out-adjacency coincide).
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    offsets: Vec<u64>,
+    targets: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Uniform (Erdős–Rényi-style) random graph with `n` vertices and
+    /// about `degree` edges per vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn uniform(n: u32, degree: u32, seed: u64) -> Self {
+        assert!(n > 0, "graph must have vertices");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let edges = u64::from(n) * u64::from(degree) / 2;
+        let pairs = (0..edges)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect::<Vec<_>>();
+        Self::from_pairs(n, &pairs)
+    }
+
+    /// R-MAT (Kronecker) graph with the Graph500 parameters
+    /// (a, b, c) = (0.57, 0.19, 0.19).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or not a power of two.
+    pub fn rmat(n: u32, degree: u32, seed: u64) -> Self {
+        assert!(n > 0 && n.is_power_of_two(), "R-MAT needs a power-of-two vertex count");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let bits = n.trailing_zeros();
+        let edges = u64::from(n) * u64::from(degree) / 2;
+        let mut pairs = Vec::with_capacity(edges as usize);
+        for _ in 0..edges {
+            let (mut u, mut v) = (0u32, 0u32);
+            for _ in 0..bits {
+                u <<= 1;
+                v <<= 1;
+                let r: f64 = rng.gen();
+                if r < 0.57 {
+                    // quadrant a: (0, 0)
+                } else if r < 0.76 {
+                    v |= 1; // b
+                } else if r < 0.95 {
+                    u |= 1; // c
+                } else {
+                    u |= 1;
+                    v |= 1; // d
+                }
+            }
+            pairs.push((u, v));
+        }
+        Self::from_pairs(n, &pairs)
+    }
+
+    /// Builds a symmetric CSR from an edge list.
+    pub fn from_pairs(n: u32, pairs: &[(u32, u32)]) -> Self {
+        let mut degree = vec![0u64; n as usize];
+        for &(u, v) in pairs {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut targets = vec![0u32; acc as usize];
+        let mut cursor = offsets[..n as usize].to_vec();
+        for &(u, v) in pairs {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sorted adjacency for intersection algorithms.
+        for u in 0..n as usize {
+            let (lo, hi) = (offsets[u] as usize, offsets[u + 1] as usize);
+            targets[lo..hi].sort_unstable();
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of directed edges (twice the undirected edge count).
+    pub fn edges(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Index range of vertex `u`'s adjacency in the target array.
+    #[inline]
+    pub fn neighbors_range(&self, u: u32) -> (u64, u64) {
+        (self.offsets[u as usize], self.offsets[u as usize + 1])
+    }
+
+    /// The `i`-th entry of the flat target array.
+    #[inline]
+    pub fn target(&self, i: u64) -> u32 {
+        self.targets[i as usize]
+    }
+
+    /// Degree of vertex `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> u64 {
+        let (lo, hi) = self.neighbors_range(u);
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_graph_shape() {
+        let g = CsrGraph::uniform(1000, 8, 42);
+        assert_eq!(g.vertices(), 1000);
+        // n * degree / 2 undirected edges, symmetrized.
+        assert_eq!(g.edges(), 8000);
+        let total: u64 = (0..1000).map(|u| g.degree(u)).sum();
+        assert_eq!(total, g.edges());
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let g = CsrGraph::uniform(500, 10, 7);
+        for u in 0..500 {
+            let (lo, hi) = g.neighbors_range(u);
+            for i in lo..hi.saturating_sub(1) {
+                assert!(g.target(i) <= g.target(i + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_edges() {
+        let g = CsrGraph::from_pairs(4, &[(0, 1), (1, 2)]);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(2), 1);
+        assert_eq!(g.degree(3), 0);
+        let (lo, _) = g.neighbors_range(0);
+        assert_eq!(g.target(lo), 1);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = CsrGraph::rmat(1 << 12, 16, 3);
+        assert_eq!(g.vertices(), 1 << 12);
+        let max_deg = (0..g.vertices()).map(|u| g.degree(u)).max().unwrap();
+        let avg = g.edges() / u64::from(g.vertices());
+        assert!(
+            max_deg > avg * 8,
+            "R-MAT must produce heavy-tailed degrees (max {max_deg}, avg {avg})"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CsrGraph::uniform(256, 8, 9);
+        let b = CsrGraph::uniform(256, 8, 9);
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.targets, b.targets);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rmat_rejects_non_power_of_two() {
+        CsrGraph::rmat(1000, 8, 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Virtual-address-space layout for synthetic workloads.
+//!
+//! Workloads do not allocate their data for real — they model data
+//! structures as regions of a 48-bit virtual address space and emit the
+//! addresses the algorithm would touch. [`AddressSpace`] is a bump
+//! allocator of page-aligned regions; [`VArray`] views a region as an
+//! array of fixed-size elements.
+
+use dpc_types::{VirtAddr, PAGE_SIZE};
+
+/// Base of the modeled heap (clear of the modeled code segment at
+/// 0x40_0000).
+const HEAP_BASE: u64 = 0x1000_0000;
+/// Guard gap between regions, so adjacent arrays never share a page.
+const GUARD: u64 = PAGE_SIZE;
+
+/// A bump allocator of page-aligned virtual regions.
+#[derive(Clone, Debug)]
+pub struct AddressSpace {
+    next: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        AddressSpace { next: HEAP_BASE }
+    }
+
+    /// Reserves a page-aligned region of `len` elements of `elem_size`
+    /// bytes and returns it as a [`VArray`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem_size` is zero or the 47-bit heap would overflow.
+    pub fn array(&mut self, len: u64, elem_size: u64) -> VArray {
+        assert!(elem_size > 0, "element size must be nonzero");
+        let bytes = len * elem_size;
+        let base = self.next;
+        let aligned = bytes.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        self.next = base + aligned + GUARD;
+        assert!(self.next < (1 << 47), "modeled virtual address space exhausted");
+        VArray { base, elem_size, len }
+    }
+
+    /// Total bytes reserved so far (the modeled footprint).
+    pub fn footprint(&self) -> u64 {
+        self.next - HEAP_BASE
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A modeled array: `len` elements of `elem_size` bytes at a fixed virtual
+/// base.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VArray {
+    base: u64,
+    elem_size: u64,
+    len: u64,
+}
+
+impl VArray {
+    /// Virtual address of element `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `index` is out of bounds.
+    #[inline]
+    pub fn at(&self, index: u64) -> VirtAddr {
+        debug_assert!(index < self.len, "index {index} out of bounds (len {})", self.len);
+        VirtAddr::new(self.base + index * self.elem_size)
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element size in bytes.
+    #[inline]
+    pub fn elem_size(&self) -> u64 {
+        self.elem_size
+    }
+
+    /// Base address.
+    #[inline]
+    pub fn base(&self) -> VirtAddr {
+        VirtAddr::new(self.base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_page_aligned() {
+        let mut space = AddressSpace::new();
+        let a = space.array(100, 8);
+        let b = space.array(100, 8);
+        assert_eq!(a.base().raw() % PAGE_SIZE, 0);
+        assert_eq!(b.base().raw() % PAGE_SIZE, 0);
+        // End of a (plus guard) precedes b.
+        assert!(a.at(99).raw() + 8 <= b.base().raw());
+        // Different pages entirely.
+        assert_ne!(a.at(99).vpn(), b.at(0).vpn());
+    }
+
+    #[test]
+    fn element_addressing() {
+        let mut space = AddressSpace::new();
+        let a = space.array(10, 4);
+        assert_eq!(a.at(3).raw(), a.base().raw() + 12);
+        assert_eq!(a.len(), 10);
+        assert!(!a.is_empty());
+        assert_eq!(a.elem_size(), 4);
+    }
+
+    #[test]
+    fn footprint_accumulates() {
+        let mut space = AddressSpace::new();
+        assert_eq!(space.footprint(), 0);
+        space.array(1024, 8); // 2 pages
+        assert!(space.footprint() >= 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_elem_size_rejected() {
+        AddressSpace::new().array(1, 0);
+    }
+}

@@ -1,0 +1,515 @@
+//! Ligra-suite workloads: frontier BFS (`bfs`, and `graph500` on an R-MAT
+//! input), triangle counting (`Triangle`), k-core decomposition (`KCore`)
+//! and Luby maximal independent set (`mis`).
+
+use crate::emitter::{Algorithm, Emitter, Generator};
+use crate::graph::{CsrGraph, GraphLayout};
+use crate::layout::{AddressSpace, VArray};
+use crate::mix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const S_OFFS: u32 = 0;
+const S_TGT: u32 = 1;
+const S_PROP_U: u32 = 2;
+const S_PROP_V: u32 = 3;
+const S_STORE: u32 = 4;
+const S_QUEUE: u32 = 5;
+const S_INTERSECT: u32 = 6;
+
+// ---------------------------------------------------------------------
+// Frontier BFS (bfs, graph500).
+// ---------------------------------------------------------------------
+
+/// Frontier-based BFS. Visitation is round-stamped (`visited[v] == round`)
+/// so restarting from a new source needs no reset pass.
+#[derive(Debug)]
+pub struct Bfs {
+    graph: Arc<CsrGraph>,
+    layout: GraphLayout,
+    parent_array: VArray,
+    queue_array: VArray,
+    visited: Vec<u32>,
+    round: u32,
+    queue: Vec<u32>,
+    qpos: usize,
+    rng: SmallRng,
+}
+
+/// Builds a BFS workload under the given display name (`"bfs"` for the
+/// Ligra variant, `"graph500"` for the R-MAT variant).
+pub fn bfs_named(graph: Arc<CsrGraph>, name: &'static str, seed: u64) -> Generator<Bfs> {
+    let mut space = AddressSpace::new();
+    let layout = GraphLayout::new(&mut space, &graph);
+    let n = u64::from(graph.vertices());
+    let parent_array = space.array(n, 8);
+    let queue_array = space.array(n, 4);
+    let mut bfs = Bfs {
+        visited: vec![0; graph.vertices() as usize],
+        round: 0,
+        queue: Vec::new(),
+        qpos: 0,
+        rng: SmallRng::seed_from_u64(seed),
+        graph,
+        layout,
+        parent_array,
+        queue_array,
+    };
+    bfs.restart();
+    Generator::new(name, bfs, Emitter::new(5, 1))
+}
+
+impl Bfs {
+    fn restart(&mut self) {
+        self.round += 1;
+        self.queue.clear();
+        self.qpos = 0;
+        let src = self.rng.gen_range(0..self.graph.vertices());
+        self.visited[src as usize] = self.round;
+        self.queue.push(src);
+    }
+}
+
+impl Algorithm for Bfs {
+    fn step(&mut self, em: &mut Emitter) {
+        if self.qpos >= self.queue.len() {
+            self.restart();
+        }
+        let u = self.queue[self.qpos];
+        em.load(S_QUEUE, self.queue_array.at(self.qpos as u64));
+        self.qpos += 1;
+        em.load(S_OFFS, self.layout.offsets.at(u64::from(u)));
+        em.load(S_OFFS, self.layout.offsets.at(u64::from(u) + 1));
+        let (lo, hi) = self.graph.neighbors_range(u);
+        for e in lo..hi {
+            em.load(S_TGT, self.layout.targets.at(e));
+            let v = self.graph.target(e);
+            em.load_dependent(S_PROP_V, self.parent_array.at(u64::from(v)));
+            if self.visited[v as usize] != self.round {
+                self.visited[v as usize] = self.round;
+                em.store(S_STORE, self.parent_array.at(u64::from(v)));
+                em.store(S_QUEUE, self.queue_array.at(self.queue.len() as u64));
+                self.queue.push(v);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Triangle counting (sorted-adjacency intersection).
+// ---------------------------------------------------------------------
+
+/// Triangle counting by merge-intersection of sorted adjacency lists.
+///
+/// Work is chunked at the `(u, neighbor)` pair level and each intersection
+/// is further bounded per step, so a skewed (R-MAT) hub never buffers an
+/// unbounded number of events at once.
+#[derive(Debug)]
+pub struct Triangle {
+    graph: Arc<CsrGraph>,
+    layout: GraphLayout,
+    /// Iteration counter; the processed vertex is a stride permutation of
+    /// it, interleaving hubs and tail vertices (R-MAT hubs cluster at low
+    /// ids, and processing them in id order would pin the simulated
+    /// window inside one enormous hub intersection).
+    i: u32,
+    u: u32,
+    /// Next neighbor index of `u` to intersect against.
+    e: u64,
+    /// In-progress intersection cursors: (i, j, i_end, j_end).
+    cursors: Option<(u64, u64, u64, u64)>,
+}
+
+/// Intersection comparisons emitted per step.
+const INTERSECT_CHUNK: u64 = 512;
+/// Elements intersected per merge side. Production triangle counters
+/// relabel vertices by degree and intersect only the short higher-rank
+/// suffix of each adjacency list, so hub×hub pairs never merge two full
+/// mega-lists; this bound models that truncation.
+const MERGE_BOUND: u64 = 64;
+
+/// Odd stride for the vertex-order permutation (bijective modulo any
+/// power-of-two vertex count).
+const VERTEX_STRIDE: u64 = 0x9E37_79B1;
+
+/// Builds the `Triangle` workload.
+pub fn triangle(graph: Arc<CsrGraph>) -> Generator<Triangle> {
+    let mut space = AddressSpace::new();
+    let layout = GraphLayout::new(&mut space, &graph);
+    let u = 0; // permutation of i = 0
+    Generator::new(
+        "Triangle",
+        Triangle { graph, layout, i: 0, u, e: 0, cursors: None },
+        Emitter::new(6, 1),
+    )
+}
+
+impl Triangle {
+    fn permute(&self, i: u32) -> u32 {
+        ((u64::from(i) * VERTEX_STRIDE) % u64::from(self.graph.vertices())) as u32
+    }
+}
+
+impl Algorithm for Triangle {
+    fn step(&mut self, em: &mut Emitter) {
+        let u = self.u;
+        let (ulo, uhi) = self.graph.neighbors_range(u);
+        if self.e == 0 && self.cursors.is_none() {
+            em.load(S_OFFS, self.layout.offsets.at(u64::from(u)));
+            em.load(S_OFFS, self.layout.offsets.at(u64::from(u) + 1));
+            self.e = ulo;
+        }
+        // Resume or start an intersection.
+        if let Some((mut i, mut j, i_end, j_end)) = self.cursors.take() {
+            let mut budget = INTERSECT_CHUNK;
+            while i < i_end && j < j_end && budget > 0 {
+                em.load(S_INTERSECT, self.layout.targets.at(i));
+                em.load(S_INTERSECT, self.layout.targets.at(j));
+                let (a, b) = (self.graph.target(i), self.graph.target(j));
+                if a == b {
+                    i += 1;
+                    j += 1;
+                } else if a < b {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+                budget -= 1;
+            }
+            if i < i_end && j < j_end {
+                self.cursors = Some((i, j, i_end, j_end));
+            }
+            return;
+        }
+        // Advance to the next (u, v) pair.
+        while self.e < uhi {
+            let e = self.e;
+            self.e += 1;
+            em.load(S_TGT, self.layout.targets.at(e));
+            let v = self.graph.target(e);
+            if v <= u {
+                continue;
+            }
+            em.load(S_OFFS, self.layout.offsets.at(u64::from(v)));
+            em.load(S_OFFS, self.layout.offsets.at(u64::from(v) + 1));
+            let (vlo, vhi) = self.graph.neighbors_range(v);
+            self.cursors =
+                Some((ulo, vlo, uhi.min(ulo + MERGE_BOUND), vhi.min(vlo + MERGE_BOUND)));
+            return;
+        }
+        // Vertex exhausted: next in permuted order.
+        self.i = if self.i + 1 >= self.graph.vertices() { 0 } else { self.i + 1 };
+        self.u = self.permute(self.i);
+        self.e = 0;
+    }
+}
+
+// ---------------------------------------------------------------------
+// K-core decomposition (peeling).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, PartialEq, Eq)]
+enum KCorePhase {
+    /// Scanning for vertices with degree ≤ k (chunked).
+    Scan { v: u32 },
+    /// Peeling queued vertices.
+    Peel,
+}
+
+/// Iterative k-core peeling: remove vertices of degree ≤ k, increasing k
+/// when the queue drains; restart when the graph is exhausted.
+///
+/// Candidate scans walk a compacted *work list* in the (nondeterministic
+/// in real Ligra, here seeded-shuffled) order frontier compaction leaves
+/// behind, so the per-vertex degree reads are gathers rather than a pure
+/// sequential sweep.
+#[derive(Debug)]
+pub struct KCore {
+    graph: Arc<CsrGraph>,
+    layout: GraphLayout,
+    deg_array: VArray,
+    order_array: VArray,
+    order: Vec<u32>,
+    deg: Vec<i64>,
+    removed: Vec<bool>,
+    remaining: u32,
+    k: i64,
+    queue: Vec<u32>,
+    qpos: usize,
+    phase: KCorePhase,
+}
+
+const SCAN_CHUNK: u32 = 256;
+
+/// Builds the `KCore` workload.
+pub fn kcore(graph: Arc<CsrGraph>) -> Generator<KCore> {
+    let mut space = AddressSpace::new();
+    let layout = GraphLayout::new(&mut space, &graph);
+    let n = graph.vertices();
+    let deg_array = space.array(u64::from(n), 4);
+    let order_array = space.array(u64::from(n), 4);
+    let deg = (0..n).map(|u| graph.degree(u) as i64).collect();
+    // Block-shuffled scan order: 256-element sequential runs at shuffled
+    // positions — the shape a packed worklist takes after parallel
+    // compaction. Runs are stream-like (predictably dead pages) while the
+    // block order still breaks the pure sequential sweep.
+    const BLOCK: u32 = 256;
+    let blocks = n.div_ceil(BLOCK);
+    let mut block_order: Vec<u32> = (0..blocks).collect();
+    let mut rng = SmallRng::seed_from_u64(0xC0DE);
+    for i in (1..blocks as usize).rev() {
+        block_order.swap(i, rng.gen_range(0..=i));
+    }
+    let mut order = Vec::with_capacity(n as usize);
+    for &b in &block_order {
+        for x in (b * BLOCK)..((b + 1) * BLOCK).min(n) {
+            order.push(x);
+        }
+    }
+    Generator::new(
+        "KCore",
+        KCore {
+            layout,
+            deg_array,
+            order_array,
+            order,
+            deg,
+            removed: vec![false; n as usize],
+            remaining: n,
+            k: 0,
+            queue: Vec::new(),
+            qpos: 0,
+            phase: KCorePhase::Scan { v: 0 },
+            graph,
+        },
+        Emitter::new(7, 1),
+    )
+}
+
+impl KCore {
+    fn reset(&mut self) {
+        for (u, d) in self.deg.iter_mut().enumerate() {
+            *d = self.graph.degree(u as u32) as i64;
+        }
+        self.removed.fill(false);
+        self.remaining = self.graph.vertices();
+        self.k = 0;
+        self.queue.clear();
+        self.qpos = 0;
+        self.phase = KCorePhase::Scan { v: 0 };
+    }
+}
+
+impl Algorithm for KCore {
+    fn step(&mut self, em: &mut Emitter) {
+        match self.phase {
+            KCorePhase::Scan { v } => {
+                let n = self.graph.vertices();
+                let end = (v + SCAN_CHUNK).min(n);
+                for x in v..end {
+                    em.load(S_QUEUE, self.order_array.at(u64::from(x)));
+                    let candidate = self.order[x as usize];
+                    em.load(S_PROP_U, self.deg_array.at(u64::from(candidate)));
+                    if !self.removed[candidate as usize] && self.deg[candidate as usize] <= self.k
+                    {
+                        self.queue.push(candidate);
+                    }
+                }
+                self.phase = if end >= n { KCorePhase::Peel } else { KCorePhase::Scan { v: end } };
+            }
+            KCorePhase::Peel => {
+                if self.qpos >= self.queue.len() {
+                    self.queue.clear();
+                    self.qpos = 0;
+                    if self.remaining == 0 {
+                        self.reset();
+                    } else {
+                        self.k += 1;
+                        self.phase = KCorePhase::Scan { v: 0 };
+                    }
+                    return;
+                }
+                let u = self.queue[self.qpos];
+                self.qpos += 1;
+                if self.removed[u as usize] {
+                    return;
+                }
+                self.removed[u as usize] = true;
+                self.remaining -= 1;
+                em.load(S_OFFS, self.layout.offsets.at(u64::from(u)));
+                em.load(S_OFFS, self.layout.offsets.at(u64::from(u) + 1));
+                let (lo, hi) = self.graph.neighbors_range(u);
+                for e in lo..hi {
+                    em.load(S_TGT, self.layout.targets.at(e));
+                    let v = self.graph.target(e);
+                    em.load_dependent(S_PROP_V, self.deg_array.at(u64::from(v)));
+                    if !self.removed[v as usize] {
+                        self.deg[v as usize] -= 1;
+                        em.store(S_STORE, self.deg_array.at(u64::from(v)));
+                        if self.deg[v as usize] == self.k {
+                            self.queue.push(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Maximal independent set (Luby rounds).
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MisState {
+    Undecided,
+    InSet,
+    Removed,
+}
+
+/// Luby's randomized MIS: a vertex joins when its priority beats all
+/// undecided neighbors; neighbors of joiners are removed.
+#[derive(Debug)]
+pub struct Mis {
+    graph: Arc<CsrGraph>,
+    layout: GraphLayout,
+    state_array: VArray,
+    prio_array: VArray,
+    state: Vec<MisState>,
+    undecided: u32,
+    u: u32,
+    round: u64,
+    seed: u64,
+}
+
+/// Builds the `mis` workload.
+pub fn mis(graph: Arc<CsrGraph>, seed: u64) -> Generator<Mis> {
+    let mut space = AddressSpace::new();
+    let layout = GraphLayout::new(&mut space, &graph);
+    let n = graph.vertices();
+    let state_array = space.array(u64::from(n), 4);
+    let prio_array = space.array(u64::from(n), 8);
+    Generator::new(
+        "mis",
+        Mis {
+            state: vec![MisState::Undecided; n as usize],
+            undecided: n,
+            u: 0,
+            round: 0,
+            seed,
+            graph,
+            layout,
+            state_array,
+            prio_array,
+        },
+        Emitter::new(8, 1),
+    )
+}
+
+impl Mis {
+    fn prio(&self, v: u32) -> u64 {
+        mix(self.seed ^ (self.round << 32) ^ u64::from(v))
+    }
+}
+
+impl Algorithm for Mis {
+    fn step(&mut self, em: &mut Emitter) {
+        let u = self.u;
+        em.load(S_PROP_U, self.state_array.at(u64::from(u)));
+        if self.state[u as usize] == MisState::Undecided {
+            em.load(S_PROP_U, self.prio_array.at(u64::from(u)));
+            em.load(S_OFFS, self.layout.offsets.at(u64::from(u)));
+            em.load(S_OFFS, self.layout.offsets.at(u64::from(u) + 1));
+            let my_prio = self.prio(u);
+            let mut wins = true;
+            let (lo, hi) = self.graph.neighbors_range(u);
+            for e in lo..hi {
+                em.load(S_TGT, self.layout.targets.at(e));
+                let v = self.graph.target(e);
+                em.load_dependent(S_PROP_V, self.state_array.at(u64::from(v)));
+                if self.state[v as usize] == MisState::Undecided {
+                    em.load_dependent(S_PROP_V, self.prio_array.at(u64::from(v)));
+                    if self.prio(v) > my_prio {
+                        wins = false;
+                        break;
+                    }
+                }
+            }
+            if wins {
+                self.state[u as usize] = MisState::InSet;
+                self.undecided -= 1;
+                em.store(S_STORE, self.state_array.at(u64::from(u)));
+                for e in lo..hi {
+                    let v = self.graph.target(e);
+                    if self.state[v as usize] == MisState::Undecided {
+                        self.state[v as usize] = MisState::Removed;
+                        self.undecided -= 1;
+                        em.store(S_STORE, self.state_array.at(u64::from(v)));
+                    }
+                }
+            }
+        }
+        self.u = if u + 1 >= self.graph.vertices() { 0 } else { u + 1 };
+        if self.u == 0 {
+            self.round += 1;
+            if self.undecided == 0 {
+                self.state.fill(MisState::Undecided);
+                self.undecided = self.graph.vertices();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_types::Workload;
+
+    fn graph() -> Arc<CsrGraph> {
+        Arc::new(CsrGraph::uniform(2048, 8, 5))
+    }
+
+    #[test]
+    fn bfs_visits_and_restarts() {
+        let mut w = bfs_named(graph(), "bfs", 3);
+        for _ in 0..300_000 {
+            assert!(w.next_event().is_some());
+        }
+    }
+
+    #[test]
+    fn graph500_uses_rmat_name() {
+        let g = Arc::new(CsrGraph::rmat(1 << 11, 8, 5));
+        let w = bfs_named(g, "graph500", 3);
+        assert_eq!(dpc_types::Workload::name(&w), "graph500");
+    }
+
+    #[test]
+    fn triangle_intersections_emit_heavily() {
+        let mut w = triangle(graph());
+        let mut mems = 0;
+        for _ in 0..100_000 {
+            if w.next_event().unwrap().is_mem() {
+                mems += 1;
+            }
+        }
+        assert!(mems > 40_000);
+    }
+
+    #[test]
+    fn kcore_peels_to_exhaustion_and_restarts() {
+        let mut w = kcore(graph());
+        for _ in 0..1_000_000 {
+            assert!(w.next_event().is_some());
+        }
+    }
+
+    #[test]
+    fn mis_decides_all_vertices() {
+        let mut w = mis(graph(), 17);
+        for _ in 0..500_000 {
+            assert!(w.next_event().is_some());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! `cg.B` — the NAS Parallel Benchmarks conjugate-gradient kernel.
+//!
+//! Each CG iteration is dominated by a sparse matrix-vector product over a
+//! randomly structured matrix (indirect `x[col]` gathers — the TLB-hostile
+//! part) followed by streaming vector updates (AXPYs and dot products).
+//! The generator reproduces exactly that phase structure.
+
+use crate::emitter::{Algorithm, Emitter, Generator};
+use crate::layout::{AddressSpace, VArray};
+use crate::{mix, Scale};
+
+const S_ROWPTR: u32 = 0;
+const S_COLIDX: u32 = 1;
+const S_VAL: u32 = 2;
+const S_GATHER: u32 = 3;
+const S_STORE: u32 = 4;
+const S_VEC_A: u32 = 5;
+const S_VEC_B: u32 = 6;
+
+/// Nonzeros per matrix row.
+const NNZ_PER_ROW: u64 = 12;
+/// Vector elements processed per step in the vector phases.
+const VEC_CHUNK: u64 = 64;
+/// Rows processed per step in the SpMV phase.
+const ROW_CHUNK: u64 = 4;
+
+#[derive(Debug, PartialEq, Eq)]
+enum Phase {
+    /// q = A·p (indirect gathers).
+    Spmv { row: u64 },
+    /// α = p·q (streaming loads).
+    Dot { i: u64 },
+    /// x += α·p; r -= α·q (streaming read-modify-write).
+    Axpy { i: u64 },
+}
+
+/// The CG iteration generator.
+#[derive(Debug)]
+pub struct Cg {
+    n: u64,
+    seed: u64,
+    row_ptr: VArray,
+    col_idx: VArray,
+    values: VArray,
+    x: VArray,
+    p: VArray,
+    q: VArray,
+    r: VArray,
+    phase: Phase,
+}
+
+/// Builds the `cg.B` workload.
+pub fn cg(scale: Scale, seed: u64) -> Generator<Cg> {
+    // The gather vector (8 B/elem) must exceed the LLT reach for the
+    // indirect x[col] stream to generate dead pages.
+    let n = match scale {
+        Scale::Tiny => 1 << 14,
+        Scale::Small => 1 << 22,
+        Scale::Paper => 1 << 23,
+    };
+    let mut space = AddressSpace::new();
+    let row_ptr = space.array(n + 1, 8);
+    let col_idx = space.array(n * NNZ_PER_ROW, 4);
+    let values = space.array(n * NNZ_PER_ROW, 8);
+    let x = space.array(n, 8);
+    let p = space.array(n, 8);
+    let q = space.array(n, 8);
+    let r = space.array(n, 8);
+    Generator::new(
+        "cg.B",
+        Cg { n, seed, row_ptr, col_idx, values, x, p, q, r, phase: Phase::Spmv { row: 0 } },
+        Emitter::new(12, 2),
+    )
+}
+
+impl Cg {
+    /// Deterministic column index of nonzero `k` of `row`, following NPB
+    /// CG's geometric placement: most nonzeros cluster near the diagonal
+    /// (hot, reusable `x` pages around the current row) with a tail of
+    /// far-away columns (cold, dead-on-arrival pages) — the bimodal page
+    /// mix a dead-page predictor can exploit.
+    fn col_of(&self, row: u64, k: u64) -> u64 {
+        let h = mix(self.seed ^ (row * NNZ_PER_ROW + k));
+        if !h.is_multiple_of(4) {
+            // Local band: within ±8192 elements (±16 pages) of the row.
+            let span = 16_384.min(self.n);
+            let offset = (h >> 8) % span;
+            (row + self.n + offset - span / 2) % self.n
+        } else {
+            // Far column, uniform over the vector.
+            (h >> 8) % self.n
+        }
+    }
+}
+
+impl Algorithm for Cg {
+    fn step(&mut self, em: &mut Emitter) {
+        match self.phase {
+            Phase::Spmv { row } => {
+                let end = (row + ROW_CHUNK).min(self.n);
+                for r in row..end {
+                    em.load(S_ROWPTR, self.row_ptr.at(r));
+                    em.load(S_ROWPTR, self.row_ptr.at(r + 1));
+                    for k in 0..NNZ_PER_ROW {
+                        let nz = r * NNZ_PER_ROW + k;
+                        em.load(S_COLIDX, self.col_idx.at(nz));
+                        em.load(S_VAL, self.values.at(nz));
+                        em.load_dependent(S_GATHER, self.p.at(self.col_of(r, k)));
+                    }
+                    em.store(S_STORE, self.q.at(r));
+                }
+                self.phase =
+                    if end >= self.n { Phase::Dot { i: 0 } } else { Phase::Spmv { row: end } };
+            }
+            Phase::Dot { i } => {
+                let end = (i + VEC_CHUNK).min(self.n);
+                for j in i..end {
+                    em.load(S_VEC_A, self.p.at(j));
+                    em.load(S_VEC_B, self.q.at(j));
+                }
+                self.phase = if end >= self.n { Phase::Axpy { i: 0 } } else { Phase::Dot { i: end } };
+            }
+            Phase::Axpy { i } => {
+                let end = (i + VEC_CHUNK).min(self.n);
+                for j in i..end {
+                    em.load(S_VEC_A, self.x.at(j));
+                    em.store(S_STORE, self.x.at(j));
+                    em.load(S_VEC_B, self.r.at(j));
+                    em.store(S_STORE, self.r.at(j));
+                }
+                self.phase =
+                    if end >= self.n { Phase::Spmv { row: 0 } } else { Phase::Axpy { i: end } };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_types::{Event, Workload};
+    use std::collections::HashSet;
+
+    #[test]
+    fn gathers_are_spread_over_the_vector() {
+        let mut w = cg(Scale::Tiny, 5);
+        let mut pages = HashSet::new();
+        let mut mems = 0;
+        while mems < 20_000 {
+            if let Some(Event::Mem { vaddr, .. }) = w.next_event() {
+                pages.insert(vaddr.vpn());
+                mems += 1;
+            }
+        }
+        // Tiny: 16K-element p vector = 32 pages; the gather stream must
+        // reach most of them quickly.
+        assert!(pages.len() > 40, "indirect gathers must spread (got {} pages)", pages.len());
+    }
+
+    #[test]
+    fn phases_cycle() {
+        let mut w = cg(Scale::Tiny, 5);
+        for _ in 0..2_000_000 {
+            assert!(w.next_event().is_some());
+        }
+    }
+
+    #[test]
+    fn column_structure_is_deterministic() {
+        let mut f1 = cg(Scale::Tiny, 5);
+        let mut f2 = cg(Scale::Tiny, 5);
+        for _ in 0..10_000 {
+            assert_eq!(f1.next_event(), f2.next_event());
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Trace capture and replay.
+//!
+//! Any [`Workload`]'s event stream can be captured to a compact binary
+//! trace file with [`TraceWriter`] and replayed later with
+//! [`TraceWorkload`] — useful for distributing reproducible inputs,
+//! diffing generator changes, or feeding externally collected traces
+//! (e.g. converted Pin/DynamoRIO output) into the simulator.
+//!
+//! # Format
+//!
+//! Little-endian binary: an 8-byte magic (`b"DPCTRC1\n"`), then records:
+//!
+//! | tag (u8) | payload | meaning |
+//! |---|---|---|
+//! | 0 | `pc: u64, vaddr: u64` | independent load |
+//! | 1 | `pc: u64, vaddr: u64` | store |
+//! | 2 | `pc: u64, vaddr: u64` | dependent load |
+//! | 3 | `ops: u32` | compute batch |
+//!
+//! # Example
+//!
+//! ```no_run
+//! use dpc_workloads::trace::{TraceWriter, TraceWorkload};
+//! use dpc_workloads::{Scale, WorkloadFactory};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+//! let mut bfs = factory.build("bfs").expect("known workload");
+//! TraceWriter::capture("bfs.dpctrc", bfs.as_mut(), 100_000)?;
+//! let replay = TraceWorkload::open("bfs.dpctrc")?;
+//! # let _ = replay;
+//! # Ok(())
+//! # }
+//! ```
+
+use dpc_types::{AccessKind, Event, Pc, VirtAddr, Workload};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"DPCTRC1\n";
+
+const TAG_LOAD: u8 = 0;
+const TAG_STORE: u8 = 1;
+const TAG_LOAD_DEP: u8 = 2;
+const TAG_COMPUTE: u8 = 3;
+
+/// Streams events into a binary trace file.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    events: u64,
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Creates a trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from file creation or the header write.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::new(BufWriter::new(File::create(path)?))
+    }
+
+    /// Captures up to `max_events` events of `workload` into a trace file
+    /// at `path`, returning the number written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn capture(
+        path: impl AsRef<Path>,
+        workload: &mut dyn Workload,
+        max_events: u64,
+    ) -> io::Result<u64> {
+        let mut writer = Self::create(path)?;
+        while writer.events() < max_events {
+            match workload.next_event() {
+                Some(event) => writer.write_event(&event)?,
+                None => break,
+            }
+        }
+        let written = writer.events();
+        writer.finish()?;
+        Ok(written)
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps any writer (pass `&mut buf` or a `BufWriter`; see
+    /// [`std::io::Write`]'s blanket impl for `&mut W`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the header write.
+    pub fn new(mut sink: W) -> io::Result<Self> {
+        sink.write_all(MAGIC)?;
+        Ok(TraceWriter { sink, events: 0 })
+    }
+
+    /// Appends one event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_event(&mut self, event: &Event) -> io::Result<()> {
+        match *event {
+            Event::Mem { pc, vaddr, kind, dependent } => {
+                let tag = match (kind, dependent) {
+                    (AccessKind::Write, _) => TAG_STORE,
+                    (AccessKind::Read, true) => TAG_LOAD_DEP,
+                    (AccessKind::Read, false) => TAG_LOAD,
+                };
+                self.sink.write_all(&[tag])?;
+                self.sink.write_all(&pc.raw().to_le_bytes())?;
+                self.sink.write_all(&vaddr.raw().to_le_bytes())?;
+            }
+            Event::Compute { ops } => {
+                self.sink.write_all(&[TAG_COMPUTE])?;
+                self.sink.write_all(&ops.to_le_bytes())?;
+            }
+        }
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Events written so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Replays a binary trace file as a [`Workload`].
+#[derive(Debug)]
+pub struct TraceWorkload<R: Read> {
+    source: R,
+    name: String,
+    corrupt: bool,
+}
+
+impl TraceWorkload<BufReader<File>> {
+    /// Opens a trace file for replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be opened or does not start
+    /// with the trace magic.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let name = path
+            .as_ref()
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".to_owned());
+        Self::with_name(BufReader::new(File::open(path)?), name)
+    }
+}
+
+impl<R: Read> TraceWorkload<R> {
+    /// Wraps any reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if the stream does not start with the trace
+    /// magic.
+    pub fn with_name(mut source: R, name: impl Into<String>) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        source.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a dpc trace file"));
+        }
+        Ok(TraceWorkload { source, name: name.into(), corrupt: false })
+    }
+
+    fn read_u64(&mut self) -> io::Result<u64> {
+        let mut buf = [0u8; 8];
+        self.source.read_exact(&mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn read_u32(&mut self) -> io::Result<u32> {
+        let mut buf = [0u8; 4];
+        self.source.read_exact(&mut buf)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+}
+
+impl<R: Read> Workload for TraceWorkload<R> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Yields the next recorded event; ends at end-of-file. A torn or
+    /// corrupt record ends the replay (the stream cannot be resynced).
+    fn next_event(&mut self) -> Option<Event> {
+        if self.corrupt {
+            return None;
+        }
+        let mut tag = [0u8; 1];
+        if self.source.read_exact(&mut tag).is_err() {
+            return None;
+        }
+        let event = (|| -> io::Result<Option<Event>> {
+            Ok(match tag[0] {
+                TAG_LOAD => Some(Event::load(
+                    Pc::new(self.read_u64()?),
+                    VirtAddr::new(self.read_u64()?),
+                )),
+                TAG_STORE => Some(Event::store(
+                    Pc::new(self.read_u64()?),
+                    VirtAddr::new(self.read_u64()?),
+                )),
+                TAG_LOAD_DEP => Some(Event::load_dependent(
+                    Pc::new(self.read_u64()?),
+                    VirtAddr::new(self.read_u64()?),
+                )),
+                TAG_COMPUTE => Some(Event::Compute { ops: self.read_u32()? }),
+                _ => None,
+            })
+        })();
+        match event {
+            Ok(Some(event)) => Some(event),
+            _ => {
+                self.corrupt = true;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Scale, WorkloadFactory};
+
+    fn roundtrip(events: &[Event]) -> Vec<Event> {
+        let mut buf = Vec::new();
+        {
+            let mut writer = TraceWriter::new(&mut buf).unwrap();
+            for e in events {
+                writer.write_event(e).unwrap();
+            }
+            writer.finish().unwrap();
+        }
+        let mut replay = TraceWorkload::with_name(buf.as_slice(), "test").unwrap();
+        std::iter::from_fn(|| replay.next_event()).collect()
+    }
+
+    #[test]
+    fn all_event_kinds_roundtrip() {
+        let events = vec![
+            Event::load(Pc::new(0x400), VirtAddr::new(0x1000)),
+            Event::store(Pc::new(0x404), VirtAddr::new(0x2000)),
+            Event::load_dependent(Pc::new(0x408), VirtAddr::new(0x3000)),
+            Event::Compute { ops: 7 },
+        ];
+        assert_eq!(roundtrip(&events), events);
+    }
+
+    #[test]
+    fn real_workload_roundtrips_exactly() {
+        let mut f1 = WorkloadFactory::new(Scale::Tiny, 42);
+        let mut original = f1.build("canneal").unwrap();
+        let mut buf = Vec::new();
+        let mut writer = TraceWriter::new(&mut buf).unwrap();
+        let mut recorded = Vec::new();
+        for _ in 0..5_000 {
+            let event = original.next_event().unwrap();
+            writer.write_event(&event).unwrap();
+            recorded.push(event);
+        }
+        writer.finish().unwrap();
+        let mut replay = TraceWorkload::with_name(buf.as_slice(), "canneal").unwrap();
+        for (i, expected) in recorded.iter().enumerate() {
+            assert_eq!(replay.next_event().as_ref(), Some(expected), "event {i}");
+        }
+        assert_eq!(replay.next_event(), None, "replay must end with the recording");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = TraceWorkload::with_name(&b"NOTATRACE"[..], "x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_record_ends_replay_cleanly() {
+        let mut buf = Vec::new();
+        let mut writer = TraceWriter::new(&mut buf).unwrap();
+        writer.write_event(&Event::load(Pc::new(1), VirtAddr::new(2))).unwrap();
+        let buf = writer.finish().unwrap();
+        // Chop the last record in half.
+        let torn = &buf[..buf.len() - 5];
+        let mut replay = TraceWorkload::with_name(torn, "torn").unwrap();
+        assert_eq!(replay.next_event(), None);
+        assert_eq!(replay.next_event(), None, "corrupt stream stays ended");
+    }
+
+    #[test]
+    fn unknown_tag_ends_replay() {
+        let mut buf = MAGIC.to_vec();
+        buf.push(99);
+        let mut replay = TraceWorkload::with_name(buf.as_slice(), "weird").unwrap();
+        assert_eq!(replay.next_event(), None);
+    }
+
+    #[test]
+    fn capture_helper_writes_file() {
+        let path = std::env::temp_dir().join("dpc_trace_test.dpctrc");
+        let mut f = WorkloadFactory::new(Scale::Tiny, 7);
+        let mut w = f.build("mcf").unwrap();
+        let written = TraceWriter::capture(&path, w.as_mut(), 1_000).unwrap();
+        assert_eq!(written, 1_000);
+        let mut replay = TraceWorkload::open(&path).unwrap();
+        assert_eq!(replay.name(), "dpc_trace_test");
+        let count = std::iter::from_fn(|| replay.next_event()).count();
+        assert_eq!(count, 1_000);
+        let _ = std::fs::remove_file(&path);
+    }
+}

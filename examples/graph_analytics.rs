@@ -1,0 +1,63 @@
+//! Compare every TLB/LLC policy pairing across the graph-analytics
+//! workloads — the class the paper's introduction motivates (GAPBS,
+//! Ligra, Graph500 all appear in its Table II).
+//!
+//! ```text
+//! cargo run --release -p dpc --example graph_analytics [mem_ops]
+//! ```
+
+use dpc::prelude::*;
+
+const GRAPH_WORKLOADS: [&str; 6] = ["bfs", "pr", "cc", "sssp", "bc", "graph500"];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mem_ops: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(500_000);
+
+    let policies: [(&str, TlbPolicySel, LlcPolicySel); 5] = [
+        ("baseline", TlbPolicySel::Baseline, LlcPolicySel::Baseline),
+        ("dpPred", TlbPolicySel::DpPred, LlcPolicySel::Baseline),
+        ("dpPred+cbPred", TlbPolicySel::DpPred, LlcPolicySel::CbPred),
+        ("SHiP both", TlbPolicySel::ShipTlb, LlcPolicySel::ShipLlc),
+        ("AIP both", TlbPolicySel::AipTlb, LlcPolicySel::AipLlc),
+    ];
+
+    let mut factory = WorkloadFactory::new(Scale::Small, 42);
+    let base = RunConfig::baseline(mem_ops / 5, mem_ops);
+
+    println!("IPC by policy ({} memory operations per run)\n", mem_ops);
+    print!("{:<12}", "workload");
+    for (name, _, _) in &policies {
+        print!("{name:>15}");
+    }
+    println!();
+    for workload in GRAPH_WORKLOADS {
+        print!("{workload:<12}");
+        for &(_, tlb, llc) in &policies {
+            let result =
+                run_workload(&mut factory, workload, &base.with_policies(tlb, llc));
+            print!("{:>15.3}", result.stats.ipc());
+        }
+        println!();
+    }
+
+    println!("\nLLT MPKI by policy\n");
+    print!("{:<12}", "workload");
+    for (name, _, _) in &policies {
+        print!("{name:>15}");
+    }
+    println!();
+    for workload in GRAPH_WORKLOADS {
+        print!("{workload:<12}");
+        for &(_, tlb, llc) in &policies {
+            let result =
+                run_workload(&mut factory, workload, &base.with_policies(tlb, llc));
+            print!("{:>15.2}", result.stats.llt_mpki());
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Determinism: identical configurations must produce bit-identical
+//! statistics, and different seeds must actually change the workloads.
+
+use dpc::prelude::*;
+
+fn run_once(seed: u64, workload: &str, tlb: TlbPolicySel, llc: LlcPolicySel) -> SimStats {
+    let mut factory = WorkloadFactory::new(Scale::Tiny, seed);
+    let config = RunConfig::baseline(2_000, 30_000).with_policies(tlb, llc);
+    dpc::run_workload(&mut factory, workload, &config).stats
+}
+
+#[test]
+fn baseline_runs_are_reproducible() {
+    for workload in ["bfs", "canneal", "mcf", "cactusADM", "cg.B"] {
+        let a = run_once(7, workload, TlbPolicySel::Baseline, LlcPolicySel::Baseline);
+        let b = run_once(7, workload, TlbPolicySel::Baseline, LlcPolicySel::Baseline);
+        assert_eq!(a.cycles, b.cycles, "{workload} cycles must be deterministic");
+        assert_eq!(a.llt, b.llt, "{workload} LLT counters must be deterministic");
+        assert_eq!(a.llc, b.llc, "{workload} LLC counters must be deterministic");
+        assert_eq!(a.walks, b.walks);
+        assert_eq!(a.llt_deadness, b.llt_deadness);
+    }
+}
+
+#[test]
+fn predictor_runs_are_reproducible() {
+    for workload in ["canneal", "sssp"] {
+        let a = run_once(3, workload, TlbPolicySel::DpPred, LlcPolicySel::CbPred);
+        let b = run_once(3, workload, TlbPolicySel::DpPred, LlcPolicySel::CbPred);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.llt.bypasses, b.llt.bypasses, "{workload} bypass stream");
+        assert_eq!(a.llc.bypasses, b.llc.bypasses);
+    }
+}
+
+#[test]
+fn seeds_matter() {
+    let a = run_once(1, "canneal", TlbPolicySel::Baseline, LlcPolicySel::Baseline);
+    let b = run_once(2, "canneal", TlbPolicySel::Baseline, LlcPolicySel::Baseline);
+    assert_ne!(
+        (a.cycles, a.llt.misses),
+        (b.cycles, b.llt.misses),
+        "different seeds must produce different executions"
+    );
+}
+
+#[test]
+fn oracle_passes_align() {
+    // The Belady oracle's premise: the LLT lookup stream is identical
+    // across passes. Verify by running the recorder pass twice.
+    let mut f1 = WorkloadFactory::new(Scale::Tiny, 9);
+    let mut f2 = WorkloadFactory::new(Scale::Tiny, 9);
+    let config = RunConfig::baseline(0, 40_000);
+    let a = dpc::run_workload(&mut f1, "mcf", &config).stats;
+    let b = dpc::run_oracle(&mut f2, "mcf", &config).stats;
+    // Lookup streams identical → identical LLT lookup counts even though
+    // the oracle changes hits/misses.
+    assert_eq!(a.llt.lookups, b.llt.lookups, "L1-filtered lookup stream is policy-independent");
+}

@@ -1,0 +1,156 @@
+//! End-to-end integration tests: run real workloads through the full
+//! system under every policy combination and check global invariants.
+
+use dpc::prelude::*;
+
+fn run(
+    workload: &str,
+    tlb: TlbPolicySel,
+    llc: LlcPolicySel,
+    mem_ops: u64,
+) -> dpc::RunResult {
+    let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+    let config = RunConfig::baseline(1_000, mem_ops).with_policies(tlb, llc);
+    dpc::run_workload(&mut factory, workload, &config)
+}
+
+#[test]
+fn every_workload_runs_under_every_policy_pair() {
+    let tlb_policies = [TlbPolicySel::Baseline, TlbPolicySel::DpPred, TlbPolicySel::ShipTlb];
+    let llc_policies = [LlcPolicySel::Baseline, LlcPolicySel::CbPred, LlcPolicySel::AipLlc];
+    for workload in WORKLOAD_NAMES {
+        for &tlb in &tlb_policies {
+            for &llc in &llc_policies {
+                let result = run(workload, tlb, llc, 5_000);
+                let s = &result.stats;
+                assert_eq!(s.mem_ops, 5_000, "{workload} under {tlb:?}/{llc:?}");
+                assert!(s.cycles > 0);
+                assert!(s.instructions >= s.mem_ops);
+            }
+        }
+    }
+}
+
+#[test]
+fn conservation_laws_hold_everywhere() {
+    for workload in ["bfs", "canneal", "lbm", "mcf"] {
+        let result = run(workload, TlbPolicySel::DpPred, LlcPolicySel::CbPred, 30_000);
+        let s = &result.stats;
+        for (name, st) in [
+            ("l1i_tlb", &s.l1i_tlb),
+            ("l1d_tlb", &s.l1d_tlb),
+            ("llt", &s.llt),
+            ("l1d", &s.l1d),
+            ("l2", &s.l2),
+            ("llc", &s.llc),
+        ] {
+            assert_eq!(st.hits + st.misses, st.lookups, "{workload}/{name}");
+        }
+        // Every true LLT miss (not saved by the shadow) triggers a walk.
+        assert_eq!(s.walks, s.llt.misses - s.llt.shadow_hits, "{workload} walks");
+        // Fills + bypasses ≤ misses (shadow hits re-fill without a miss...
+        // so fills can exceed; but bypasses never exceed misses).
+        assert!(s.llt.bypasses <= s.llt.misses, "{workload} bypass bound");
+        // Walker issues 1-4 PTE loads per walk.
+        assert!(s.walk_pte_loads >= s.walks, "{workload} at least one PTE load per walk");
+        assert!(s.walk_pte_loads <= 4 * s.walks, "{workload} at most four PTE loads per walk");
+    }
+}
+
+#[test]
+fn ipc_is_bounded_by_core_width() {
+    for workload in WORKLOAD_NAMES {
+        let result = run(workload, TlbPolicySel::Baseline, LlcPolicySel::Baseline, 10_000);
+        let ipc = result.stats.ipc();
+        assert!(ipc > 0.0 && ipc <= 4.0, "{workload}: IPC {ipc} outside (0, width]");
+    }
+}
+
+#[test]
+fn bypasses_only_happen_with_predictors() {
+    let baseline = run("canneal", TlbPolicySel::Baseline, LlcPolicySel::Baseline, 20_000);
+    assert_eq!(baseline.stats.llt.bypasses, 0);
+    assert_eq!(baseline.stats.llc.bypasses, 0);
+    assert!(baseline.llt_accuracy.is_none());
+    assert!(baseline.llc_accuracy.is_none());
+}
+
+#[test]
+fn accuracy_reports_are_internally_consistent() {
+    for workload in ["canneal", "bfs", "mcf"] {
+        let result = run(workload, TlbPolicySel::DpPred, LlcPolicySel::CbPred, 50_000);
+        for report in [result.llt_accuracy, result.llc_accuracy].into_iter().flatten() {
+            assert!(report.correct + report.mispredictions <= report.predictions + report.correct);
+            assert!(report.accuracy() >= 0.0 && report.accuracy() <= 1.0);
+            assert!(report.coverage() >= 0.0 && report.coverage() <= 1.0);
+            assert!(report.correct <= report.true_doas || report.true_doas == 0);
+        }
+    }
+}
+
+#[test]
+fn deadness_fractions_are_sane() {
+    for workload in ["canneal", "cg.B"] {
+        let result = run(workload, TlbPolicySel::Baseline, LlcPolicySel::Baseline, 50_000);
+        for deadness in [result.stats.llt_deadness, result.stats.llc_deadness] {
+            assert!(deadness.dead_fraction() >= deadness.doa_fraction());
+            assert!(deadness.dead_fraction() <= 1.0);
+            assert!(deadness.present >= deadness.dead);
+        }
+        let evictions = result.stats.llt_evictions;
+        assert_eq!(
+            evictions.doa + evictions.mostly_dead + evictions.live,
+            evictions.total,
+            "{workload}: eviction classes must partition evictions"
+        );
+    }
+}
+
+#[test]
+fn oracle_never_loses_to_baseline_on_mpki() {
+    let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+    // Shrink the LLT so Tiny-scale footprints actually stress it.
+    let mut config = RunConfig::baseline(0, 60_000);
+    config.system = config.system.with_l2_tlb_entries(64);
+    for workload in ["canneal", "mcf", "bfs"] {
+        let baseline = dpc::run_workload(&mut factory, workload, &config);
+        let oracle = dpc::run_oracle(&mut factory, workload, &config);
+        assert!(
+            oracle.stats.llt.misses <= baseline.stats.llt.misses * 101 / 100,
+            "{workload}: Belady oracle must not lose ({} vs {})",
+            oracle.stats.llt.misses,
+            baseline.stats.llt.misses
+        );
+    }
+}
+
+#[test]
+fn srrip_replacement_runs_end_to_end() {
+    let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+    let mut config = RunConfig::baseline(1_000, 20_000);
+    config.system = config
+        .system
+        .with_l2_tlb_replacement(dpc_types::ReplacementKind::Srrip)
+        .with_llc_replacement(dpc_types::ReplacementKind::Srrip);
+    let result = dpc::run_workload(&mut factory, "bfs", &config);
+    assert_eq!(result.stats.mem_ops, 20_000);
+    let with_pred = dpc::run_workload(
+        &mut factory,
+        "bfs",
+        &config.with_policies(TlbPolicySel::DpPred, LlcPolicySel::CbPred),
+    );
+    assert_eq!(with_pred.stats.mem_ops, 20_000);
+}
+
+#[test]
+fn non_power_of_two_llc_runs() {
+    let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+    let mut config = RunConfig::baseline(1_000, 20_000);
+    config.system = config.system.with_llc_bytes(3 << 20);
+    let result = dpc::run_workload(
+        &mut factory,
+        "canneal",
+        &config.with_policies(TlbPolicySel::DpPred, LlcPolicySel::CbPred),
+    );
+    assert_eq!(result.stats.mem_ops, 20_000);
+}
