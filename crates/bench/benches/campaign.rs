@@ -1,0 +1,51 @@
+//! Campaign-engine throughput: the Tiny-scale fig9 experiment executed
+//! through the plan/execute engine serially (1 worker) vs in parallel
+//! (available cores), plus the planning stage alone. The serial/parallel
+//! ratio is the campaign speedup on this machine; EXPERIMENTS.md records
+//! measured numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpc::campaign;
+use dpc::experiments::{self, CampaignPlan, ExperimentContext, ExperimentOptions};
+use dpc_workloads::Scale;
+
+fn tiny_options() -> ExperimentOptions {
+    ExperimentOptions {
+        scale: Scale::Tiny,
+        seed: 42,
+        warmup_mem_ops: 1_000,
+        measure_mem_ops: 10_000,
+    }
+}
+
+fn fig9_plan(options: ExperimentOptions) -> CampaignPlan {
+    let mut planner = ExperimentContext::planner(options);
+    experiments::fig9_tlb_predictor_ipc(&mut planner);
+    planner.into_plan()
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let options = tiny_options();
+    let plan = fig9_plan(options);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut group = c.benchmark_group("campaign_tiny");
+    group.sample_size(10);
+
+    group.bench_function("plan_fig9", |b| {
+        b.iter(|| fig9_plan(options));
+    });
+
+    group.bench_function("execute_fig9_serial", |b| {
+        b.iter(|| campaign::execute(options, &plan, 1, false));
+    });
+
+    group.bench_function(format!("execute_fig9_parallel_{cores}"), |b| {
+        b.iter(|| campaign::execute(options, &plan, cores, false));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

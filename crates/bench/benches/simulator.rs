@@ -11,7 +11,7 @@ fn system_with(
     config: SystemConfig,
     tlb: TlbPolicySel,
     llc: LlcPolicySel,
-    factory: &mut WorkloadFactory,
+    factory: &WorkloadFactory,
     workload: &str,
 ) -> (System, Box<dyn Workload>) {
     let run = RunConfig::baseline(0, 0).with_policies(tlb, llc).with_system(config);
@@ -37,17 +37,33 @@ fn bench_simulation_throughput(c: &mut Criterion) {
 
     for workload in ["canneal", "bfs", "lbm"] {
         group.bench_function(format!("{workload}_baseline"), |b| {
-            let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+            let factory = WorkloadFactory::new(Scale::Tiny, 42);
             b.iter_batched(
-                || system_with(config, TlbPolicySel::Baseline, LlcPolicySel::Baseline, &mut factory, workload),
+                || {
+                    system_with(
+                        config,
+                        TlbPolicySel::Baseline,
+                        LlcPolicySel::Baseline,
+                        &factory,
+                        workload,
+                    )
+                },
                 |(mut system, mut w)| system.run_until(w.as_mut(), OPS_PER_ITER),
                 BatchSize::PerIteration,
             );
         });
         group.bench_function(format!("{workload}_dppred_cbpred"), |b| {
-            let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+            let factory = WorkloadFactory::new(Scale::Tiny, 42);
             b.iter_batched(
-                || system_with(config, TlbPolicySel::DpPred, LlcPolicySel::CbPred, &mut factory, workload),
+                || {
+                    system_with(
+                        config,
+                        TlbPolicySel::DpPred,
+                        LlcPolicySel::CbPred,
+                        &factory,
+                        workload,
+                    )
+                },
                 |(mut system, mut w)| system.run_until(w.as_mut(), OPS_PER_ITER),
                 BatchSize::PerIteration,
             );

@@ -9,7 +9,7 @@ fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_generation");
     group.throughput(Throughput::Elements(10_000));
     group.sample_size(10);
-    let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+    let factory = WorkloadFactory::new(Scale::Tiny, 42);
     for name in WORKLOAD_NAMES {
         let mut workload = factory.build(name).expect("known workload");
         group.bench_function(name.replace('.', "_"), |b| {

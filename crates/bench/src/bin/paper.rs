@@ -4,11 +4,21 @@
 //! paper all                 # every experiment, paper order
 //! paper fig9 table4         # a subset
 //! paper --list              # available experiment ids
+//! paper --csv out/          # also write each table as CSV
+//! paper --timing t.json     # dump campaign timing as JSON
 //! ```
 //!
+//! Experiments run through the plan/execute campaign engine: the
+//! requested experiments are first replayed against a planning context to
+//! enumerate the distinct simulations they need, those are executed across
+//! a worker pool, and the tables are then rendered from the preloaded
+//! memo. Results are bit-identical for any worker count.
+//!
 //! Environment knobs: `DPC_SCALE` (`tiny`/`small`/`paper`), `DPC_WARMUP`,
-//! `DPC_MEASURE`, `DPC_SEED`.
+//! `DPC_MEASURE`, `DPC_SEED`, and `DPC_THREADS` (worker threads for the
+//! campaign executor; default = available parallelism).
 
+use dpc::campaign;
 use dpc::experiments::{self, ExperimentContext, ExperimentOptions};
 use std::time::Instant;
 
@@ -144,7 +154,9 @@ fn main() {
         return;
     }
     // Optional `--csv <dir>`: also write each experiment as CSV.
+    // Optional `--timing <file>`: dump campaign timing stats as JSON.
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut timing_path: Option<std::path::PathBuf> = None;
     let mut positional: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -153,6 +165,14 @@ fn main() {
                 Some(dir) => csv_dir = Some(dir.into()),
                 None => {
                     eprintln!("--csv requires a directory argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--timing" {
+            match iter.next() {
+                Some(file) => timing_path = Some(file.into()),
+                None => {
+                    eprintln!("--timing requires a file argument");
                     std::process::exit(2);
                 }
             }
@@ -173,38 +193,54 @@ fn main() {
     }
 
     let options = ExperimentOptions::from_env();
+    let threads = campaign::default_threads();
     eprintln!(
-        "# scale={:?} warmup={} measure={} seed={}",
-        options.scale, options.warmup_mem_ops, options.measure_mem_ops, options.seed
+        "# scale={:?} warmup={} measure={} seed={} threads={}",
+        options.scale, options.warmup_mem_ops, options.measure_mem_ops, options.seed, threads
     );
-    let mut ctx = ExperimentContext::new(options);
     let start = Instant::now();
-    for id in requested {
-        let t0 = Instant::now();
-        match run_one(&mut ctx, id) {
-            Some(output) => {
-                println!("{}", output.render());
-                if let (Some(dir), Output::Table(table)) = (&csv_dir, &output) {
-                    let path = dir.join(format!("{id}.csv"));
-                    if let Err(e) = std::fs::write(&path, table.to_csv()) {
-                        eprintln!("cannot write {}: {e}", path.display());
-                    }
-                }
-                eprintln!(
-                    "# {id} done in {:.1}s ({} runs total)",
-                    t0.elapsed().as_secs_f64(),
-                    ctx.runs_performed()
-                );
-            }
-            None => {
-                eprintln!("unknown experiment {id:?}; try --list");
-                std::process::exit(2);
-            }
+
+    // Plan: replay the requested experiments against a planning context to
+    // enumerate (deduplicated) every simulation they need. Unknown ids are
+    // rejected here, before any simulation runs.
+    let mut planner = ExperimentContext::planner(options);
+    for id in &requested {
+        if run_one(&mut planner, id).is_none() {
+            eprintln!("unknown experiment {id:?}; try --list");
+            std::process::exit(2);
         }
     }
-    eprintln!(
-        "# campaign finished in {:.1}s, {} distinct runs",
-        start.elapsed().as_secs_f64(),
-        ctx.runs_performed()
-    );
+    let plan = planner.into_plan();
+    eprintln!("# campaign plan: {} distinct runs", plan.distinct_runs());
+
+    // Execute: simulate the plan across the worker pool.
+    let (mut ctx, stats) = campaign::execute(options, &plan, threads, true);
+
+    // Render: replay the experiments against the preloaded memo.
+    for id in requested {
+        let t0 = Instant::now();
+        if let Some(output) = run_one(&mut ctx, id) {
+            println!("{}", output.render());
+            if let (Some(dir), Output::Table(table)) = (&csv_dir, &output) {
+                let path = dir.join(format!("{id}.csv"));
+                if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                }
+            }
+            eprintln!(
+                "# {id} rendered in {:.2}s ({} runs total)",
+                t0.elapsed().as_secs_f64(),
+                ctx.runs_performed()
+            );
+        }
+    }
+    if let Some(path) = &timing_path {
+        if let Err(e) = std::fs::write(path, stats.to_json()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("# timing written to {}", path.display());
+    }
+    eprintln!("# campaign finished: {}", stats.summary_line());
+    eprintln!("# total wall (plan + execute + render): {:.1}s", start.elapsed().as_secs_f64());
 }

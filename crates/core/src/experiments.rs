@@ -6,13 +6,18 @@
 //! the [`ExperimentContext`] so, e.g., Table IV reuses Figure 9's runs.
 
 use crate::report::{ExpTable, Summary};
-use crate::runner::{run_oracle, run_workload, LlcPolicySel, RunConfig, RunResult, TlbPolicySel};
+use crate::runner::{
+    record_baseline, run_oracle_from_trace, run_workload, LlcPolicySel, RunConfig, RunResult,
+    TlbPolicySel,
+};
+use dpc_memsim::SimStats;
 use dpc_predictors::storage;
-use dpc_predictors::DpPredConfig;
+use dpc_predictors::{DpPredConfig, LookupTrace};
 use dpc_types::{ReplacementKind, SystemConfig, TlbFillPolicy};
 use dpc_workloads::{Scale, WorkloadFactory, WORKLOAD_NAMES};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Global options for an experiment campaign.
 #[derive(Clone, Copy, Debug)]
@@ -80,23 +85,106 @@ impl Default for ExperimentOptions {
     }
 }
 
+/// Memo key: one distinct simulation.
+pub type RunKey = (String, RunConfig);
+
+/// The deduplicated set of simulations an experiment selection needs,
+/// produced by replaying experiment functions against a planning context
+/// ([`ExperimentContext::planner`]) and consumed by the parallel executor
+/// in [`crate::campaign`].
+#[derive(Clone, Debug, Default)]
+pub struct CampaignPlan {
+    /// Plain runs, in first-request order.
+    pub plain: Vec<RunKey>,
+    /// Oracle runs, in first-request order.
+    pub oracle: Vec<RunKey>,
+}
+
+impl CampaignPlan {
+    /// Total number of distinct memoized runs the plan will produce.
+    pub fn distinct_runs(&self) -> usize {
+        self.plain.len() + self.oracle.len()
+    }
+
+    /// The baseline key whose recording pass feeds an oracle run: the same
+    /// machine and event budget with both policy selectors stripped.
+    pub fn baseline_key_for(key: &RunKey) -> RunKey {
+        (key.0.clone(), key.1.with_policies(TlbPolicySel::Baseline, LlcPolicySel::Baseline))
+    }
+}
+
+#[derive(Debug, Default)]
+struct PlanRecorder {
+    plain: Vec<RunKey>,
+    oracle: Vec<RunKey>,
+    seen_plain: HashSet<RunKey>,
+    seen_oracle: HashSet<RunKey>,
+}
+
 /// Memoizing run context shared by an experiment campaign.
+///
+/// Memo values are `Arc<RunResult>`, so recalling a run shares the stored
+/// result instead of deep-cloning its full `SimStats`. A context operates
+/// in one of two modes:
+///
+/// * **immediate** (the default, [`ExperimentContext::new`]): `run` /
+///   `run_oracle` simulate on first request and memoize;
+/// * **planning** ([`ExperimentContext::planner`]): requests are recorded
+///   into a [`CampaignPlan`] and answered with zeroed placeholder results,
+///   without simulating. Replaying the experiment functions against a
+///   planning context enumerates exactly the distinct runs they need; the
+///   campaign executor then simulates those runs concurrently and hands
+///   back an immediate-mode context preloaded with every result.
 #[derive(Debug)]
 pub struct ExperimentContext {
     options: ExperimentOptions,
     factory: WorkloadFactory,
-    cache: HashMap<(String, RunConfig), RunResult>,
-    oracle_cache: HashMap<(String, RunConfig), RunResult>,
+    cache: HashMap<RunKey, Arc<RunResult>>,
+    oracle_cache: HashMap<RunKey, Arc<RunResult>>,
+    /// Lookup traces recorded by oracle pass 1, keyed by the baseline key,
+    /// so repeated oracle configs per workload re-record nothing.
+    traces: HashMap<RunKey, LookupTrace>,
+    plan: Option<PlanRecorder>,
 }
 
 impl ExperimentContext {
-    /// Creates a context.
+    /// Creates an immediate-mode context.
     pub fn new(options: ExperimentOptions) -> Self {
         ExperimentContext {
             factory: WorkloadFactory::new(options.scale, options.seed),
             options,
             cache: HashMap::new(),
             oracle_cache: HashMap::new(),
+            traces: HashMap::new(),
+            plan: None,
+        }
+    }
+
+    /// Creates a planning context: `run` / `run_oracle` record the
+    /// requested keys instead of simulating. Retrieve the result with
+    /// [`ExperimentContext::into_plan`].
+    pub fn planner(options: ExperimentOptions) -> Self {
+        let mut ctx = Self::new(options);
+        ctx.plan = Some(PlanRecorder::default());
+        ctx
+    }
+
+    /// Creates an immediate-mode context preloaded with executed results
+    /// (the campaign executor's output). The preloaded runs count as
+    /// performed.
+    pub(crate) fn with_results(
+        options: ExperimentOptions,
+        factory: WorkloadFactory,
+        cache: HashMap<RunKey, Arc<RunResult>>,
+        oracle_cache: HashMap<RunKey, Arc<RunResult>>,
+    ) -> Self {
+        ExperimentContext {
+            options,
+            factory,
+            cache,
+            oracle_cache,
+            traces: HashMap::new(),
+            plan: None,
         }
     }
 
@@ -105,25 +193,70 @@ impl ExperimentContext {
         &self.options
     }
 
-    /// Runs (or recalls) `workload` under `config`.
-    pub fn run(&mut self, workload: &str, config: RunConfig) -> RunResult {
-        let key = (workload.to_owned(), config);
-        if let Some(hit) = self.cache.get(&key) {
-            return hit.clone();
+    /// The plan accumulated by a planning context ([`Self::planner`]);
+    /// empty for immediate-mode contexts.
+    pub fn into_plan(self) -> CampaignPlan {
+        match self.plan {
+            Some(recorder) => CampaignPlan { plain: recorder.plain, oracle: recorder.oracle },
+            None => CampaignPlan::default(),
         }
-        let result = run_workload(&mut self.factory, workload, &config);
-        self.cache.insert(key, result.clone());
+    }
+
+    /// Zeroed stand-in returned while planning. Experiment functions only
+    /// push derived `f64`s into tables, so zeroed counters are safe.
+    fn placeholder(workload: &str) -> Arc<RunResult> {
+        Arc::new(RunResult {
+            workload: workload.to_owned(),
+            stats: SimStats::default(),
+            llt_accuracy: None,
+            llc_accuracy: None,
+        })
+    }
+
+    /// Runs (or recalls) `workload` under `config`.
+    pub fn run(&mut self, workload: &str, config: RunConfig) -> Arc<RunResult> {
+        let key = (workload.to_owned(), config);
+        if let Some(plan) = &mut self.plan {
+            if plan.seen_plain.insert(key.clone()) {
+                plan.plain.push(key);
+            }
+            return Self::placeholder(workload);
+        }
+        if let Some(hit) = self.cache.get(&key) {
+            return Arc::clone(hit);
+        }
+        let result = Arc::new(run_workload(&self.factory, workload, &config));
+        self.cache.insert(key, Arc::clone(&result));
         result
     }
 
-    /// Runs (or recalls) the two-pass oracle.
-    pub fn run_oracle(&mut self, workload: &str, config: RunConfig) -> RunResult {
+    /// Runs (or recalls) the two-pass oracle. The recording pass doubles
+    /// as the plain baseline run of the same machine: its result lands in
+    /// the plain memo and its lookup trace is cached, so later baseline
+    /// recalls and further oracle configs re-simulate nothing.
+    pub fn run_oracle(&mut self, workload: &str, config: RunConfig) -> Arc<RunResult> {
         let key = (workload.to_owned(), config);
-        if let Some(hit) = self.oracle_cache.get(&key) {
-            return hit.clone();
+        if let Some(plan) = &mut self.plan {
+            if plan.seen_oracle.insert(key.clone()) {
+                plan.oracle.push(key);
+            }
+            return Self::placeholder(workload);
         }
-        let result = run_oracle(&mut self.factory, workload, &config);
-        self.oracle_cache.insert(key, result.clone());
+        if let Some(hit) = self.oracle_cache.get(&key) {
+            return Arc::clone(hit);
+        }
+        let baseline_key = CampaignPlan::baseline_key_for(&key);
+        let trace = match self.traces.get(&baseline_key) {
+            Some(trace) => Arc::clone(trace),
+            None => {
+                let (result, trace) = record_baseline(&self.factory, workload, &config);
+                self.cache.entry(baseline_key.clone()).or_insert_with(|| Arc::new(result));
+                self.traces.insert(baseline_key, Arc::clone(&trace));
+                trace
+            }
+        };
+        let result = Arc::new(run_oracle_from_trace(trace, &self.factory, workload, &config));
+        self.oracle_cache.insert(key, Arc::clone(&result));
         result
     }
 
@@ -493,7 +626,8 @@ pub fn fig11a_llt_size(ctx: &mut ExperimentContext) -> ExpTable {
             let baseline = ctx.run(name, base.with_system(system)).stats.ipc();
             let dp = ctx.run(
                 name,
-                base.with_system(system).with_policies(TlbPolicySel::DpPred, LlcPolicySel::Baseline),
+                base.with_system(system)
+                    .with_policies(TlbPolicySel::DpPred, LlcPolicySel::Baseline),
             );
             values.push(dp.stats.ipc() / baseline);
         }
@@ -566,10 +700,8 @@ pub fn fig11d_pfq_size(ctx: &mut ExperimentContext) -> ExpTable {
         let baseline = ctx.run(name, base).stats.ipc();
         let mut values = Vec::new();
         for pfq in [8usize, 64] {
-            let r = ctx.run(
-                name,
-                base.with_policies(TlbPolicySel::DpPred, LlcPolicySel::CbPredPfq(pfq)),
-            );
+            let r = ctx
+                .run(name, base.with_policies(TlbPolicySel::DpPred, LlcPolicySel::CbPredPfq(pfq)));
             values.push(r.stats.ipc() / baseline);
         }
         table.push(name, values);
@@ -660,8 +792,7 @@ pub fn ablation_fill_policy(ctx: &mut ExperimentContext) -> ExpTable {
         Summary::Geomean,
         3,
     );
-    let victim =
-        SystemConfig::paper_baseline().with_tlb_fill(TlbFillPolicy::L1ThenVictim);
+    let victim = SystemConfig::paper_baseline().with_tlb_fill(TlbFillPolicy::L1ThenVictim);
     for name in WORKLOAD_NAMES {
         let baseline = ctx.run(name, base).stats.ipc();
         let alt = ctx.run(name, base.with_system(victim)).stats.ipc();
@@ -739,7 +870,11 @@ pub fn storage_overhead_report() -> String {
     let aip_tlb = storage::aip_tlb_bytes(&config.l2_tlb);
     let mut out = String::new();
     let _ = writeln!(out, "Storage overheads (paper Sections V-D / VI-D)");
-    let _ = writeln!(out, "{:<28}{:>12}{:>12}{:>12}{:>12}", "predictor", "entry B", "table B", "aux B", "total KiB");
+    let _ = writeln!(
+        out,
+        "{:<28}{:>12}{:>12}{:>12}{:>12}",
+        "predictor", "entry B", "table B", "aux B", "total KiB"
+    );
     let _ = writeln!(out, "{}", "-".repeat(76));
     for (name, b) in [
         ("dpPred (LLT)", dp),

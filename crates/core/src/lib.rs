@@ -31,7 +31,7 @@
 //! )?;
 //!
 //! // Run a workload for 50K memory operations.
-//! let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+//! let factory = WorkloadFactory::new(Scale::Tiny, 42);
 //! let mut workload = factory.build("bfs").expect("bfs is a known workload");
 //! let stats = system.run_until(workload.as_mut(), 50_000);
 //!
@@ -53,17 +53,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod report;
 pub mod runner;
 
-pub use experiments::{ExperimentContext, ExperimentOptions};
+pub use campaign::{CampaignStats, RunTiming, SimKind};
+pub use experiments::{CampaignPlan, ExperimentContext, ExperimentOptions, RunKey};
 pub use report::{geomean, ExpTable, Summary};
 pub use runner::{run_oracle, run_workload, LlcPolicySel, RunConfig, RunResult, TlbPolicySel};
 
 /// Convenient re-exports for applications.
 pub mod prelude {
-    pub use crate::experiments::{self, ExperimentContext, ExperimentOptions};
+    pub use crate::campaign::{self, CampaignStats};
+    pub use crate::experiments::{self, CampaignPlan, ExperimentContext, ExperimentOptions};
     pub use crate::report::ExpTable;
     pub use crate::runner::{
         run_oracle, run_workload, LlcPolicySel, RunConfig, RunResult, TlbPolicySel,

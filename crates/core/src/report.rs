@@ -187,12 +187,7 @@ mod tests {
 
     #[test]
     fn render_contains_rows_and_summary() {
-        let mut t = ExpTable::new(
-            "Demo",
-            vec!["a".into(), "b".into()],
-            Summary::Geomean,
-            3,
-        );
+        let mut t = ExpTable::new("Demo", vec!["a".into(), "b".into()], Summary::Geomean, 3);
         t.push("bfs", vec![1.0, 2.0]);
         t.push("pr", vec![4.0, 8.0]);
         let s = t.render();

@@ -4,7 +4,7 @@ use dpc_memsim::policy::AccuracyReport;
 use dpc_memsim::{LlcPolicy, LltPolicy, NullBlockPolicy, NullPagePolicy, SimStats, System};
 use dpc_predictors::{
     AipLlc, AipTlb, BeladyOracle, CbPred, CbPredConfig, DpPred, DpPredConfig, DuelingDpPred,
-    LookupRecorder, ShipLlc, ShipTlb,
+    LookupRecorder, LookupTrace, ShipLlc, ShipTlb,
 };
 use dpc_types::SystemConfig;
 use dpc_workloads::WorkloadFactory;
@@ -136,7 +136,7 @@ fn build_llc_policy(sel: LlcPolicySel, system: &SystemConfig) -> Box<dyn LlcPoli
 
 fn run_system(
     mut system: System,
-    factory: &mut WorkloadFactory,
+    factory: &WorkloadFactory,
     workload: &str,
     config: &RunConfig,
 ) -> RunResult {
@@ -163,11 +163,7 @@ fn run_system(
 ///
 /// Panics if the system configuration is invalid or the workload name is
 /// unknown — experiment definitions control both.
-pub fn run_workload(
-    factory: &mut WorkloadFactory,
-    workload: &str,
-    config: &RunConfig,
-) -> RunResult {
+pub fn run_workload(factory: &WorkloadFactory, workload: &str, config: &RunConfig) -> RunResult {
     let system = System::with_policies(
         config.system,
         build_tlb_policy(config.tlb_policy, &config.system),
@@ -177,29 +173,58 @@ pub fn run_workload(
     run_system(system, factory, workload, config)
 }
 
-/// Runs the two-pass approximate oracle (paper Table IV): pass 1 records
-/// every page's LLT lookup times under the baseline (the lookup stream is
-/// policy-independent because the L1 TLBs filter it identically); pass 2
-/// replays the workload under Belady bypass/replacement using those times
-/// as perfect lookahead.
-pub fn run_oracle(
-    factory: &mut WorkloadFactory,
+/// Runs `workload` once under the policy-free baseline machine of `config`
+/// while recording every page's LLT lookup times, returning both the run's
+/// results and the frozen lookup trace.
+///
+/// The recorder changes no replacement decision, so the returned
+/// [`RunResult`] is bit-identical to a plain baseline run of
+/// `config.with_policies(TlbPolicySel::Baseline, LlcPolicySel::Baseline)` —
+/// one recording pass can therefore double as the baseline entry of a
+/// memo cache *and* feed [`run_oracle_from_trace`], eliminating the
+/// redundant third simulation the old two-pass oracle paid per workload.
+pub fn record_baseline(
+    factory: &WorkloadFactory,
     workload: &str,
     config: &RunConfig,
-) -> RunResult {
+) -> (RunResult, LookupTrace) {
     let (recorder, record) = LookupRecorder::new();
     let pass1 = System::with_policies(config.system, Box::new(recorder), Box::new(NullBlockPolicy))
         .expect("experiment configurations are valid");
-    run_system(pass1, factory, workload, config);
+    let result = run_system(pass1, factory, workload, config);
+    // `run_system` consumed (and dropped) the system holding the recorder,
+    // so freezing moves the map instead of cloning it.
+    (result, LookupRecorder::freeze(record))
+}
+
+/// Replays `workload` under Belady bypass/replacement, using the lookup
+/// times recorded by [`record_baseline`] as perfect lookahead (pass 2 of
+/// the paper's Table IV oracle). The LLT lookup stream is
+/// policy-independent — the L1 TLBs filter it identically in both passes —
+/// so pass-2 lookup indices align exactly with the recorded ones.
+pub fn run_oracle_from_trace(
+    trace: LookupTrace,
+    factory: &WorkloadFactory,
+    workload: &str,
+    config: &RunConfig,
+) -> RunResult {
     let oracle = BeladyOracle::new(
-        record,
+        trace,
         u64::from(config.system.l2_tlb.sets()),
         config.system.l2_tlb.ways as usize,
     );
-    let pass2 =
-        System::with_policies(config.system, Box::new(oracle), Box::new(NullBlockPolicy))
-            .expect("experiment configurations are valid");
+    let pass2 = System::with_policies(config.system, Box::new(oracle), Box::new(NullBlockPolicy))
+        .expect("experiment configurations are valid");
     run_system(pass2, factory, workload, config)
+}
+
+/// Runs the two-pass approximate oracle (paper Table IV): pass 1 records
+/// every page's LLT lookup times under the baseline ([`record_baseline`]);
+/// pass 2 replays the workload under Belady bypass/replacement using those
+/// times as perfect lookahead ([`run_oracle_from_trace`]).
+pub fn run_oracle(factory: &WorkloadFactory, workload: &str, config: &RunConfig) -> RunResult {
+    let (_, trace) = record_baseline(factory, workload, config);
+    run_oracle_from_trace(trace, factory, workload, config)
 }
 
 #[cfg(test)]
@@ -213,9 +238,9 @@ mod tests {
 
     #[test]
     fn baseline_run_produces_stats() {
-        let mut f = factory();
+        let f = factory();
         let config = RunConfig::baseline(1000, 20_000);
-        let result = run_workload(&mut f, "bfs", &config);
+        let result = run_workload(&f, "bfs", &config);
         assert_eq!(result.workload, "bfs");
         assert_eq!(result.stats.mem_ops, 20_000);
         assert!(result.llt_accuracy.is_none(), "baseline reports no accuracy");
@@ -223,23 +248,23 @@ mod tests {
 
     #[test]
     fn dppred_run_reports_accuracy() {
-        let mut f = factory();
+        let f = factory();
         let config = RunConfig::baseline(1000, 20_000)
             .with_policies(TlbPolicySel::DpPred, LlcPolicySel::CbPred);
-        let result = run_workload(&mut f, "canneal", &config);
+        let result = run_workload(&f, "canneal", &config);
         assert!(result.llt_accuracy.is_some());
         assert!(result.llc_accuracy.is_some());
     }
 
     #[test]
     fn oracle_two_pass_runs() {
-        let mut f = factory();
+        let f = factory();
         // Tiny-scale footprints fit in the paper's 1024-entry LLT; shrink
-        // it so stays actually end in evictions the recorder can log.
+        // it so LLT stays actually end in evictions the recorder can log.
         let mut config = RunConfig::baseline(0, 60_000);
         config.system = config.system.with_l2_tlb_entries(64);
-        let oracle = run_oracle(&mut f, "lbm", &config);
-        let base = run_workload(&mut f, "lbm", &config);
+        let oracle = run_oracle(&f, "lbm", &config);
+        let base = run_workload(&f, "lbm", &config);
         // lbm's LLT fills are almost all DOA: the oracle must bypass many
         // and not increase misses.
         assert!(oracle.stats.llt.bypasses > 0, "oracle must bypass recorded DOAs");
@@ -249,6 +274,21 @@ mod tests {
             oracle.stats.llt.misses,
             base.stats.llt.misses
         );
+    }
+
+    #[test]
+    fn recording_pass_is_bit_identical_to_baseline() {
+        let f = factory();
+        let mut config = RunConfig::baseline(1_000, 40_000);
+        config.system = config.system.with_l2_tlb_entries(64);
+        let plain = run_workload(&f, "mcf", &config);
+        let (recorded, trace) = record_baseline(&f, "mcf", &config);
+        assert_eq!(plain.stats.cycles, recorded.stats.cycles);
+        assert_eq!(plain.stats.llt, recorded.stats.llt);
+        assert_eq!(plain.stats.llc, recorded.stats.llc);
+        assert_eq!(plain.stats.llt_deadness, recorded.stats.llt_deadness);
+        assert!(plain.llt_accuracy.is_none() && recorded.llt_accuracy.is_none());
+        assert!(!trace.is_empty(), "recording pass must log lookups");
     }
 
     #[test]

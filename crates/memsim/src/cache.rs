@@ -38,11 +38,7 @@ impl Cache {
     /// Panics on zero geometry; validate the [`CacheConfig`] first.
     pub fn new(config: &CacheConfig) -> Self {
         Cache {
-            array: SetAssoc::new(
-                config.sets() as usize,
-                config.ways as usize,
-                config.replacement,
-            ),
+            array: SetAssoc::new(config.sets() as usize, config.ways as usize, config.replacement),
             latency: config.latency,
             stats: StructStats::default(),
         }

@@ -243,7 +243,7 @@ mod tests {
         core.issue_mem(100, false); // completes ~100
         core.issue_mem(10, true); // completes ~110
         core.issue_mem(100, false); // independent: completes ~100..101
-        // The third op overlapped with the chain.
+                                    // The third op overlapped with the chain.
         assert!(core.cycles() <= 115, "cycles = {}", core.cycles());
     }
 

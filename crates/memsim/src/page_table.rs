@@ -12,7 +12,7 @@
 //! over the frame space with a bijective multiplier, emulating the
 //! fragmented VA→PA mappings of a long-running system.
 
-use dpc_types::{PhysAddr, Pfn, Vpn};
+use dpc_types::{Pfn, PhysAddr, Vpn};
 use std::collections::HashMap;
 
 /// Entries per page-table node (512 × 8 B = one 4 KiB page).

@@ -21,8 +21,8 @@
 //! is wired by the [`System`](crate::system::System): a
 //! [`PageFillDecision::Bypass`] triggers [`LlcPolicy::note_doa_page`].
 
-use crate::set_assoc::LineLife;
 pub use crate::set_assoc::InsertPriority;
+use crate::set_assoc::LineLife;
 use dpc_types::{BlockAddr, Pc, Pfn, Vpn};
 use std::fmt::Debug;
 
@@ -294,10 +294,7 @@ mod tests {
     #[test]
     fn null_policies_allocate() {
         let mut p = NullPagePolicy;
-        assert_eq!(
-            p.on_fill(Vpn::new(1), Pfn::new(2), Pc::new(3)),
-            PageFillDecision::ALLOCATE
-        );
+        assert_eq!(p.on_fill(Vpn::new(1), Pfn::new(2), Pc::new(3)), PageFillDecision::ALLOCATE);
         assert_eq!(p.shadow_lookup(Vpn::new(1)), None);
         assert_eq!(p.policy_name(), "baseline");
 

@@ -70,7 +70,14 @@ pub struct Line<P> {
 
 impl<P: Default> Line<P> {
     fn empty() -> Self {
-        Line { valid: false, tag: 0, stamp: 0, rrpv: RRPV_MAX, life: LineLife::default(), payload: P::default() }
+        Line {
+            valid: false,
+            tag: 0,
+            stamp: 0,
+            rrpv: RRPV_MAX,
+            life: LineLife::default(),
+            payload: P::default(),
+        }
     }
 }
 
@@ -420,8 +427,8 @@ mod tests {
         s.fill(0, 1, 0, InsertPriority::Normal); // rrpv 2
         s.fill(0, 2, 0, InsertPriority::Normal); // rrpv 2
         assert!(s.lookup(0, 1).is_some()); // rrpv -> 0
-        // Victim search ages both to find an RRPV_MAX line; tag 2 ages
-        // 2 -> 3 first.
+                                           // Victim search ages both to find an RRPV_MAX line; tag 2 ages
+                                           // 2 -> 3 first.
         let evicted = s.fill(0, 3, 0, InsertPriority::Normal).unwrap();
         assert_eq!(evicted.tag, 2);
         assert!(s.peek(0, 1).is_some());

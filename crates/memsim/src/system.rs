@@ -192,7 +192,11 @@ impl System {
     /// Zeroes all statistics while keeping the machine state (cache/TLB/
     /// predictor contents) warm. Use after a warm-up phase.
     pub fn reset_stats(&mut self) {
-        self.core = CoreModel::new(self.config.core.width, self.config.core.rob_size, self.config.core.mem_slots);
+        self.core = CoreModel::new(
+            self.config.core.width,
+            self.config.core.rob_size,
+            self.config.core.mem_slots,
+        );
         self.l1i_tlb.stats = Default::default();
         self.l1d_tlb.stats = Default::default();
         self.llt.stats = Default::default();
@@ -545,7 +549,8 @@ mod tests {
     #[test]
     fn run_until_bounds_mem_ops() {
         let mut sys = system();
-        let stats = sys.run_until(&mut Streamer { next: 0, remaining: 1_000_000, stride: 64 }, 1000);
+        let stats =
+            sys.run_until(&mut Streamer { next: 0, remaining: 1_000_000, stride: 64 }, 1000);
         assert_eq!(stats.mem_ops, 1000);
     }
 

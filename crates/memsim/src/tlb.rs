@@ -43,11 +43,7 @@ impl Tlb {
     /// Panics on zero geometry; validate the [`TlbConfig`] first.
     pub fn new(config: &TlbConfig) -> Self {
         Tlb {
-            array: SetAssoc::new(
-                config.sets() as usize,
-                config.ways as usize,
-                config.replacement,
-            ),
+            array: SetAssoc::new(config.sets() as usize, config.ways as usize, config.replacement),
             latency: config.latency,
             stats: StructStats::default(),
         }

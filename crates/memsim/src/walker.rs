@@ -64,8 +64,7 @@ impl Walker {
         // levels L..=0 (closest-to-root first, sequentially dependent).
         let top_level = probe.remaining_loads as usize - 1;
         for level in (0..=top_level).rev() {
-            latency +=
-                hierarchy.access(path.pte_addrs[level], AccessKind::Read, Pc::new(0), false);
+            latency += hierarchy.access(path.pte_addrs[level], AccessKind::Read, Pc::new(0), false);
             self.pte_loads += 1;
         }
         self.pwc.fill(vpn, &path.node_pfns);

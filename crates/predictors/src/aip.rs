@@ -370,7 +370,7 @@ mod tests {
         core.on_evict(10, state, 0);
         core.on_evict(10, state, 0); // confident at 0
         core.on_evict(10, set_max_live(state, 3), 1); // different observation
-        // New threshold 3, unconfident: the grace margin applies again.
+                                                      // New threshold 3, unconfident: the grace margin applies again.
         assert!(!core.is_dead(10, set_interval(state, 5)));
         assert!(core.is_dead(10, set_interval(state, 6)));
     }

@@ -89,10 +89,7 @@ impl CbPred {
     /// `use_pfq` is set.
     pub fn new(config: CbPredConfig) -> Self {
         assert!(config.bhist_entries > 0, "bHIST must have entries");
-        assert!(
-            !config.use_pfq || config.pfq_entries > 0,
-            "PFQ filtering requires a nonzero PFQ"
-        );
+        assert!(!config.use_pfq || config.pfq_entries > 0, "PFQ filtering requires a nonzero PFQ");
         CbPred {
             bhist: vec![SatCounter::new(config.counter_bits); config.bhist_entries],
             pfq: VecDeque::with_capacity(config.pfq_entries),
@@ -156,11 +153,7 @@ impl LlcPolicy for CbPred {
     }
 
     fn on_fill(&mut self, block: BlockAddr, _pc: Pc) -> BlockFillDecision {
-        let on_doa_page = if self.config.use_pfq {
-            self.pfq.contains(&block.pfn())
-        } else {
-            true
-        };
+        let on_doa_page = if self.config.use_pfq { self.pfq.contains(&block.pfn()) } else { true };
         if !on_doa_page {
             self.ghost.note_fill(block.raw());
             return BlockFillDecision::Allocate { priority: InsertPriority::Normal, state: 0 };
@@ -269,10 +262,7 @@ mod tests {
             doa_evict(&mut pred, block, true);
         }
         live_evict(&mut pred, block, true);
-        assert!(matches!(
-            pred.on_fill(block, Pc::new(0)),
-            BlockFillDecision::Allocate { .. }
-        ));
+        assert!(matches!(pred.on_fill(block, Pc::new(0)), BlockFillDecision::Allocate { .. }));
     }
 
     #[test]

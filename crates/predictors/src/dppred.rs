@@ -279,10 +279,10 @@ mod tests {
         let pc_hash = hash_pc(pc, 6);
         // Threshold 6: the 7th DOA eviction makes the counter exceed it.
         for i in 0..7 {
-            assert!(matches!(
-                pred.on_fill(vpn, Pfn::new(1), pc),
-                PageFillDecision::Allocate { .. }
-            ), "fill {i} must still allocate");
+            assert!(
+                matches!(pred.on_fill(vpn, Pfn::new(1), pc), PageFillDecision::Allocate { .. }),
+                "fill {i} must still allocate"
+            );
             doa_evict(&mut pred, vpn, pc_hash);
         }
         assert_eq!(pred.on_fill(vpn, Pfn::new(1), pc), PageFillDecision::Bypass);
@@ -346,11 +346,8 @@ mod tests {
 
     #[test]
     fn pc_only_variant_works() {
-        let mut pred = DpPred::new(DpPredConfig {
-            pc_bits: 10,
-            vpn_bits: 0,
-            ..DpPredConfig::paper_default()
-        });
+        let mut pred =
+            DpPred::new(DpPredConfig { pc_bits: 10, vpn_bits: 0, ..DpPredConfig::paper_default() });
         assert_eq!(pred.config().phist_entries(), 1024);
         let pc = Pc::new(0x400123);
         let pc_hash = hash_pc(pc, 10);

@@ -122,10 +122,7 @@ impl LltPolicy for DuelingDpPred {
                 // ...but override the decision where the duel says no:
                 // allocate with dpPred's freshly computed entry state.
                 let state = self.inner.refill_state(vpn, pc);
-                PageFillDecision::Allocate {
-                    priority: dpc_memsim::InsertPriority::Normal,
-                    state,
-                }
+                PageFillDecision::Allocate { priority: dpc_memsim::InsertPriority::Normal, state }
             }
             allocate => allocate,
         }

@@ -59,5 +59,5 @@ pub use cbpred::{CbPred, CbPredConfig};
 pub use dppred::{DpPred, DpPredConfig};
 pub use dueling::DuelingDpPred;
 pub use ghost::GhostTracker;
-pub use oracle::{BeladyOracle, DoaRecorder, LookupRecorder, OracleBypass};
+pub use oracle::{BeladyOracle, DoaRecorder, LookupRecorder, LookupTrace, OracleBypass};
 pub use ship::{ShipLlc, ShipTlb};

@@ -29,11 +29,14 @@
 //! # Ok(()) }
 //! ```
 
-use dpc_memsim::policy::{EvictedPage, InsertPriority, LltPolicy, PageFillDecision, PolicyLineView};
+use dpc_memsim::policy::{
+    EvictedPage, InsertPriority, LltPolicy, PageFillDecision, PolicyLineView,
+};
 use dpc_types::{Pc, Pfn, Vpn};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Shared per-page stay-outcome log: for each VPN, the DOA-ness of its
 /// successive LLT stays in fill order.
@@ -61,11 +64,7 @@ impl LltPolicy for DoaRecorder {
     }
 
     fn on_evict(&mut self, evicted: EvictedPage) {
-        self.record
-            .borrow_mut()
-            .entry(evicted.vpn)
-            .or_default()
-            .push_back(evicted.life.hits == 0);
+        self.record.borrow_mut().entry(evicted.vpn).or_default().push_back(evicted.life.hits == 0);
     }
 }
 
@@ -125,6 +124,12 @@ impl LltPolicy for OracleBypass {
 /// align exactly with pass-1 times.
 pub type LookupRecord = Rc<RefCell<HashMap<Vpn, Vec<u64>>>>;
 
+/// An immutable, `Send + Sync` snapshot of a recording pass's per-page
+/// lookup times, ready to be cached across runs and shared between worker
+/// threads. Produced by [`LookupRecorder::freeze`], consumed by
+/// [`BeladyOracle::new`].
+pub type LookupTrace = Arc<HashMap<Vpn, Vec<u64>>>;
+
 /// Pass-1 policy for [`BeladyOracle`]: baseline behaviour while logging
 /// every LLT lookup's global index per page.
 #[derive(Debug)]
@@ -135,10 +140,20 @@ pub struct LookupRecorder {
 
 impl LookupRecorder {
     /// Creates the recorder and the shared record to hand to
-    /// [`BeladyOracle`].
+    /// [`LookupRecorder::freeze`] once the recording pass finishes.
     pub fn new() -> (Self, LookupRecord) {
         let record: LookupRecord = Rc::new(RefCell::new(HashMap::new()));
         (LookupRecorder { record: Rc::clone(&record), time: 0 }, record)
+    }
+
+    /// Freezes a finished recording into a shareable [`LookupTrace`].
+    /// Cheap (a move, no copy) when the recorder itself has been dropped,
+    /// which releases the other `Rc` handle.
+    pub fn freeze(record: LookupRecord) -> LookupTrace {
+        Arc::new(match Rc::try_unwrap(record) {
+            Ok(cell) => cell.into_inner(),
+            Err(shared) => shared.borrow().clone(),
+        })
     }
 }
 
@@ -167,7 +182,7 @@ impl LltPolicy for LookupRecorder {
 /// minimizes misses.
 #[derive(Debug)]
 pub struct BeladyOracle {
-    record: LookupRecord,
+    trace: LookupTrace,
     cursors: HashMap<Vpn, usize>,
     time: u64,
     sets: u64,
@@ -186,10 +201,10 @@ impl BeladyOracle {
     /// # Panics
     ///
     /// Panics if `sets` or `ways` is zero.
-    pub fn new(record: LookupRecord, sets: u64, ways: usize) -> Self {
+    pub fn new(trace: LookupTrace, sets: u64, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0, "oracle requires nonzero LLT geometry");
         BeladyOracle {
-            record,
+            trace,
             cursors: HashMap::new(),
             time: 0,
             sets,
@@ -203,8 +218,7 @@ impl BeladyOracle {
     /// Next recorded lookup time of `vpn` strictly after the current time
     /// (`u64::MAX` when there is none).
     fn next_use(&mut self, vpn: Vpn) -> u64 {
-        let record = self.record.borrow();
-        let Some(times) = record.get(&vpn) else {
+        let Some(times) = self.trace.get(&vpn) else {
             return u64::MAX;
         };
         let cursor = self.cursors.entry(vpn).or_insert(0);
@@ -289,10 +303,7 @@ mod tests {
         rec.on_evict(evicted(7, 0));
         rec.on_evict(evicted(7, 3));
         let mut oracle = OracleBypass::new(record);
-        assert_eq!(
-            oracle.on_fill(Vpn::new(7), Pfn::new(1), Pc::new(0)),
-            PageFillDecision::Bypass
-        );
+        assert_eq!(oracle.on_fill(Vpn::new(7), Pfn::new(1), Pc::new(0)), PageFillDecision::Bypass);
         assert_eq!(
             oracle.on_fill(Vpn::new(7), Pfn::new(1), Pc::new(0)),
             PageFillDecision::ALLOCATE
@@ -318,12 +329,24 @@ mod tests {
     }
 
     /// Record lookups for vpns at the given times.
-    fn lookup_record(entries: &[(u64, &[u64])]) -> LookupRecord {
-        let record: LookupRecord = Rc::new(RefCell::new(HashMap::new()));
+    fn lookup_record(entries: &[(u64, &[u64])]) -> LookupTrace {
+        let mut record = HashMap::new();
         for &(vpn, times) in entries {
-            record.borrow_mut().insert(Vpn::new(vpn), times.to_vec());
+            record.insert(Vpn::new(vpn), times.to_vec());
         }
-        record
+        Arc::new(record)
+    }
+
+    #[test]
+    fn freeze_is_zero_copy_when_recorder_is_dropped() {
+        let (mut rec, record) = LookupRecorder::new();
+        rec.on_lookup(Vpn::new(3), false);
+        rec.on_lookup(Vpn::new(3), true);
+        drop(rec);
+        let trace = LookupRecorder::freeze(record);
+        assert_eq!(trace[&Vpn::new(3)], vec![1, 2]);
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        assert_send_sync(&trace);
     }
 
     #[test]
@@ -347,10 +370,7 @@ mod tests {
         let mut oracle = BeladyOracle::new(record, 1, 2);
         oracle.on_fill(Vpn::new(1), Pfn::new(1), Pc::new(0));
         oracle.on_fill(Vpn::new(2), Pfn::new(2), Pc::new(0));
-        assert_eq!(
-            oracle.on_fill(Vpn::new(3), Pfn::new(3), Pc::new(0)),
-            PageFillDecision::Bypass
-        );
+        assert_eq!(oracle.on_fill(Vpn::new(3), Pfn::new(3), Pc::new(0)), PageFillDecision::Bypass);
         assert_eq!(oracle.bypasses, 1);
     }
 
@@ -383,9 +403,12 @@ mod tests {
         let mut oracle = BeladyOracle::new(record, 1, 1);
         oracle.on_fill(Vpn::new(1), Pfn::new(1), Pc::new(0));
         oracle.on_lookup(Vpn::new(1), true); // t = 1: page 1's last use
-        assert!(matches!(
-            oracle.on_fill(Vpn::new(3), Pfn::new(3), Pc::new(0)),
-            PageFillDecision::Allocate { .. }
-        ), "page 3 (next use t=2) must displace the finished page 1");
+        assert!(
+            matches!(
+                oracle.on_fill(Vpn::new(3), Pfn::new(3), Pc::new(0)),
+                PageFillDecision::Allocate { .. }
+            ),
+            "page 3 (next use t=2) must displace the finished page 1"
+        );
     }
 }

@@ -276,8 +276,7 @@ mod tests {
         let mut ship = ShipLlc::paper_default();
         let pc = Pc::new(0x400);
         // One DOA eviction is not enough from the mid-range init.
-        let BlockFillDecision::Allocate { state, .. } = ship.on_fill(BlockAddr::new(1), pc)
-        else {
+        let BlockFillDecision::Allocate { state, .. } = ship.on_fill(BlockAddr::new(1), pc) else {
             panic!("SHiP never bypasses");
         };
         ship.on_evict(EvictedBlock {
@@ -319,7 +318,10 @@ mod tests {
         });
         let decision = ship.on_fill(BlockAddr::new(3), pc);
         assert!(
-            matches!(decision, BlockFillDecision::Allocate { priority: InsertPriority::Normal, .. }),
+            matches!(
+                decision,
+                BlockFillDecision::Allocate { priority: InsertPriority::Normal, .. }
+            ),
             "a reuse observation must lift the signature out of distant"
         );
     }

@@ -232,11 +232,9 @@ impl SystemConfig {
     /// Returns a [`ConfigError`] describing the first violated invariant:
     /// zero sizes or associativities that do not divide entry counts.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        for (name, tlb) in [
-            ("l1_itlb", &self.l1_itlb),
-            ("l1_dtlb", &self.l1_dtlb),
-            ("l2_tlb", &self.l2_tlb),
-        ] {
+        for (name, tlb) in
+            [("l1_itlb", &self.l1_itlb), ("l1_dtlb", &self.l1_dtlb), ("l2_tlb", &self.l2_tlb)]
+        {
             if tlb.entries == 0 || tlb.ways == 0 {
                 return Err(ConfigError::Zero { structure: name });
             }

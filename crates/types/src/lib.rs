@@ -34,7 +34,7 @@ pub mod counter;
 pub mod hash;
 pub mod workload;
 
-pub use addr::{AccessKind, BlockAddr, Pc, Pfn, PhysAddr, Vpn, VirtAddr};
+pub use addr::{AccessKind, BlockAddr, Pc, Pfn, PhysAddr, VirtAddr, Vpn};
 pub use config::{
     CacheConfig, ConfigError, CoreConfig, PwcConfig, ReplacementKind, SystemConfig, TlbConfig,
     TlbFillPolicy,

@@ -48,9 +48,8 @@ impl CsrGraph {
         assert!(n > 0, "graph must have vertices");
         let mut rng = SmallRng::seed_from_u64(seed);
         let edges = u64::from(n) * u64::from(degree) / 2;
-        let pairs = (0..edges)
-            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
-            .collect::<Vec<_>>();
+        let pairs =
+            (0..edges).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect::<Vec<_>>();
         Self::from_pairs(n, &pairs)
     }
 

@@ -37,7 +37,7 @@
 //! ```
 //! use dpc_workloads::{WorkloadFactory, Scale, WORKLOAD_NAMES};
 //!
-//! let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+//! let factory = WorkloadFactory::new(Scale::Tiny, 42);
 //! let mut bfs = factory.build("bfs").expect("bfs is a known workload");
 //! assert_eq!(bfs.name(), "bfs");
 //! assert!(WORKLOAD_NAMES.contains(&"bfs"));
@@ -61,10 +61,9 @@ pub mod trace;
 
 use dpc_types::Workload;
 use graph::CsrGraph;
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 pub use emitter::{Algorithm, Emitter, Generator};
 pub use layout::{AddressSpace, VArray};
@@ -182,20 +181,37 @@ enum InputKind {
     Graph500Graph,
 }
 
+/// Lazily-built inputs shared by every clone of a factory. Each graph is
+/// built at most once per factory family, even when clones race from
+/// several worker threads (`OnceLock` serializes initialization), and the
+/// result is deterministic in `(scale, seed)` regardless of which thread
+/// wins.
+#[derive(Debug, Default)]
+struct SharedInputs {
+    shared_graph: OnceLock<Arc<CsrGraph>>,
+    graph500_graph: OnceLock<Arc<CsrGraph>>,
+}
+
 /// Builds workloads by name, caching the expensive shared inputs (graphs)
 /// so a sweep over configurations does not regenerate them per run.
-#[derive(Debug)]
+///
+/// The factory is `Send + Sync` and cheap to clone: clones share the input
+/// cache, so a parallel campaign can hand one clone to each worker thread
+/// and still generate each graph only once. Workload construction itself
+/// is deterministic in `(scale, seed)` alone — two factories (cloned or
+/// not) with the same parameters produce bit-identical workloads.
+#[derive(Clone, Debug)]
 pub struct WorkloadFactory {
     scale: Scale,
     seed: u64,
-    graphs: HashMap<InputKind, Arc<CsrGraph>>,
+    inputs: Arc<SharedInputs>,
 }
 
 impl WorkloadFactory {
     /// Creates a factory for the given scale and master seed. The same
     /// `(scale, seed)` always produces identical workloads.
     pub fn new(scale: Scale, seed: u64) -> Self {
-        WorkloadFactory { scale, seed, graphs: HashMap::new() }
+        WorkloadFactory { scale, seed, inputs: Arc::new(SharedInputs::default()) }
     }
 
     /// The factory's scale.
@@ -203,15 +219,22 @@ impl WorkloadFactory {
         self.scale
     }
 
-    fn graph(&mut self, kind: InputKind) -> Arc<CsrGraph> {
-        let scale = self.scale;
-        let seed = self.seed;
-        Arc::clone(self.graphs.entry(kind).or_insert_with(|| {
-            let n = scale.graph_vertices();
-            let deg = scale.graph_degree();
+    /// The factory's master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn graph(&self, kind: InputKind) -> Arc<CsrGraph> {
+        let cell = match kind {
+            InputKind::SharedGraph => &self.inputs.shared_graph,
+            InputKind::Graph500Graph => &self.inputs.graph500_graph,
+        };
+        Arc::clone(cell.get_or_init(|| {
+            let n = self.scale.graph_vertices();
+            let deg = self.scale.graph_degree();
             Arc::new(match kind {
-                InputKind::SharedGraph => CsrGraph::rmat(n, deg, seed ^ 0x1111),
-                InputKind::Graph500Graph => CsrGraph::rmat(n, deg, seed ^ 0x2222),
+                InputKind::SharedGraph => CsrGraph::rmat(n, deg, self.seed ^ 0x1111),
+                InputKind::Graph500Graph => CsrGraph::rmat(n, deg, self.seed ^ 0x2222),
             })
         }))
     }
@@ -222,7 +245,7 @@ impl WorkloadFactory {
     ///
     /// Returns [`UnknownWorkload`] if `name` is not one of
     /// [`WORKLOAD_NAMES`].
-    pub fn build(&mut self, name: &str) -> Result<Box<dyn Workload>, UnknownWorkload> {
+    pub fn build(&self, name: &str) -> Result<Box<dyn Workload>, UnknownWorkload> {
         let scale = self.scale;
         let seed = self.seed;
         let shared = || InputKind::SharedGraph;
@@ -257,7 +280,7 @@ mod tests {
 
     #[test]
     fn all_fourteen_build_and_emit() {
-        let mut factory = WorkloadFactory::new(Scale::Tiny, 1);
+        let factory = WorkloadFactory::new(Scale::Tiny, 1);
         for name in WORKLOAD_NAMES {
             let mut w = factory.build(name).unwrap_or_else(|e| panic!("{e}"));
             assert_eq!(w.name(), name);
@@ -276,8 +299,8 @@ mod tests {
     #[test]
     fn workloads_are_deterministic() {
         for name in ["bfs", "canneal", "mcf", "sssp"] {
-            let mut f1 = WorkloadFactory::new(Scale::Tiny, 7);
-            let mut f2 = WorkloadFactory::new(Scale::Tiny, 7);
+            let f1 = WorkloadFactory::new(Scale::Tiny, 7);
+            let f2 = WorkloadFactory::new(Scale::Tiny, 7);
             let mut a = f1.build(name).unwrap();
             let mut b = f2.build(name).unwrap();
             for i in 0..50_000 {
@@ -288,8 +311,8 @@ mod tests {
 
     #[test]
     fn seeds_change_streams() {
-        let mut f1 = WorkloadFactory::new(Scale::Tiny, 7);
-        let mut f2 = WorkloadFactory::new(Scale::Tiny, 8);
+        let f1 = WorkloadFactory::new(Scale::Tiny, 7);
+        let f2 = WorkloadFactory::new(Scale::Tiny, 8);
         let mut a = f1.build("canneal").unwrap();
         let mut b = f2.build("canneal").unwrap();
         let same = (0..10_000).all(|_| a.next_event() == b.next_event());
@@ -298,7 +321,7 @@ mod tests {
 
     #[test]
     fn unknown_name_errors() {
-        let mut factory = WorkloadFactory::new(Scale::Tiny, 1);
+        let factory = WorkloadFactory::new(Scale::Tiny, 1);
         let Err(err) = factory.build("nope") else {
             panic!("unknown workload must error");
         };
@@ -307,11 +330,38 @@ mod tests {
 
     #[test]
     fn graph_inputs_are_cached() {
-        let mut factory = WorkloadFactory::new(Scale::Tiny, 1);
+        let factory = WorkloadFactory::new(Scale::Tiny, 1);
         factory.build("bfs").unwrap();
+        let first = factory.inputs.shared_graph.get().expect("bfs builds the shared graph");
+        let first = Arc::as_ptr(first);
         factory.build("pr").unwrap();
-        assert_eq!(factory.graphs.len(), 1, "uniform graph must be built once");
+        assert_eq!(
+            Arc::as_ptr(factory.inputs.shared_graph.get().unwrap()),
+            first,
+            "uniform graph must be built once"
+        );
+        assert!(factory.inputs.graph500_graph.get().is_none());
         factory.build("graph500").unwrap();
-        assert_eq!(factory.graphs.len(), 2);
+        assert!(factory.inputs.graph500_graph.get().is_some());
+    }
+
+    #[test]
+    fn clones_share_inputs_and_cross_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WorkloadFactory>();
+
+        let factory = WorkloadFactory::new(Scale::Tiny, 1);
+        let clone = factory.clone();
+        let handle = std::thread::spawn(move || {
+            clone.build("bfs").unwrap();
+            clone
+        });
+        let clone = handle.join().unwrap();
+        factory.build("pr").unwrap();
+        assert_eq!(
+            Arc::as_ptr(factory.inputs.shared_graph.get().unwrap()),
+            Arc::as_ptr(clone.inputs.shared_graph.get().unwrap()),
+            "clones must share one graph instance"
+        );
     }
 }

@@ -194,8 +194,7 @@ impl Algorithm for Triangle {
             em.load(S_OFFS, self.layout.offsets.at(u64::from(v)));
             em.load(S_OFFS, self.layout.offsets.at(u64::from(v) + 1));
             let (vlo, vhi) = self.graph.neighbors_range(v);
-            self.cursors =
-                Some((ulo, vlo, uhi.min(ulo + MERGE_BOUND), vhi.min(vlo + MERGE_BOUND)));
+            self.cursors = Some((ulo, vlo, uhi.min(ulo + MERGE_BOUND), vhi.min(vlo + MERGE_BOUND)));
             return;
         }
         // Vertex exhausted: next in permuted order.
@@ -311,8 +310,7 @@ impl Algorithm for KCore {
                     em.load(S_QUEUE, self.order_array.at(u64::from(x)));
                     let candidate = self.order[x as usize];
                     em.load(S_PROP_U, self.deg_array.at(u64::from(candidate)));
-                    if !self.removed[candidate as usize] && self.deg[candidate as usize] <= self.k
-                    {
+                    if !self.removed[candidate as usize] && self.deg[candidate as usize] <= self.k {
                         self.queue.push(candidate);
                     }
                 }

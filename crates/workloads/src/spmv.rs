@@ -118,7 +118,8 @@ impl Algorithm for Cg {
                     em.load(S_VEC_A, self.p.at(j));
                     em.load(S_VEC_B, self.q.at(j));
                 }
-                self.phase = if end >= self.n { Phase::Axpy { i: 0 } } else { Phase::Dot { i: end } };
+                self.phase =
+                    if end >= self.n { Phase::Axpy { i: 0 } } else { Phase::Dot { i: end } };
             }
             Phase::Axpy { i } => {
                 let end = (i + VEC_CHUNK).min(self.n);

@@ -24,7 +24,7 @@
 //! use dpc_workloads::{Scale, WorkloadFactory};
 //!
 //! # fn main() -> std::io::Result<()> {
-//! let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+//! let factory = WorkloadFactory::new(Scale::Tiny, 42);
 //! let mut bfs = factory.build("bfs").expect("known workload");
 //! TraceWriter::capture("bfs.dpctrc", bfs.as_mut(), 100_000)?;
 //! let replay = TraceWorkload::open("bfs.dpctrc")?;
@@ -211,14 +211,12 @@ impl<R: Read> Workload for TraceWorkload<R> {
         }
         let event = (|| -> io::Result<Option<Event>> {
             Ok(match tag[0] {
-                TAG_LOAD => Some(Event::load(
-                    Pc::new(self.read_u64()?),
-                    VirtAddr::new(self.read_u64()?),
-                )),
-                TAG_STORE => Some(Event::store(
-                    Pc::new(self.read_u64()?),
-                    VirtAddr::new(self.read_u64()?),
-                )),
+                TAG_LOAD => {
+                    Some(Event::load(Pc::new(self.read_u64()?), VirtAddr::new(self.read_u64()?)))
+                }
+                TAG_STORE => {
+                    Some(Event::store(Pc::new(self.read_u64()?), VirtAddr::new(self.read_u64()?)))
+                }
                 TAG_LOAD_DEP => Some(Event::load_dependent(
                     Pc::new(self.read_u64()?),
                     VirtAddr::new(self.read_u64()?),
@@ -268,7 +266,7 @@ mod tests {
 
     #[test]
     fn real_workload_roundtrips_exactly() {
-        let mut f1 = WorkloadFactory::new(Scale::Tiny, 42);
+        let f1 = WorkloadFactory::new(Scale::Tiny, 42);
         let mut original = f1.build("canneal").unwrap();
         let mut buf = Vec::new();
         let mut writer = TraceWriter::new(&mut buf).unwrap();
@@ -316,7 +314,7 @@ mod tests {
     #[test]
     fn capture_helper_writes_file() {
         let path = std::env::temp_dir().join("dpc_trace_test.dpctrc");
-        let mut f = WorkloadFactory::new(Scale::Tiny, 7);
+        let f = WorkloadFactory::new(Scale::Tiny, 7);
         let mut w = f.build("mcf").unwrap();
         let written = TraceWriter::capture(&path, w.as_mut(), 1_000).unwrap();
         assert_eq!(written, 1_000);

@@ -11,11 +11,7 @@ use dpc::prelude::*;
 const GRAPH_WORKLOADS: [&str; 6] = ["bfs", "pr", "cc", "sssp", "bc", "graph500"];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mem_ops: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(500_000);
+    let mem_ops: u64 = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(500_000);
 
     let policies: [(&str, TlbPolicySel, LlcPolicySel); 5] = [
         ("baseline", TlbPolicySel::Baseline, LlcPolicySel::Baseline),
@@ -25,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("AIP both", TlbPolicySel::AipTlb, LlcPolicySel::AipLlc),
     ];
 
-    let mut factory = WorkloadFactory::new(Scale::Small, 42);
+    let factory = WorkloadFactory::new(Scale::Small, 42);
     let base = RunConfig::baseline(mem_ops / 5, mem_ops);
 
     println!("IPC by policy ({} memory operations per run)\n", mem_ops);
@@ -37,8 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for workload in GRAPH_WORKLOADS {
         print!("{workload:<12}");
         for &(_, tlb, llc) in &policies {
-            let result =
-                run_workload(&mut factory, workload, &base.with_policies(tlb, llc));
+            let result = run_workload(&factory, workload, &base.with_policies(tlb, llc));
             print!("{:>15.3}", result.stats.ipc());
         }
         println!();
@@ -53,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for workload in GRAPH_WORKLOADS {
         print!("{workload:<12}");
         for &(_, tlb, llc) in &policies {
-            let result =
-                run_workload(&mut factory, workload, &base.with_policies(tlb, llc));
+            let result = run_workload(&factory, workload, &base.with_policies(tlb, llc));
             print!("{:>15.2}", result.stats.llt_mpki());
         }
         println!();

@@ -13,7 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mem_ops: u64 = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(500_000);
 
     let config = SystemConfig::paper_baseline();
-    let mut factory = WorkloadFactory::new(Scale::Small, 42);
+    let factory = WorkloadFactory::new(Scale::Small, 42);
 
     // --- Baseline: plain LRU everywhere. ---
     let mut baseline_system = System::new(config)?;

@@ -12,10 +12,10 @@ use dpc_predictors::DpPredConfig;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = std::env::args().nth(1).unwrap_or_else(|| "canneal".to_owned());
     let mem_ops = 500_000;
-    let mut factory = WorkloadFactory::new(Scale::Small, 42);
+    let factory = WorkloadFactory::new(Scale::Small, 42);
     let base = RunConfig::baseline(mem_ops / 5, mem_ops);
 
-    let baseline_ipc = run_workload(&mut factory, &workload, &base).stats.ipc();
+    let baseline_ipc = run_workload(&factory, &workload, &base).stats.ipc();
     println!("workload {workload}: baseline IPC {baseline_ipc:.3}\n");
     println!(
         "{:<34}{:>10}{:>10}{:>10}{:>10}",
@@ -24,29 +24,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let variants: Vec<(String, DpPredConfig)> = vec![
         ("paper default (6b PC × 4b VPN)".into(), DpPredConfig::paper_default()),
-        ("wider table (6b PC × 5b VPN)".into(), DpPredConfig {
-            vpn_bits: 5,
-            ..DpPredConfig::paper_default()
-        }),
-        ("PC-only (10b PC)".into(), DpPredConfig {
-            pc_bits: 10,
-            vpn_bits: 0,
-            ..DpPredConfig::paper_default()
-        }),
-        ("low threshold (3)".into(), DpPredConfig { threshold: 3, ..DpPredConfig::paper_default() }),
-        ("no shadow table".into(), DpPredConfig {
-            shadow_entries: 0,
-            ..DpPredConfig::paper_default()
-        }),
-        ("4-entry shadow".into(), DpPredConfig {
-            shadow_entries: 4,
-            ..DpPredConfig::paper_default()
-        }),
+        (
+            "wider table (6b PC × 5b VPN)".into(),
+            DpPredConfig { vpn_bits: 5, ..DpPredConfig::paper_default() },
+        ),
+        (
+            "PC-only (10b PC)".into(),
+            DpPredConfig { pc_bits: 10, vpn_bits: 0, ..DpPredConfig::paper_default() },
+        ),
+        (
+            "low threshold (3)".into(),
+            DpPredConfig { threshold: 3, ..DpPredConfig::paper_default() },
+        ),
+        (
+            "no shadow table".into(),
+            DpPredConfig { shadow_entries: 0, ..DpPredConfig::paper_default() },
+        ),
+        (
+            "4-entry shadow".into(),
+            DpPredConfig { shadow_entries: 4, ..DpPredConfig::paper_default() },
+        ),
     ];
 
     for (name, config) in variants {
         let run = base.with_policies(TlbPolicySel::DpPredCustom(config), LlcPolicySel::Baseline);
-        let result = run_workload(&mut factory, &workload, &run);
+        let result = run_workload(&factory, &workload, &run);
         let stats = &result.stats;
         let bypass_pct = if stats.llt.misses == 0 {
             0.0

@@ -4,9 +4,9 @@
 use dpc::prelude::*;
 
 fn run_once(seed: u64, workload: &str, tlb: TlbPolicySel, llc: LlcPolicySel) -> SimStats {
-    let mut factory = WorkloadFactory::new(Scale::Tiny, seed);
+    let factory = WorkloadFactory::new(Scale::Tiny, seed);
     let config = RunConfig::baseline(2_000, 30_000).with_policies(tlb, llc);
-    dpc::run_workload(&mut factory, workload, &config).stats
+    dpc::run_workload(&factory, workload, &config).stats
 }
 
 #[test]
@@ -44,15 +44,81 @@ fn seeds_matter() {
     );
 }
 
+/// The campaign engine's core guarantee: a parallel campaign is
+/// bit-identical to a serial one. Renders fig1, fig9 and table4 (plain,
+/// oracle, and memo-sharing paths) from a 1-worker and a 4-worker
+/// execution of the same plan and compares the rendered bytes.
+#[test]
+fn parallel_campaign_is_byte_identical_to_serial() {
+    use dpc::campaign;
+    use dpc::experiments;
+
+    let options = ExperimentOptions {
+        scale: Scale::Tiny,
+        seed: 42,
+        warmup_mem_ops: 500,
+        measure_mem_ops: 5_000,
+    };
+    let render_all = |ctx: &mut ExperimentContext| {
+        let mut out = String::new();
+        out.push_str(&experiments::fig1_llt_deadness(ctx).render());
+        out.push_str(&experiments::fig9_tlb_predictor_ipc(ctx).render());
+        out.push_str(&experiments::table4_llt_mpki(ctx).render());
+        out
+    };
+
+    let mut planner = ExperimentContext::planner(options);
+    render_all(&mut planner);
+    let plan = planner.into_plan();
+    assert!(!plan.oracle.is_empty(), "table4 must plan oracle runs");
+
+    let (mut serial, serial_stats) = campaign::execute(options, &plan, 1, false);
+    let (mut parallel, parallel_stats) = campaign::execute(options, &plan, 4, false);
+    assert_eq!(
+        render_all(&mut serial),
+        render_all(&mut parallel),
+        "4-worker campaign must render byte-identically to 1 worker"
+    );
+    assert_eq!(serial.runs_performed(), parallel.runs_performed());
+    assert_eq!(serial_stats.distinct_runs, parallel_stats.distinct_runs);
+    assert_eq!(serial_stats.simulations(), parallel_stats.simulations());
+}
+
+/// The executed campaign must also match immediate-mode (memoizing,
+/// serial, no planner) execution — the pre-engine code path.
+#[test]
+fn campaign_matches_immediate_mode_oracle_runs() {
+    use dpc::campaign;
+    use dpc::experiments;
+
+    let options = ExperimentOptions {
+        scale: Scale::Tiny,
+        seed: 7,
+        warmup_mem_ops: 500,
+        measure_mem_ops: 5_000,
+    };
+    let mut planner = ExperimentContext::planner(options);
+    experiments::table4_llt_mpki(&mut planner);
+    let plan = planner.into_plan();
+
+    let (mut executed, _) = campaign::execute(options, &plan, 3, false);
+    let mut immediate = ExperimentContext::new(options);
+    assert_eq!(
+        experiments::table4_llt_mpki(&mut executed).render(),
+        experiments::table4_llt_mpki(&mut immediate).render(),
+    );
+    assert_eq!(executed.runs_performed(), immediate.runs_performed());
+}
+
 #[test]
 fn oracle_passes_align() {
     // The Belady oracle's premise: the LLT lookup stream is identical
     // across passes. Verify by running the recorder pass twice.
-    let mut f1 = WorkloadFactory::new(Scale::Tiny, 9);
-    let mut f2 = WorkloadFactory::new(Scale::Tiny, 9);
+    let f1 = WorkloadFactory::new(Scale::Tiny, 9);
+    let f2 = WorkloadFactory::new(Scale::Tiny, 9);
     let config = RunConfig::baseline(0, 40_000);
-    let a = dpc::run_workload(&mut f1, "mcf", &config).stats;
-    let b = dpc::run_oracle(&mut f2, "mcf", &config).stats;
+    let a = dpc::run_workload(&f1, "mcf", &config).stats;
+    let b = dpc::run_oracle(&f2, "mcf", &config).stats;
     // Lookup streams identical → identical LLT lookup counts even though
     // the oracle changes hits/misses.
     assert_eq!(a.llt.lookups, b.llt.lookups, "L1-filtered lookup stream is policy-independent");

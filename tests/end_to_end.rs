@@ -3,15 +3,10 @@
 
 use dpc::prelude::*;
 
-fn run(
-    workload: &str,
-    tlb: TlbPolicySel,
-    llc: LlcPolicySel,
-    mem_ops: u64,
-) -> dpc::RunResult {
-    let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+fn run(workload: &str, tlb: TlbPolicySel, llc: LlcPolicySel, mem_ops: u64) -> dpc::RunResult {
+    let factory = WorkloadFactory::new(Scale::Tiny, 42);
     let config = RunConfig::baseline(1_000, mem_ops).with_policies(tlb, llc);
-    dpc::run_workload(&mut factory, workload, &config)
+    dpc::run_workload(&factory, workload, &config)
 }
 
 #[test]
@@ -108,13 +103,13 @@ fn deadness_fractions_are_sane() {
 
 #[test]
 fn oracle_never_loses_to_baseline_on_mpki() {
-    let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+    let factory = WorkloadFactory::new(Scale::Tiny, 42);
     // Shrink the LLT so Tiny-scale footprints actually stress it.
     let mut config = RunConfig::baseline(0, 60_000);
     config.system = config.system.with_l2_tlb_entries(64);
     for workload in ["canneal", "mcf", "bfs"] {
-        let baseline = dpc::run_workload(&mut factory, workload, &config);
-        let oracle = dpc::run_oracle(&mut factory, workload, &config);
+        let baseline = dpc::run_workload(&factory, workload, &config);
+        let oracle = dpc::run_oracle(&factory, workload, &config);
         assert!(
             oracle.stats.llt.misses <= baseline.stats.llt.misses * 101 / 100,
             "{workload}: Belady oracle must not lose ({} vs {})",
@@ -126,16 +121,16 @@ fn oracle_never_loses_to_baseline_on_mpki() {
 
 #[test]
 fn srrip_replacement_runs_end_to_end() {
-    let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+    let factory = WorkloadFactory::new(Scale::Tiny, 42);
     let mut config = RunConfig::baseline(1_000, 20_000);
     config.system = config
         .system
         .with_l2_tlb_replacement(dpc_types::ReplacementKind::Srrip)
         .with_llc_replacement(dpc_types::ReplacementKind::Srrip);
-    let result = dpc::run_workload(&mut factory, "bfs", &config);
+    let result = dpc::run_workload(&factory, "bfs", &config);
     assert_eq!(result.stats.mem_ops, 20_000);
     let with_pred = dpc::run_workload(
-        &mut factory,
+        &factory,
         "bfs",
         &config.with_policies(TlbPolicySel::DpPred, LlcPolicySel::CbPred),
     );
@@ -144,11 +139,11 @@ fn srrip_replacement_runs_end_to_end() {
 
 #[test]
 fn non_power_of_two_llc_runs() {
-    let mut factory = WorkloadFactory::new(Scale::Tiny, 42);
+    let factory = WorkloadFactory::new(Scale::Tiny, 42);
     let mut config = RunConfig::baseline(1_000, 20_000);
     config.system = config.system.with_llc_bytes(3 << 20);
     let result = dpc::run_workload(
-        &mut factory,
+        &factory,
         "canneal",
         &config.with_policies(TlbPolicySel::DpPred, LlcPolicySel::CbPred),
     );

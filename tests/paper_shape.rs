@@ -24,12 +24,12 @@ fn base() -> RunConfig {
 /// entries dominate the dead population on average.
 #[test]
 fn llt_entries_are_mostly_dead() {
-    let mut f = factory();
+    let f = factory();
     let mut dead_sum = 0.0;
     let mut doa_sum = 0.0;
     let workloads = ["canneal", "mcf", "bfs", "sssp", "cactusADM"];
     for w in workloads {
-        let stats = dpc::run_workload(&mut f, w, &base()).stats;
+        let stats = dpc::run_workload(&f, w, &base()).stats;
         dead_sum += stats.llt_deadness.dead_fraction();
         doa_sum += stats.llt_deadness.doa_fraction();
     }
@@ -42,8 +42,8 @@ fn llt_entries_are_mostly_dead() {
 /// majority are dead-on-arrival (≈86% in the paper).
 #[test]
 fn doa_dominates_dead_llt_evictions() {
-    let mut f = factory();
-    let stats = dpc::run_workload(&mut f, "canneal", &base()).stats;
+    let f = factory();
+    let stats = dpc::run_workload(&f, "canneal", &base()).stats;
     let e = stats.llt_evictions;
     assert!(e.total > 1000, "need a populated eviction sample");
     assert!(
@@ -58,11 +58,11 @@ fn doa_dominates_dead_llt_evictions() {
 /// (72.7% on average in the paper).
 #[test]
 fn doa_blocks_concentrate_on_doa_pages() {
-    let mut f = factory();
+    let f = factory();
     let mut sum = 0.0;
     let workloads = ["canneal", "mcf", "bfs"];
     for w in workloads {
-        let stats = dpc::run_workload(&mut f, w, &base()).stats;
+        let stats = dpc::run_workload(&f, w, &base()).stats;
         assert!(stats.doa_blocks_classified > 100, "{w}: need classified blocks");
         sum += stats.doa_block_page_correlation();
     }
@@ -74,13 +74,13 @@ fn doa_blocks_concentrate_on_doa_pages() {
 /// workloads and never increases it meaningfully.
 #[test]
 fn dppred_reduces_llt_mpki_without_regressions() {
-    let mut f = factory();
+    let f = factory();
     let mut improved = 0;
     let workloads = ["cactusADM", "sssp", "bfs", "graph500", "canneal", "mcf"];
     for w in workloads {
-        let baseline = dpc::run_workload(&mut f, w, &base()).stats.llt_mpki();
+        let baseline = dpc::run_workload(&f, w, &base()).stats.llt_mpki();
         let dppred = dpc::run_workload(
-            &mut f,
+            &f,
             w,
             &base().with_policies(TlbPolicySel::DpPred, LlcPolicySel::Baseline),
         )
@@ -102,13 +102,13 @@ fn dppred_reduces_llt_mpki_without_regressions() {
 /// workloads like canneal/mcf).
 #[test]
 fn combined_predictors_are_consistent_where_baselines_are_not() {
-    let mut f = factory();
+    let f = factory();
     let workloads = ["canneal", "mcf", "bfs", "cactusADM", "cg.B"];
     let mut ship_hurt_somewhere = false;
     for w in workloads {
-        let baseline = dpc::run_workload(&mut f, w, &base()).stats;
+        let baseline = dpc::run_workload(&f, w, &base()).stats;
         let ours = dpc::run_workload(
-            &mut f,
+            &f,
             w,
             &base().with_policies(TlbPolicySel::DpPred, LlcPolicySel::CbPred),
         )
@@ -120,7 +120,7 @@ fn combined_predictors_are_consistent_where_baselines_are_not() {
             baseline.ipc()
         );
         let ship = dpc::run_workload(
-            &mut f,
+            &f,
             w,
             &base().with_policies(TlbPolicySel::ShipTlb, LlcPolicySel::ShipLlc),
         )
@@ -136,17 +136,17 @@ fn combined_predictors_are_consistent_where_baselines_are_not() {
 /// Paper Table IV: the oracle upper-bounds every practical predictor.
 #[test]
 fn oracle_dominates_dppred() {
-    let mut f = factory();
+    let f = factory();
     for w in ["canneal", "bfs"] {
-        let baseline = dpc::run_workload(&mut f, w, &base()).stats.llt_mpki();
+        let baseline = dpc::run_workload(&f, w, &base()).stats.llt_mpki();
         let dppred = dpc::run_workload(
-            &mut f,
+            &f,
             w,
             &base().with_policies(TlbPolicySel::DpPred, LlcPolicySel::Baseline),
         )
         .stats
         .llt_mpki();
-        let oracle = dpc::run_oracle(&mut f, w, &base()).stats.llt_mpki();
+        let oracle = dpc::run_oracle(&f, w, &base()).stats.llt_mpki();
         assert!(
             oracle <= dppred * 1.01,
             "{w}: oracle ({oracle:.2}) must be at least as good as dpPred ({dppred:.2})"
@@ -159,18 +159,18 @@ fn oracle_dominates_dppred() {
 /// the unfiltered variant.
 #[test]
 fn pfq_filtering_raises_cbpred_accuracy() {
-    let mut f = factory();
+    let f = factory();
     let mut filtered_sum = 0.0;
     let mut unfiltered_sum = 0.0;
     let mut counted = 0;
     for w in ["canneal", "mcf", "bc"] {
         let with_pfq = dpc::run_workload(
-            &mut f,
+            &f,
             w,
             &base().with_policies(TlbPolicySel::DpPred, LlcPolicySel::CbPred),
         );
         let without = dpc::run_workload(
-            &mut f,
+            &f,
             w,
             &base().with_policies(TlbPolicySel::DpPred, LlcPolicySel::CbPredNoPfq),
         );
@@ -195,11 +195,11 @@ fn pfq_filtering_raises_cbpred_accuracy() {
 /// absorbs it.
 #[test]
 fn cactus_thrash_recovers_with_a_big_enough_llt() {
-    let mut f = factory();
-    let small = dpc::run_workload(&mut f, "cactusADM", &base()).stats;
+    let f = factory();
+    let small = dpc::run_workload(&f, "cactusADM", &base()).stats;
     let mut big_config = base();
     big_config.system = big_config.system.with_l2_tlb_entries(4096);
-    let big = dpc::run_workload(&mut f, "cactusADM", &big_config).stats;
+    let big = dpc::run_workload(&f, "cactusADM", &big_config).stats;
     assert!(
         big.llt.hit_rate() > small.llt.hit_rate() + 0.2,
         "4096 entries must largely absorb the cyclic working set ({:.2} vs {:.2})",
@@ -208,7 +208,7 @@ fn cactus_thrash_recovers_with_a_big_enough_llt() {
     );
     // And dpPred keeps helping at the thrashing sizes.
     let dp = dpc::run_workload(
-        &mut f,
+        &f,
         "cactusADM",
         &base().with_policies(TlbPolicySel::DpPred, LlcPolicySel::Baseline),
     )
@@ -225,11 +225,11 @@ fn cactus_thrash_recovers_with_a_big_enough_llt() {
 /// plus shadow serving should never slow the TLB path down.
 #[test]
 fn predictors_never_slow_the_machine_dramatically() {
-    let mut f = factory();
+    let f = factory();
     for w in ["lbm", "Triangle", "KCore"] {
-        let baseline = dpc::run_workload(&mut f, w, &base()).stats.ipc();
+        let baseline = dpc::run_workload(&f, w, &base()).stats.ipc();
         let ours = dpc::run_workload(
-            &mut f,
+            &f,
             w,
             &base().with_policies(TlbPolicySel::DpPred, LlcPolicySel::CbPred),
         )
