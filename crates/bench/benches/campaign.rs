@@ -27,7 +27,7 @@ fn fig9_plan(options: ExperimentOptions) -> CampaignPlan {
 fn bench_campaign(c: &mut Criterion) {
     let options = tiny_options();
     let plan = fig9_plan(options);
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let mut group = c.benchmark_group("campaign_tiny");
     group.sample_size(10);

@@ -20,6 +20,7 @@
 
 use dpc::campaign;
 use dpc::experiments::{self, ExperimentContext, ExperimentOptions};
+// dpc-lint: allow(determinism::wall-clock) -- CLI progress reporting on stderr; never reaches experiment output
 use std::time::Instant;
 
 const EXPERIMENTS: [&str; 21] = [
@@ -198,7 +199,7 @@ fn main() {
         "# scale={:?} warmup={} measure={} seed={} threads={}",
         options.scale, options.warmup_mem_ops, options.measure_mem_ops, options.seed, threads
     );
-    let start = Instant::now();
+    let start = Instant::now(); // dpc-lint: allow(determinism::wall-clock) -- stderr timing only
 
     // Plan: replay the requested experiments against a planning context to
     // enumerate (deduplicated) every simulation they need. Unknown ids are
@@ -218,7 +219,7 @@ fn main() {
 
     // Render: replay the experiments against the preloaded memo.
     for id in requested {
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // dpc-lint: allow(determinism::wall-clock) -- stderr timing only
         if let Some(output) = run_one(&mut ctx, id) {
             println!("{}", output.render());
             if let (Some(dir), Output::Table(table)) = (&csv_dir, &output) {

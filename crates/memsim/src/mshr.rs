@@ -47,7 +47,7 @@ impl Mshr {
     /// Falls back to PC 0 if the entry was lost to overflow.
     pub fn complete(&mut self, vpn: Vpn) -> Pc {
         if let Some(pos) = self.entries.iter().position(|&(v, _)| v == vpn) {
-            self.entries.remove(pos).map(|(_, pc)| pc).unwrap_or(Pc::new(0))
+            self.entries.remove(pos).map_or(Pc::new(0), |(_, pc)| pc)
         } else {
             Pc::new(0)
         }

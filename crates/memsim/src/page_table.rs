@@ -130,12 +130,14 @@ impl PageTable {
             let index = vpn.radix_index(level as u32);
             node_pfns[level] = node_pfn;
             pte_addrs[level] = pte_addr(node_pfn, index);
+            // dpc-lint: allow(hot-path::unwrap) -- node_pfn is the root (inserted in new) or a child inserted the moment it was allocated below
             let node = self.nodes.get_mut(&node_pfn).expect("interior node must exist");
             let slot = node[index];
             let child = if slot == 0 {
                 let child = self.frames.alloc();
                 // Re-borrow after alloc (frames and nodes are disjoint
                 // fields, but the node borrow must be re-established).
+                // dpc-lint: allow(hot-path::unwrap) -- re-borrow of the node fetched two lines up; alloc cannot remove map entries
                 self.nodes.get_mut(&node_pfn).expect("interior node must exist")[index] =
                     child.raw() + 1;
                 self.nodes.insert(child, new_node());
@@ -149,6 +151,7 @@ impl PageTable {
         let index = vpn.radix_index(0);
         node_pfns[0] = node_pfn;
         pte_addrs[0] = pte_addr(node_pfn, index);
+        // dpc-lint: allow(hot-path::unwrap) -- the level-1 iteration above inserted this node before naming it as the child
         let node = self.nodes.get_mut(&node_pfn).expect("leaf node must exist");
         let pfn = if node[index] == 0 {
             let frame = self.frames.alloc();
@@ -165,7 +168,8 @@ impl PageTable {
     /// Returns the node frame a walk starting at `level` for `vpn` would
     /// visit, if mapped — used to verify page-walk-cache correctness.
     pub fn node_at(&mut self, vpn: Vpn, level: u32) -> Pfn {
-        self.translate(vpn).node_pfns[level as usize]
+        dpc_types::invariant!(level < 4, "radix walks have 4 levels, got {level}");
+        self.translate(vpn).node_pfns[(level as usize).min(3)]
     }
 }
 

@@ -10,7 +10,7 @@
 //! [`LineLife`].
 
 use crate::policy::PolicyLineView;
-use dpc_types::ReplacementKind;
+use dpc_types::{invariant, ReplacementKind};
 
 /// Payloads that expose 32 bits of policy scratch state to the
 /// [`policy`](crate::policy) hooks.
@@ -213,12 +213,14 @@ impl<P> SetAssoc<P> {
     /// Immutable view of a way in the set that `addr` maps to.
     pub fn line(&self, addr: u64, way: usize) -> &Line<P> {
         let set = self.set_of(addr);
+        invariant!(way < self.ways, "way {way} out of range for {}-way array", self.ways);
         &self.lines[set * self.ways + way]
     }
 
     /// Mutable view of a way in the set that `addr` maps to.
     pub fn line_mut(&mut self, addr: u64, way: usize) -> &mut Line<P> {
         let set = self.set_of(addr);
+        invariant!(way < self.ways, "way {way} out of range for {}-way array", self.ways);
         &mut self.lines[set * self.ways + way]
     }
 
@@ -327,6 +329,7 @@ impl<P> SetAssoc<P> {
     {
         let way = self.peek(addr, tag)?;
         let set = self.set_of(addr);
+        invariant!(way < self.ways, "peek returned way {way} beyond {}-way set", self.ways);
         let line = &mut self.lines[set * self.ways + way];
         line.valid = false;
         Some(Evicted { tag: line.tag, life: line.life, payload: std::mem::take(&mut line.payload) })
@@ -335,7 +338,7 @@ impl<P> SetAssoc<P> {
     /// Whether every way of the set `addr` maps to holds valid contents.
     pub fn set_full(&self, addr: u64) -> bool {
         let set = self.set_of(addr);
-        self.set_range(set).all(|idx| self.lines[idx].valid)
+        self.lines[self.set_range(set)].iter().all(|line| line.valid)
     }
 
     /// Runs `f` over [`PolicyLineView`]s of all *valid* lines in the set

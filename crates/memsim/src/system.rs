@@ -221,7 +221,7 @@ impl System {
         match event {
             Event::Compute { ops } => self.core.issue_compute(u64::from(ops)),
             Event::Mem { pc, vaddr, kind, dependent } => {
-                self.mem_access(pc, vaddr, kind, dependent)
+                self.mem_access(pc, vaddr, kind, dependent);
             }
         }
         if self.core.instructions() >= self.next_sample_at {

@@ -127,7 +127,8 @@ impl AipCore {
     /// (a confirmed threshold is trusted as-is; an unconfirmed one gets a
     /// grace margin).
     fn is_dead(&self, tag: u64, state: u32) -> bool {
-        let entry = self.table[Self::index(pc_of(state), tag)];
+        let idx = Self::index(pc_of(state), tag);
+        let entry = self.table[idx];
         if !entry.seen {
             return false;
         }

@@ -22,7 +22,7 @@ use dpc_memsim::policy::{
     AccuracyReport, BlockFillDecision, EvictedBlock, InsertPriority, LlcPolicy,
 };
 use dpc_types::hash::hash_block;
-use dpc_types::{BlockAddr, CacheConfig, Pc, Pfn, SatCounter};
+use dpc_types::{invariant, BlockAddr, CacheConfig, Pc, Pfn, SatCounter};
 use std::collections::VecDeque;
 
 /// DP (dead-page) bit position in the per-block policy state.
@@ -118,7 +118,9 @@ impl CbPred {
 
     #[inline]
     fn bhist_index(&self, block: BlockAddr) -> usize {
-        hash_block(block, self.config.hash_bits) as usize % self.config.bhist_entries
+        let idx = hash_block(block, self.config.hash_bits) as usize % self.config.bhist_entries;
+        invariant!(idx < self.bhist.len(), "bHIST index {idx} out of range");
+        idx
     }
 }
 
@@ -146,6 +148,12 @@ impl LlcPolicy for CbPred {
             self.pfq.pop_front();
         }
         self.pfq.push_back(pfn);
+        invariant!(
+            self.pfq.len() <= self.config.pfq_entries,
+            "PFQ occupancy {} exceeds the paper's {}-entry budget",
+            self.pfq.len(),
+            self.config.pfq_entries
+        );
     }
 
     fn on_lookup(&mut self, block: BlockAddr, _hit: bool) {

@@ -26,7 +26,7 @@ use dpc_memsim::policy::{
     AccuracyReport, EvictedPage, InsertPriority, LltPolicy, PageFillDecision,
 };
 use dpc_types::hash::{hash_pc, hash_vpn};
-use dpc_types::{Pc, Pfn, SatCounter, TlbConfig, Vpn};
+use dpc_types::{invariant, Pc, Pfn, SatCounter, TlbConfig, Vpn};
 use std::collections::VecDeque;
 
 /// Configuration of [`DpPred`].
@@ -155,7 +155,9 @@ impl DpPred {
 
     #[inline]
     fn index(&self, pc_hash: u32, vpn_hash: u32) -> usize {
-        ((pc_hash << self.config.vpn_bits) | vpn_hash) as usize
+        let idx = ((pc_hash << self.config.vpn_bits) | vpn_hash) as usize;
+        invariant!(idx < self.phist.len(), "pHIST index {idx} out of range");
+        idx
     }
 
     /// Flushes the pHIST entries corresponding to a VPN hash — the
@@ -165,6 +167,11 @@ impl DpPred {
     fn negative_feedback(&mut self, vpn_hash: u32, pc_hash: u32) {
         self.negative_feedback_events += 1;
         if self.config.vpn_bits == 0 {
+            invariant!(
+                (pc_hash as usize) < self.phist.len(),
+                "pc_hash {pc_hash} exceeds pHIST ({} entries)",
+                self.phist.len()
+            );
             self.phist[pc_hash as usize].clear();
             return;
         }
@@ -196,7 +203,7 @@ impl LltPolicy for DpPred {
 
     fn shadow_lookup(&mut self, vpn: Vpn) -> Option<Pfn> {
         let pos = self.shadow.iter().position(|e| e.vpn == vpn)?;
-        let entry = self.shadow.remove(pos).expect("position is valid");
+        let entry = self.shadow.remove(pos)?;
         let vpn_hash = self.vpn_hash(vpn);
         self.negative_feedback(vpn_hash, entry.pc_hash);
         Some(entry.pfn)
@@ -228,6 +235,12 @@ impl LltPolicy for DpPred {
             self.shadow.pop_front();
         }
         self.shadow.push_back(ShadowEntry { vpn, pfn, pc_hash: self.last_bypass_pc_hash });
+        invariant!(
+            self.shadow.len() <= self.config.shadow_entries,
+            "shadow occupancy {} exceeds the paper's {}-entry budget",
+            self.shadow.len(),
+            self.config.shadow_entries
+        );
     }
 
     fn refill_state(&mut self, vpn: Vpn, pc: Pc) -> u32 {

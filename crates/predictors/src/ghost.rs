@@ -81,6 +81,7 @@ impl GhostTracker {
     }
 
     fn age(&mut self, set: usize) {
+        dpc_types::invariant!(set < self.fills.len(), "ghost set {set} out of range");
         self.fills[set] += 1;
         let cutoff = self.fills[set];
         let assoc = self.assoc;

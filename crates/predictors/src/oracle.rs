@@ -40,6 +40,17 @@ use std::sync::Arc;
 
 /// Shared per-page stay-outcome log: for each VPN, the DOA-ness of its
 /// successive LLT stays in fill order.
+///
+/// # Determinism audit
+///
+/// This and the other `HashMap`-backed tables in this module
+/// ([`LookupRecord`], [`OracleBypass`]'s replay cursors) must only ever
+/// be accessed **by key** (`get`/`get_mut`/`entry`/`insert`): iterating a
+/// default-hasher map would expose the per-instance `RandomState` order
+/// and break bit-identical replays. `cargo xtask lint`
+/// (`determinism::hash-iteration`) enforces this, and
+/// `oracle_table_render_is_identical_across_fresh_contexts` in
+/// `tests/determinism.rs` regression-tests it end to end.
 pub type DoaRecord = Rc<RefCell<HashMap<Vpn, VecDeque<bool>>>>;
 
 /// Pass-1 policy: behaves exactly like the baseline while logging stay

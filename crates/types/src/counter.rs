@@ -54,12 +54,24 @@ impl SatCounter {
         if self.value < self.max {
             self.value += 1;
         }
+        crate::invariant!(
+            self.value <= self.max,
+            "counter {} above ceiling {}",
+            self.value,
+            self.max
+        );
     }
 
     /// Decrements, saturating at zero.
     #[inline]
     pub fn decrement(&mut self) {
         self.value = self.value.saturating_sub(1);
+        crate::invariant!(
+            self.value <= self.max,
+            "counter {} above ceiling {}",
+            self.value,
+            self.max
+        );
     }
 
     /// Resets the counter to zero (the paper's negative-feedback action).
@@ -130,6 +142,50 @@ mod tests {
         let mut c = SatCounter::new(4);
         c.increment();
         c.clear();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn width_one_toggles_between_zero_and_one() {
+        let mut c = SatCounter::new(1);
+        assert_eq!(c.max(), 1);
+        c.increment();
+        assert_eq!(c.value(), 1);
+        c.increment();
+        assert_eq!(c.value(), 1, "1-bit counter saturates at 1");
+        c.decrement();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn width_eight_saturates_at_255() {
+        let mut c = SatCounter::new(8);
+        assert_eq!(c.max(), u8::MAX);
+        for _ in 0..300 {
+            c.increment();
+        }
+        assert_eq!(c.value(), u8::MAX, "the 2^8-1 ceiling must not wrap u8");
+        c.increment();
+        assert_eq!(c.value(), u8::MAX);
+    }
+
+    #[test]
+    fn increment_at_saturation_holds() {
+        let mut c = SatCounter::new(3);
+        for _ in 0..7 {
+            c.increment();
+        }
+        assert_eq!(c.value(), c.max());
+        c.increment();
+        assert_eq!(c.value(), c.max());
+    }
+
+    #[test]
+    fn decrement_at_zero_holds() {
+        let mut c = SatCounter::new(5);
+        assert_eq!(c.value(), 0);
+        c.decrement();
+        c.decrement();
         assert_eq!(c.value(), 0);
     }
 

@@ -1,0 +1,64 @@
+//! The `invariant!` macro: structural checks compiled in by the
+//! `check-invariants` cargo feature.
+//!
+//! The simulator's hot paths bank on structural invariants (a saturating
+//! counter never exceeds its ceiling, the shadow buffer never holds more
+//! than two entries, a folded-XOR index is always in table range). In
+//! release builds those checks would cost real time per simulated memory
+//! operation, so they compile to nothing unless the `check-invariants`
+//! feature is on — CI runs the test suite once with it enabled.
+//!
+//! `invariant!` sites also serve as the visible bounds reasoning that the
+//! `hot-path::index` rule of `cargo xtask lint` looks for: an index that
+//! is asserted in range is an index a reviewer can trust.
+
+/// Asserts a structural invariant when the `check-invariants` feature is
+/// enabled; compiles to nothing otherwise.
+///
+/// Because `cfg!` is evaluated in the crate that *invokes* the macro,
+/// every crate using `invariant!` must declare its own
+/// `check-invariants` feature (forwarding to `dpc-types/check-invariants`
+/// so `--features <crate>/check-invariants` switches the whole stack on).
+/// A crate that forgets the feature declaration fails the build under
+/// `unexpected_cfgs`, so the mistake cannot ship silently.
+///
+/// # Examples
+///
+/// ```
+/// use dpc_types::invariant;
+///
+/// let idx = 3_usize;
+/// let table = [0u8; 8];
+/// invariant!(idx < table.len(), "index {idx} out of range");
+/// ```
+#[macro_export]
+macro_rules! invariant {
+    ($cond:expr $(, $($arg:tt)+)?) => {
+        if cfg!(feature = "check-invariants") {
+            assert!($cond $(, $($arg)+)?);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn invariant_passes_when_true() {
+        invariant!(1 + 1 == 2);
+        invariant!(1 + 1 == 2, "math works: {}", 2);
+    }
+
+    #[test]
+    #[cfg_attr(not(feature = "check-invariants"), ignore = "needs --features check-invariants")]
+    #[should_panic(expected = "shadow occupancy")]
+    fn invariant_fires_when_enabled() {
+        invariant!(false, "shadow occupancy exceeded");
+    }
+
+    #[cfg(not(feature = "check-invariants"))]
+    #[test]
+    fn invariant_is_free_when_disabled() {
+        // Must not panic: the check compiles to a constant-false branch.
+        invariant!(false, "never evaluated");
+    }
+}

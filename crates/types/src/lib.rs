@@ -32,6 +32,7 @@ pub mod addr;
 pub mod config;
 pub mod counter;
 pub mod hash;
+mod invariant;
 pub mod workload;
 
 pub use addr::{AccessKind, BlockAddr, Pc, Pfn, PhysAddr, VirtAddr, Vpn};

@@ -159,8 +159,7 @@ impl TraceWorkload<BufReader<File>> {
         let name = path
             .as_ref()
             .file_stem()
-            .map(|s| s.to_string_lossy().into_owned())
-            .unwrap_or_else(|| "trace".to_owned());
+            .map_or_else(|| "trace".to_owned(), |s| s.to_string_lossy().into_owned());
         Self::with_name(BufReader::new(File::open(path)?), name)
     }
 }

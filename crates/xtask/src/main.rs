@@ -1,0 +1,99 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! Subcommands:
+//!
+//! * `lint` — run the `dpc-lint` static-analysis pass over the workspace;
+//!   exits nonzero and prints `rule file:line message` for every
+//!   violation.
+//! * `lint --list` — list every rule with its one-line description.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--list]");
+            eprintln!("       (cargo run --package xtask -- lint, without the alias)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
+    ("determinism::wall-clock", "no Instant/SystemTime outside crates/core/src/campaign.rs"),
+    ("determinism::unseeded-rng", "no thread_rng/from_entropy/rand::random; seed_from_u64 only"),
+    ("determinism::hash-iteration", "no HashMap/HashSet iteration; BTree* or sort first"),
+    ("budget::structure-size", "paper hardware budgets pinned (pHIST/bHIST/PFQ/shadow/Table I)"),
+    ("budget::counter-width", "SatCounter::new literal widths within 1..=8"),
+    ("hot-path::unwrap", "no unwrap/expect in non-test memsim/predictors code"),
+    ("hot-path::panic", "no panic!/unreachable!/todo!/unimplemented!/get_unchecked there"),
+    ("hot-path::index", "slice indexing needs visible bounds reasoning in the function"),
+];
+
+fn lint(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--list") {
+        for (rule, description) in RULE_DESCRIPTIONS {
+            println!("{rule:<30} {description}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = workspace_root();
+    let report = match xtask::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("dpc-lint: cannot scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for violation in &report.violations {
+        println!(
+            "error[{}]: {}\n  --> {}:{}",
+            violation.rule,
+            violation.message,
+            display_rel(&root, &violation.path),
+            violation.line
+        );
+    }
+    for (path, line, rules) in &report.missing_reasons {
+        println!(
+            "error[allow-marker]: allow({rules}) needs `-- <reason>` (or names an unknown rule)\n  \
+             --> {}:{line}",
+            display_rel(&root, path)
+        );
+    }
+    for (path, line, rules) in &report.unused_allows {
+        println!(
+            "warning[allow-marker]: allow({rules}) suppressed nothing; remove it\n  --> {}:{line}",
+            display_rel(&root, path)
+        );
+    }
+
+    let problems = report.violations.len() + report.missing_reasons.len();
+    if problems == 0 {
+        println!(
+            "dpc-lint: clean — {} files, {} rules, {} unused allow marker(s)",
+            report.files_scanned,
+            RULE_DESCRIPTIONS.len(),
+            report.unused_allows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("dpc-lint: {problems} violation(s) in {} files scanned", report.files_scanned);
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(std::path::Path::parent).map_or(manifest.clone(), PathBuf::from)
+}
+
+fn display_rel(root: &std::path::Path, path: &std::path::Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).display().to_string()
+}

@@ -1,0 +1,431 @@
+//! `budget` family: the paper's iso-storage comparison (Section V,
+//! Table I) only holds while the reproduced structures keep the stated
+//! sizes. These rules pin the defaults — pHIST 1024×3-bit (6-bit PC hash
+//! × 4-bit VPN hash), bHIST 4096×3-bit with a 12-bit block hash, 8-entry
+//! PFQ, 2-entry shadow table, prediction threshold 6, and the Table I
+//! machine — against the source, so a drive-by "tune the table size"
+//! edit fails the lint instead of silently invalidating every result.
+
+use super::{push, Violation};
+use crate::source::SourceFile;
+
+/// Structure-size constants must match the paper's hardware budgets.
+pub const STRUCTURE_SIZE: &str = "budget::structure-size";
+
+/// `SatCounter::new` literal call sites must request widths in `1..=8`.
+pub const COUNTER_WIDTH: &str = "budget::counter-width";
+
+/// One pinned `field: value` pair inside a named constructor function.
+struct BudgetSpec {
+    /// File the constructor lives in.
+    file: &'static str,
+    /// Constructor function name (`fn <function>` is located by text).
+    function: &'static str,
+    /// Optional context: the check is confined to the brace group opened
+    /// right after this substring (e.g. `l2_tlb: TlbConfig`).
+    context: Option<&'static str>,
+    /// Field name.
+    field: &'static str,
+    /// Exact expected initializer text (whitespace-normalized).
+    expected: &'static str,
+    /// What the paper says this is.
+    note: &'static str,
+}
+
+/// The paper's hardware budgets, one row per pinned constant.
+const BUDGETS: &[BudgetSpec] = &[
+    // dpPred (paper Section V-A): pHIST = 2^(6+4) = 1024 × 3-bit counters,
+    // threshold 6, 2-entry shadow table.
+    spec(
+        "crates/predictors/src/dppred.rs",
+        "paper_default",
+        None,
+        "pc_bits",
+        "6",
+        "6-bit PC hash (pHIST first dimension)",
+    ),
+    spec(
+        "crates/predictors/src/dppred.rs",
+        "paper_default",
+        None,
+        "vpn_bits",
+        "4",
+        "4-bit VPN hash (pHIST second dimension; 2^(6+4) = 1024 entries)",
+    ),
+    spec(
+        "crates/predictors/src/dppred.rs",
+        "paper_default",
+        None,
+        "counter_bits",
+        "3",
+        "3-bit pHIST saturating counters",
+    ),
+    spec(
+        "crates/predictors/src/dppred.rs",
+        "paper_default",
+        None,
+        "threshold",
+        "6",
+        "prediction threshold 6",
+    ),
+    spec(
+        "crates/predictors/src/dppred.rs",
+        "paper_default",
+        None,
+        "shadow_entries",
+        "2",
+        "2-entry shadow table",
+    ),
+    // cbPred (paper Section V-B): bHIST = 4096 × 3-bit counters indexed by
+    // a 12-bit hash, 8-entry PFQ, threshold 6.
+    spec(
+        "crates/predictors/src/cbpred.rs",
+        "paper_default",
+        None,
+        "bhist_entries",
+        "4096",
+        "4096-entry bHIST",
+    ),
+    spec(
+        "crates/predictors/src/cbpred.rs",
+        "paper_default",
+        None,
+        "hash_bits",
+        "12",
+        "12-bit block-address hash",
+    ),
+    spec(
+        "crates/predictors/src/cbpred.rs",
+        "paper_default",
+        None,
+        "counter_bits",
+        "3",
+        "3-bit bHIST saturating counters",
+    ),
+    spec(
+        "crates/predictors/src/cbpred.rs",
+        "paper_default",
+        None,
+        "threshold",
+        "6",
+        "prediction threshold 6",
+    ),
+    spec(
+        "crates/predictors/src/cbpred.rs",
+        "paper_default",
+        None,
+        "pfq_entries",
+        "8",
+        "8-entry PFN filter queue",
+    ),
+    // Table I machine: the LLT and LLC geometries the iso-storage
+    // comparison is built on.
+    spec(
+        "crates/types/src/config.rs",
+        "paper_baseline",
+        Some("l2_tlb: TlbConfig"),
+        "entries",
+        "1024",
+        "1024-entry LLT (Table I)",
+    ),
+    spec(
+        "crates/types/src/config.rs",
+        "paper_baseline",
+        Some("l2_tlb: TlbConfig"),
+        "ways",
+        "8",
+        "8-way LLT (Table I)",
+    ),
+    spec(
+        "crates/types/src/config.rs",
+        "paper_baseline",
+        Some("llc: CacheConfig"),
+        "size_bytes",
+        "2 << 20",
+        "2 MB LLC (Table I)",
+    ),
+    spec(
+        "crates/types/src/config.rs",
+        "paper_baseline",
+        Some("llc: CacheConfig"),
+        "ways",
+        "16",
+        "16-way LLC (Table I)",
+    ),
+    spec(
+        "crates/types/src/config.rs",
+        "paper_baseline",
+        None,
+        "mem_latency",
+        "191",
+        "191-cycle memory latency (Table I)",
+    ),
+];
+
+const fn spec(
+    file: &'static str,
+    function: &'static str,
+    context: Option<&'static str>,
+    field: &'static str,
+    expected: &'static str,
+    note: &'static str,
+) -> BudgetSpec {
+    BudgetSpec { file, function, context, field, expected, note }
+}
+
+pub fn check(file: &SourceFile, violations: &mut Vec<Violation>) {
+    check_structure_sizes(file, violations);
+    check_counter_widths(file, violations);
+}
+
+fn check_structure_sizes(file: &SourceFile, violations: &mut Vec<Violation>) {
+    for budget in BUDGETS.iter().filter(|b| b.file == file.rel) {
+        let Some((body_start, body)) = fn_body(file, budget.function) else {
+            push(
+                violations,
+                file,
+                STRUCTURE_SIZE,
+                0,
+                format!(
+                    "expected `fn {}` (pins {}) — renamed or removed without updating \
+                     the budget table in crates/xtask/src/rules/budget.rs",
+                    budget.function, budget.note
+                ),
+            );
+            continue;
+        };
+        let (scope_start, scope) = match budget.context {
+            None => (body_start, body),
+            Some(context) => match scoped(body, context) {
+                Some((rel, text)) => (body_start + rel, text),
+                None => {
+                    push(
+                        violations,
+                        file,
+                        STRUCTURE_SIZE,
+                        body_start,
+                        format!(
+                            "`fn {}` no longer contains `{context}` (pins {})",
+                            budget.function, budget.note
+                        ),
+                    );
+                    continue;
+                }
+            },
+        };
+        match field_value(scope, budget.field) {
+            None => push(
+                violations,
+                file,
+                STRUCTURE_SIZE,
+                scope_start,
+                format!(
+                    "`fn {}`: field `{}` not found (expected `{}` — {})",
+                    budget.function, budget.field, budget.expected, budget.note
+                ),
+            ),
+            Some((rel, value)) if normalize(&value) != normalize(budget.expected) => push(
+                violations,
+                file,
+                STRUCTURE_SIZE,
+                scope_start + rel,
+                format!(
+                    "`{}: {}` violates the paper's hardware budget: expected `{}` ({})",
+                    budget.field,
+                    value.trim(),
+                    budget.expected,
+                    budget.note
+                ),
+            ),
+            Some(_) => {}
+        }
+    }
+}
+
+/// Locates `fn <name>` in the scrubbed text and returns the byte offset
+/// and text of its `{...}` body.
+fn fn_body<'f>(file: &'f SourceFile, name: &str) -> Option<(usize, &'f str)> {
+    let pattern = format!("fn {name}");
+    let start = file.token_offsets(&pattern).into_iter().next()?;
+    let open_rel = file.scrubbed[start..].find('{')?;
+    let open = start + open_rel;
+    let bytes = file.scrubbed.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, &file.scrubbed[open..=i]));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Confines `body` to the `{...}` group opened right after `context`.
+fn scoped<'b>(body: &'b str, context: &str) -> Option<(usize, &'b str)> {
+    let ctx = body.find(context)?;
+    let open = ctx + body[ctx..].find('{')?;
+    let bytes = body.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, &body[open..=i]));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts the initializer text of `field:` (up to the next top-level
+/// `,` or `}`) from a struct-literal scope.
+fn field_value(scope: &str, field: &str) -> Option<(usize, String)> {
+    let pattern = format!("{field}:");
+    let bytes = scope.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = scope[from..].find(&pattern) {
+        let start = from + pos;
+        from = start + pattern.len();
+        let left_ok = start == 0 || !crate::source::is_ident_byte(bytes[start - 1]);
+        // Skip `::` paths (e.g. `ReplacementKind::Lru` never matches a
+        // field pattern anyway since pattern ends with single ':').
+        let value_start = start + pattern.len();
+        if !left_ok || bytes.get(value_start) == Some(&b':') {
+            continue;
+        }
+        // `<`/`>` are deliberately not treated as brackets: initializers
+        // like `2 << 20` are shifts, and these constructors use no
+        // generic arguments with embedded commas.
+        let mut depth = 0i32;
+        let mut end = scope.len();
+        for (i, &b) in bytes.iter().enumerate().skip(value_start) {
+            match b {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => {
+                    if depth == 0 {
+                        end = i;
+                        break;
+                    }
+                    depth -= 1;
+                }
+                b',' if depth == 0 => {
+                    end = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        return Some((start, scope[value_start..end].trim().to_owned()));
+    }
+    None
+}
+
+fn normalize(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+fn check_counter_widths(file: &SourceFile, violations: &mut Vec<Violation>) {
+    for offset in file.token_offsets("SatCounter::new(") {
+        if file.in_test_code(offset) {
+            continue;
+        }
+        let arg_start = offset + "SatCounter::new(".len();
+        let Some(close) = file.scrubbed[arg_start..].find(')') else { continue };
+        let arg = file.scrubbed[arg_start..arg_start + close].trim();
+        let Ok(width) = arg.replace('_', "").parse::<u32>() else {
+            // Non-literal width (e.g. `config.counter_bits`): range-checked
+            // at runtime by `SatCounter::new`'s assert and, under
+            // `check-invariants`, by the structural invariants.
+            continue;
+        };
+        if !(1..=8).contains(&width) {
+            push(
+                violations,
+                file,
+                COUNTER_WIDTH,
+                offset,
+                format!("`SatCounter::new({width})`: width must be within 1..=8 bits"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Violation> {
+        let file = SourceFile::from_str(rel, src);
+        let mut v = Vec::new();
+        check(&file, &mut v);
+        v
+    }
+
+    const GOOD_DPPRED: &str = "impl DpPredConfig {\n    pub fn paper_default() -> Self {\n        \
+        DpPredConfig {\n            pc_bits: 6,\n            vpn_bits: 4,\n            \
+        counter_bits: 3,\n            threshold: 6,\n            shadow_entries: 2,\n            \
+        llt_sets: 128,\n            llt_ways: 8,\n        }\n    }\n}\n";
+
+    #[test]
+    fn correct_budgets_pass() {
+        assert!(run("crates/predictors/src/dppred.rs", GOOD_DPPRED).is_empty());
+    }
+
+    #[test]
+    fn drifted_budget_fails() {
+        let drifted = GOOD_DPPRED.replace("shadow_entries: 2", "shadow_entries: 16");
+        let v = run("crates/predictors/src/dppred.rs", &drifted);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, STRUCTURE_SIZE);
+        assert!(v[0].message.contains("shadow_entries"));
+        assert!(v[0].message.contains("2-entry shadow table"));
+    }
+
+    #[test]
+    fn missing_field_fails() {
+        let gone = GOOD_DPPRED.replace("threshold: 6,\n", "");
+        let v = run("crates/predictors/src/dppred.rs", &gone);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("not found"));
+    }
+
+    #[test]
+    fn renamed_constructor_fails() {
+        let renamed = GOOD_DPPRED.replace("paper_default", "defaults");
+        let v = run("crates/predictors/src/dppred.rs", &renamed);
+        assert!(!v.is_empty());
+        assert!(v[0].message.contains("renamed or removed"));
+    }
+
+    #[test]
+    fn context_scoping_distinguishes_structures() {
+        let src = "impl SystemConfig {\n    pub fn paper_baseline() -> Self {\n        Self {\n\
+            l2_tlb: TlbConfig { entries: 1024, ways: 8, latency: 8, replacement: Lru },\n\
+            llc: CacheConfig { size_bytes: 2 << 20, ways: 16, latency: 40, replacement: Lru },\n\
+            mem_latency: 191,\n        }\n    }\n}\n";
+        assert!(run("crates/types/src/config.rs", src).is_empty());
+        let drifted = src.replace("entries: 1024", "entries: 2048");
+        let v = run("crates/types/src/config.rs", &drifted);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("1024-entry LLT"));
+    }
+
+    #[test]
+    fn counter_width_literals_checked() {
+        let v = run("crates/foo/src/lib.rs", "let c = SatCounter::new(9);\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, COUNTER_WIDTH);
+        assert!(run("crates/foo/src/lib.rs", "let c = SatCounter::new(3);\n").is_empty());
+        assert!(run("crates/foo/src/lib.rs", "let c = SatCounter::new(cfg.bits);\n").is_empty());
+    }
+}

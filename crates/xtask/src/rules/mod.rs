@@ -1,0 +1,71 @@
+//! The three `dpc-lint` rule families.
+//!
+//! | family        | rules                                                      |
+//! |---------------|------------------------------------------------------------|
+//! | `determinism` | `wall-clock`, `unseeded-rng`, `hash-iteration`             |
+//! | `budget`      | `structure-size`, `counter-width`                          |
+//! | `hot-path`    | `unwrap`, `panic`, `index`                                 |
+//!
+//! Every rule is deny-by-default; the only escape hatch is an inline
+//! `// dpc-lint: allow(<rule>) -- <reason>` comment on the offending line
+//! or the line directly above it.
+
+pub mod budget;
+pub mod determinism;
+pub mod hot_path;
+
+use crate::source::SourceFile;
+use std::path::PathBuf;
+
+/// One rule violation, reported as `rule file:line message`.
+#[derive(Debug)]
+pub struct Violation {
+    /// Rule name, e.g. `determinism::wall-clock`.
+    pub rule: &'static str,
+    /// File the violation is in.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human explanation, including the offending token.
+    pub message: String,
+}
+
+/// Names of all rules, for `--list` and allow-marker validation.
+pub const ALL_RULES: &[&str] = &[
+    determinism::WALL_CLOCK,
+    determinism::UNSEEDED_RNG,
+    determinism::HASH_ITERATION,
+    budget::STRUCTURE_SIZE,
+    budget::COUNTER_WIDTH,
+    hot_path::UNWRAP,
+    hot_path::PANIC,
+    hot_path::INDEX,
+];
+
+/// Rule-family prefixes accepted in allow markers.
+pub const FAMILIES: &[&str] = &["determinism", "budget", "hot-path"];
+
+/// Runs every rule over one file.
+pub fn check_file(file: &SourceFile) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    determinism::check(file, &mut violations);
+    budget::check(file, &mut violations);
+    hot_path::check(file, &mut violations);
+    violations
+}
+
+/// Helper: push a violation at a byte offset of `file`.
+pub(crate) fn push(
+    violations: &mut Vec<Violation>,
+    file: &SourceFile,
+    rule: &'static str,
+    offset: usize,
+    message: String,
+) {
+    violations.push(Violation {
+        rule,
+        path: file.path.clone(),
+        line: file.line_of(offset),
+        message,
+    });
+}

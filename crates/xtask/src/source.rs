@@ -1,0 +1,506 @@
+//! Source model for the `dpc-lint` pass.
+//!
+//! The pass is deliberately dependency-free (the build must work offline,
+//! so pulling in `syn` is not an option): instead of a full AST it works
+//! on a **scrubbed** copy of each file — byte-for-byte the same length as
+//! the original, but with every comment, string, char and byte literal
+//! blanked to spaces. Token searches on the scrubbed text therefore never
+//! match inside literals or comments, and byte offsets map 1:1 back to the
+//! original for line reporting.
+//!
+//! On top of the scrubbed text the model tracks:
+//!
+//! * `// dpc-lint: allow(<rule>[, <rule>...]) -- <reason>` escape-hatch
+//!   markers (captured from comments during scrubbing);
+//! * `#[cfg(test)]` item spans and `#[test]` functions, so rules can skip
+//!   test code;
+//! * `fn` body spans, so rules can reason about the enclosing function.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::path::PathBuf;
+
+/// One `// dpc-lint: allow(...) -- reason` marker.
+#[derive(Debug)]
+pub struct Allow {
+    /// 1-based line the marker appears on. The marker suppresses matching
+    /// violations on its own line and on the following line.
+    pub line: usize,
+    /// Rule names (or family prefixes such as `hot-path`) it allows.
+    pub rules: Vec<String>,
+    /// The justification after `--` (may be empty; the driver flags that).
+    pub reason: String,
+    /// Set when the marker suppressed at least one violation.
+    pub used: Cell<bool>,
+}
+
+/// A parsed source file ready for linting.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Workspace-relative path with `/` separators (rule scoping key).
+    pub rel: String,
+    /// Original text.
+    pub raw: String,
+    /// Comment/literal-blanked text, same byte length as `raw`.
+    pub scrubbed: String,
+    /// Escape-hatch markers found in comments.
+    pub allows: Vec<Allow>,
+    /// Byte offset of the start of each line (into `raw`/`scrubbed`).
+    line_starts: Vec<usize>,
+    /// Byte ranges of test-only code (`#[cfg(test)]` items, `#[test]` fns).
+    test_spans: Vec<Range<usize>>,
+    /// Byte ranges of function bodies (including nested functions).
+    fn_bodies: Vec<Range<usize>>,
+}
+
+impl SourceFile {
+    /// Parses `raw` as the contents of `rel`.
+    pub fn parse(path: PathBuf, rel: String, raw: String) -> Self {
+        let (scrubbed, allows) = scrub(&raw);
+        let line_starts = line_starts(&raw);
+        let test_spans = find_attr_spans(&scrubbed, &["#[cfg(test)]", "#[test]"]);
+        let fn_bodies = find_fn_bodies(&scrubbed);
+        SourceFile { path, rel, raw, scrubbed, allows, line_starts, test_spans, fn_bodies }
+    }
+
+    /// Convenience constructor for rule unit tests.
+    pub fn from_str(rel: &str, raw: &str) -> Self {
+        Self::parse(PathBuf::from(rel), rel.to_owned(), raw.to_owned())
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&start| start <= offset)
+    }
+
+    /// Whether the byte offset falls inside test-only code.
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_spans.iter().any(|span| span.contains(&offset))
+    }
+
+    /// The body text of the innermost function containing `offset`, if any.
+    pub fn enclosing_fn_body(&self, offset: usize) -> Option<&str> {
+        self.fn_bodies
+            .iter()
+            .filter(|span| span.contains(&offset))
+            .min_by_key(|span| span.len())
+            .map(|span| &self.scrubbed[span.clone()])
+    }
+
+    /// Every start offset of `token` in the scrubbed text whose neighbors
+    /// are not identifier characters (word-boundary match).
+    pub fn token_offsets(&self, token: &str) -> Vec<usize> {
+        let bytes = self.scrubbed.as_bytes();
+        let token_bytes = token.as_bytes();
+        let mut offsets = Vec::new();
+        let mut from = 0;
+        while let Some(pos) = self.scrubbed[from..].find(token) {
+            let start = from + pos;
+            let end = start + token.len();
+            // Boundary checks only apply on sides where the token itself
+            // is an identifier character (`.unwrap(` has neither).
+            let left_ok =
+                !is_ident_byte(token_bytes[0]) || start == 0 || !is_ident_byte(bytes[start - 1]);
+            let right_ok = !is_ident_byte(token_bytes[token_bytes.len() - 1])
+                || end >= bytes.len()
+                || !is_ident_byte(bytes[end]);
+            if left_ok && right_ok {
+                offsets.push(start);
+            }
+            from = start + token.len().max(1);
+        }
+        offsets
+    }
+
+    /// The scrubbed statement starting at `offset`: text up to the next
+    /// top-level `;` (brackets balanced), capped at `limit` bytes. Used to
+    /// check whether an iterator chain ends in an order-restoring step.
+    pub fn statement_from(&self, offset: usize, limit: usize) -> &str {
+        let bytes = self.scrubbed.as_bytes();
+        let end = (offset + limit).min(bytes.len());
+        let mut depth = 0i32;
+        for (i, &b) in bytes[offset..end].iter().enumerate() {
+            match b {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => {
+                    if depth == 0 && b == b'}' {
+                        return &self.scrubbed[offset..offset + i];
+                    }
+                    depth -= 1;
+                }
+                b';' if depth <= 0 => return &self.scrubbed[offset..offset + i],
+                _ => {}
+            }
+        }
+        &self.scrubbed[offset..end]
+    }
+}
+
+pub(crate) fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Blanks comments and string/char/byte literals to spaces (newlines kept,
+/// so offsets and line numbers are preserved), collecting `dpc-lint:`
+/// markers from comments along the way.
+fn scrub(raw: &str) -> (String, Vec<Allow>) {
+    let bytes = raw.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut allows = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = raw[i..].find('\n').map_or(bytes.len(), |n| i + n);
+                if let Some(allow) = parse_allow(&raw[i..end], line) {
+                    allows.push(allow);
+                }
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'"' => {
+                let end = skip_string(bytes, i);
+                line += newline_count(&bytes[i..end]);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'r' | b'b' if starts_raw_string(bytes, i) => {
+                let end = skip_raw_string(bytes, i);
+                line += newline_count(&bytes[i..end]);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                let end = skip_char(bytes, i + 1);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    blank(&mut out, i, end);
+                    i = end;
+                } else {
+                    // A lifetime (`'a`) — leave as code.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // `out` only ever replaces bytes with ASCII spaces, so it stays UTF-8.
+    (String::from_utf8(out).expect("scrub preserves UTF-8"), allows)
+}
+
+fn blank(out: &mut [u8], from: usize, to: usize) {
+    for b in &mut out[from..to] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+fn newline_count(bytes: &[u8]) -> usize {
+    bytes.iter().filter(|&&b| b == b'\n').count()
+}
+
+fn skip_string(bytes: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+fn starts_raw_string(bytes: &[u8], i: usize) -> bool {
+    // r"..." | r#"..."# | br"..." | br#"..."#
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+fn skip_raw_string(bytes: &[u8], start: usize) -> usize {
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // 'r'
+    let mut hashes = 0;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut close = 0;
+            while close < hashes && bytes.get(j) == Some(&b'#') {
+                close += 1;
+                j += 1;
+            }
+            if close == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+fn skip_char(bytes: &[u8], quote: usize) -> usize {
+    let mut i = quote + 1;
+    if bytes.get(i) == Some(&b'\\') {
+        i += 2;
+    } else {
+        i += 1;
+    }
+    while i < bytes.len() && bytes[i] != b'\'' {
+        i += 1;
+    }
+    (i + 1).min(bytes.len())
+}
+
+/// Distinguishes a char literal from a lifetime at a `'`. Returns the end
+/// offset of the literal, or `None` for a lifetime.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == b'\\' {
+        return Some(skip_char(bytes, i));
+    }
+    // `'x'` is a char; `'x` followed by anything else is a lifetime.
+    if bytes.get(i + 2) == Some(&b'\'') {
+        return Some(i + 3);
+    }
+    // Multibyte char literal like 'é' — find the closing quote within a
+    // few bytes (lifetimes are ASCII identifiers, so no conflict).
+    if next >= 0x80 {
+        let end = bytes[i + 1..].iter().take(6).position(|&b| b == b'\'')?;
+        return Some(i + 1 + end + 1);
+    }
+    None
+}
+
+/// Parses `// dpc-lint: allow(rule1, rule2) -- reason`.
+fn parse_allow(comment: &str, line: usize) -> Option<Allow> {
+    let rest = comment.split_once("dpc-lint:")?.1.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let (rules_part, tail) = rest.split_once(')')?;
+    let rules: Vec<String> =
+        rules_part.split(',').map(|r| r.trim().to_owned()).filter(|r| !r.is_empty()).collect();
+    if rules.is_empty() {
+        return None;
+    }
+    let reason = tail.trim_start().strip_prefix("--").map_or("", str::trim).to_owned();
+    Some(Allow { line, rules, reason, used: Cell::new(false) })
+}
+
+/// Byte spans of the items introduced by any of `attrs` (e.g.
+/// `#[cfg(test)] mod tests { ... }`): from the attribute to the matching
+/// close brace (or the terminating `;` for braceless items).
+fn find_attr_spans(scrubbed: &str, attrs: &[&str]) -> Vec<Range<usize>> {
+    let bytes = scrubbed.as_bytes();
+    let mut spans: Vec<Range<usize>> = Vec::new();
+    for attr in attrs {
+        let mut from = 0;
+        while let Some(pos) = scrubbed[from..].find(attr) {
+            let start = from + pos;
+            from = start + attr.len();
+            if spans.iter().any(|s| s.contains(&start)) {
+                continue;
+            }
+            let mut i = start + attr.len();
+            while i < bytes.len() && bytes[i] != b'{' && bytes[i] != b';' {
+                i += 1;
+            }
+            let end = if i < bytes.len() && bytes[i] == b'{' {
+                match_brace(bytes, i)
+            } else {
+                (i + 1).min(bytes.len())
+            };
+            spans.push(start..end);
+        }
+    }
+    spans
+}
+
+/// Offset just past the brace matching the `{` at `open`.
+fn match_brace(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    bytes.len()
+}
+
+/// Body spans (`{`..`}`) of every `fn` in the scrubbed text.
+fn find_fn_bodies(scrubbed: &str) -> Vec<Range<usize>> {
+    let bytes = scrubbed.as_bytes();
+    let mut bodies = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = scrubbed[from..].find("fn ") {
+        let start = from + pos;
+        from = start + 3;
+        if start > 0 && is_ident_byte(bytes[start - 1]) {
+            continue; // e.g. `btree_fn ` — not the `fn` keyword
+        }
+        // Find the opening brace of the body, skipping the signature. A
+        // `;` first means a trait method declaration without a body.
+        let mut i = start;
+        let mut depth = 0i32;
+        let body_open = loop {
+            if i >= bytes.len() {
+                break None;
+            }
+            match bytes[i] {
+                b'(' | b'[' | b'<' => depth += 1,
+                b')' | b']' | b'>' => depth -= 1,
+                b'{' if depth <= 0 => break Some(i),
+                b';' if depth <= 0 => break None,
+                _ => {}
+            }
+            i += 1;
+        };
+        if let Some(open) = body_open {
+            bodies.push(open..match_brace(bytes, open));
+        }
+    }
+    bodies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_blanks_comments_and_strings() {
+        let f = SourceFile::from_str(
+            "x.rs",
+            "let s = \"Instant\"; // Instant\nlet c = 'I'; /* SystemTime */ let i = 1;\n",
+        );
+        assert_eq!(f.scrubbed.len(), f.raw.len());
+        assert!(!f.scrubbed.contains("Instant"));
+        assert!(!f.scrubbed.contains("SystemTime"));
+        assert!(f.scrubbed.contains("let i = 1;"));
+    }
+
+    #[test]
+    fn scrub_keeps_lifetimes_and_raw_strings() {
+        let f = SourceFile::from_str(
+            "x.rs",
+            "fn f<'a>(x: &'a str) -> &'a str { x }\nlet r = r#\"thread_rng\"#;\n",
+        );
+        assert!(f.scrubbed.contains("<'a>"));
+        assert!(!f.scrubbed.contains("thread_rng"));
+    }
+
+    #[test]
+    fn line_numbers_match() {
+        let f = SourceFile::from_str("x.rs", "a\nbb\nccc\n");
+        assert_eq!(f.line_of(0), 1);
+        assert_eq!(f.line_of(2), 2);
+        assert_eq!(f.line_of(5), 3);
+    }
+
+    #[test]
+    fn allow_markers_are_parsed() {
+        let f = SourceFile::from_str(
+            "x.rs",
+            "// dpc-lint: allow(determinism::wall-clock, hot-path) -- CLI timing\nlet x = 1;\n",
+        );
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].line, 1);
+        assert_eq!(f.allows[0].rules, vec!["determinism::wall-clock", "hot-path"]);
+        assert_eq!(f.allows[0].reason, "CLI timing");
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_mod_bodies() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() { x.unwrap(); }\n}\n";
+        let f = SourceFile::from_str("x.rs", src);
+        let unwrap_at = src.find("unwrap").expect("fixture");
+        assert!(f.in_test_code(unwrap_at));
+        assert!(!f.in_test_code(0));
+    }
+
+    #[test]
+    fn enclosing_fn_body_is_innermost() {
+        let src = "fn outer() {\n    let a = 1;\n    fn inner() { let b = 2; }\n}\n";
+        let f = SourceFile::from_str("x.rs", src);
+        let b_at = src.find("let b").expect("fixture");
+        let body = f.enclosing_fn_body(b_at).expect("inside inner");
+        assert!(body.contains("let b"));
+        assert!(!body.contains("let a"));
+    }
+
+    #[test]
+    fn token_offsets_respect_word_boundaries() {
+        let f = SourceFile::from_str("x.rs", "InstantX Instant xInstant Instant_\n");
+        assert_eq!(f.token_offsets("Instant").len(), 1);
+    }
+
+    #[test]
+    fn statement_extraction_balances_brackets() {
+        let f = SourceFile::from_str("x.rs", "let v = m.iter().map(|(a, b)| (b; a)).sort();\n");
+        let stmt = f.statement_from(8, 200);
+        assert!(stmt.contains("sort"));
+    }
+}

@@ -1,0 +1,37 @@
+//! The acceptance gate for `dpc-lint`: the workspace itself must come
+//! clean under the pass. Running this as a plain `cargo test` keeps the
+//! lint enforced even where CI isn't (e.g. local pre-push).
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(std::path::Path::parent).expect("crates/xtask sits two deep").into()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = xtask::lint_workspace(&workspace_root()).expect("workspace scan");
+    assert!(report.files_scanned > 40, "scan must cover the workspace");
+    let rendered: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| format!("{} {}:{} {}", v.rule, v.path.display(), v.line, v.message))
+        .collect();
+    assert!(rendered.is_empty(), "dpc-lint violations:\n{}", rendered.join("\n"));
+    assert!(
+        report.missing_reasons.is_empty(),
+        "allow markers without reasons: {:?}",
+        report.missing_reasons
+    );
+}
+
+#[test]
+fn no_stale_allow_markers() {
+    let report = xtask::lint_workspace(&workspace_root()).expect("workspace scan");
+    assert!(
+        report.unused_allows.is_empty(),
+        "allow markers that suppress nothing: {:?}",
+        report.unused_allows
+    );
+}

@@ -9,7 +9,7 @@ use dpc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let workload_name = args.first().map(String::as_str).unwrap_or("bfs");
+    let workload_name = args.first().map_or("bfs", String::as_str);
     let mem_ops: u64 = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(500_000);
 
     let config = SystemConfig::paper_baseline();

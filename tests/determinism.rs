@@ -110,6 +110,37 @@ fn campaign_matches_immediate_mode_oracle_runs() {
     assert_eq!(executed.runs_performed(), immediate.runs_performed());
 }
 
+/// Regression guard for hash-iteration-order leaks in the oracle tables.
+///
+/// `DoaRecord`, `LookupRecord` and the replay `cursors` are all backed by
+/// `std::collections::HashMap`, whose per-instance `RandomState` makes
+/// iteration order differ between two maps holding identical entries. The
+/// oracle code only ever accesses those maps by key (audited; see
+/// `predictors/src/oracle.rs`), so two completely fresh contexts — each
+/// building its own maps with its own hasher seeds — must render the
+/// oracle-backed table4 byte-identically. If anyone introduces an
+/// order-dependent iteration, the render diverges and this test fails.
+#[test]
+fn oracle_table_render_is_identical_across_fresh_contexts() {
+    use dpc::experiments;
+
+    let options = ExperimentOptions {
+        scale: Scale::Tiny,
+        seed: 11,
+        warmup_mem_ops: 500,
+        measure_mem_ops: 5_000,
+    };
+    let render = || {
+        let mut ctx = ExperimentContext::new(options);
+        experiments::table4_llt_mpki(&mut ctx).render()
+    };
+    assert_eq!(
+        render(),
+        render(),
+        "oracle table rendering must not depend on HashMap iteration order"
+    );
+}
+
 #[test]
 fn oracle_passes_align() {
     // The Belady oracle's premise: the LLT lookup stream is identical
