@@ -6,6 +6,7 @@
 //! paper --list              # available experiment ids
 //! paper --csv out/          # also write each table as CSV
 //! paper --timing t.json     # dump campaign timing as JSON
+//! paper all --quick         # Tiny scale, small budgets (CI smoke runs)
 //! ```
 //!
 //! Experiments run through the plan/execute campaign engine: the
@@ -15,8 +16,12 @@
 //! memo. Results are bit-identical for any worker count.
 //!
 //! Environment knobs: `DPC_SCALE` (`tiny`/`small`/`paper`), `DPC_WARMUP`,
-//! `DPC_MEASURE`, `DPC_SEED`, and `DPC_THREADS` (worker threads for the
-//! campaign executor; default = available parallelism).
+//! `DPC_MEASURE`, `DPC_SEED`, `DPC_THREADS` (worker threads for the
+//! campaign executor; default = available parallelism), and
+//! `DPC_TRACE_STORE` (`off` disables the shared trace store, forcing live
+//! generation per run). `--quick` overrides scale and budgets to a
+//! seconds-long smoke configuration (Tiny scale, 2K warm-up, 20K
+//! measured) regardless of the environment.
 
 use dpc::campaign;
 use dpc::experiments::{self, ExperimentContext, ExperimentOptions};
@@ -156,12 +161,16 @@ fn main() {
     }
     // Optional `--csv <dir>`: also write each experiment as CSV.
     // Optional `--timing <file>`: dump campaign timing stats as JSON.
+    // Optional `--quick`: Tiny-scale smoke configuration for CI.
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut timing_path: Option<std::path::PathBuf> = None;
+    let mut quick = false;
     let mut positional: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        if arg == "--csv" {
+        if arg == "--quick" {
+            quick = true;
+        } else if arg == "--csv" {
             match iter.next() {
                 Some(dir) => csv_dir = Some(dir.into()),
                 None => {
@@ -193,7 +202,12 @@ fn main() {
         }
     }
 
-    let options = ExperimentOptions::from_env();
+    let mut options = ExperimentOptions::from_env();
+    if quick {
+        options.scale = dpc::prelude::Scale::Tiny;
+        options.warmup_mem_ops = 2_000;
+        options.measure_mem_ops = 20_000;
+    }
     let threads = campaign::default_threads();
     eprintln!(
         "# scale={:?} warmup={} measure={} seed={} threads={}",

@@ -78,13 +78,23 @@ pub struct RunTiming {
     pub llc_policy: String,
     /// What the simulation was for.
     pub kind: SimKind,
-    /// Wall time of the simulation.
+    /// Total wall time of the run (stream generation + simulation).
     pub wall: Duration,
+    /// Wall time spent generating the event stream — the trace-store
+    /// capture cost, charged to the one run that performed the capture.
+    /// Zero on store hits and on live (`DPC_TRACE_STORE=off`) runs, where
+    /// generation is interleaved with simulation.
+    pub gen_wall: Duration,
     /// Memory operations simulated (warm-up + measured).
     pub mem_ops: u64,
 }
 
 impl RunTiming {
+    /// Wall time spent simulating: total minus the generation split.
+    pub fn sim_wall(&self) -> Duration {
+        self.wall.saturating_sub(self.gen_wall)
+    }
+
     /// Simulated memory operations per wall-clock second.
     pub fn mem_ops_per_sec(&self) -> f64 {
         let secs = self.wall.as_secs_f64();
@@ -124,6 +134,18 @@ impl CampaignStats {
         self.run_timings.iter().map(|t| t.mem_ops).sum()
     }
 
+    /// Total wall time spent generating event streams (trace-store
+    /// captures) across all runs. Each captured stream is counted once.
+    pub fn total_gen_wall(&self) -> Duration {
+        self.run_timings.iter().map(|t| t.gen_wall).sum()
+    }
+
+    /// Total wall time spent simulating across all runs (run wall minus
+    /// the generation split).
+    pub fn total_sim_wall(&self) -> Duration {
+        self.run_timings.iter().map(RunTiming::sim_wall).sum()
+    }
+
     /// Aggregate simulated mem-ops per wall-clock second.
     pub fn mem_ops_per_sec(&self) -> f64 {
         let secs = self.wall.as_secs_f64();
@@ -147,13 +169,16 @@ impl CampaignStats {
     /// One-line human summary for the end-of-campaign report.
     pub fn summary_line(&self) -> String {
         format!(
-            "{} distinct runs ({} simulations) on {} worker{} in {:.1}s, \
+            "{} distinct runs ({} simulations) on {} worker{} in {:.1}s \
+             ({:.1}s generating + {:.1}s simulating), \
              {:.2}M mem-ops/s, {:.0}% worker utilization",
             self.distinct_runs,
             self.simulations(),
             self.threads,
             if self.threads == 1 { "" } else { "s" },
             self.wall.as_secs_f64(),
+            self.total_gen_wall().as_secs_f64(),
+            self.total_sim_wall().as_secs_f64(),
             self.mem_ops_per_sec() / 1e6,
             self.worker_utilization() * 100.0,
         )
@@ -163,13 +188,15 @@ impl CampaignStats {
     /// revisions (`paper --timing <file>`).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": 1,");
+        let _ = writeln!(out, "  \"schema\": 2,");
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
         let _ = writeln!(out, "  \"wall_secs\": {:.6},", self.wall.as_secs_f64());
         let _ = writeln!(out, "  \"distinct_runs\": {},", self.distinct_runs);
         let _ = writeln!(out, "  \"simulations\": {},", self.simulations());
         let _ = writeln!(out, "  \"total_mem_ops\": {},", self.total_mem_ops());
         let _ = writeln!(out, "  \"mem_ops_per_sec\": {:.1},", self.mem_ops_per_sec());
+        let _ = writeln!(out, "  \"total_gen_secs\": {:.6},", self.total_gen_wall().as_secs_f64());
+        let _ = writeln!(out, "  \"total_sim_secs\": {:.6},", self.total_sim_wall().as_secs_f64());
         let _ = writeln!(out, "  \"worker_utilization\": {:.4},", self.worker_utilization());
         let _ = writeln!(
             out,
@@ -185,12 +212,15 @@ impl CampaignStats {
             let _ = write!(
                 out,
                 "    {{\"workload\": {}, \"kind\": \"{}\", \"tlb\": {}, \"llc\": {}, \
-                 \"wall_secs\": {:.6}, \"mem_ops\": {}, \"mem_ops_per_sec\": {:.1}}}",
+                 \"wall_secs\": {:.6}, \"gen_secs\": {:.6}, \"sim_secs\": {:.6}, \
+                 \"mem_ops\": {}, \"mem_ops_per_sec\": {:.1}}}",
                 json_string(&t.workload),
                 t.kind.as_str(),
                 json_string(&t.tlb_policy),
                 json_string(&t.llc_policy),
                 t.wall.as_secs_f64(),
+                t.gen_wall.as_secs_f64(),
+                t.sim_wall().as_secs_f64(),
                 t.mem_ops,
                 t.mem_ops_per_sec(),
             );
@@ -244,13 +274,14 @@ fn time_one<R>(f: impl FnOnce() -> R) -> (R, Duration) {
     (r, start.elapsed())
 }
 
-fn timing(key: &RunKey, kind: SimKind, wall: Duration) -> RunTiming {
+fn timing(key: &RunKey, kind: SimKind, wall: Duration, gen_wall: Duration) -> RunTiming {
     RunTiming {
         workload: key.0.clone(),
         tlb_policy: format!("{:?}", key.1.tlb_policy),
         llc_policy: format!("{:?}", key.1.llc_policy),
         kind,
         wall,
+        gen_wall,
         mem_ops: key.1.warmup_mem_ops + key.1.measure_mem_ops,
     }
 }
@@ -321,7 +352,7 @@ pub fn execute(
                                 let (result, wall) =
                                     time_one(|| run_workload(&worker_factory, &key.0, &key.1));
                                 busy += wall;
-                                timings.push(timing(key, SimKind::Plain, wall));
+                                timings.push(timing(key, SimKind::Plain, wall, result.gen_wall));
                                 completions.push(Completion {
                                     key: key.clone(),
                                     oracle: false,
@@ -332,7 +363,12 @@ pub fn execute(
                                 let ((baseline, trace), wall) =
                                     time_one(|| record_baseline(&worker_factory, &key.0, &key.1));
                                 busy += wall;
-                                timings.push(timing(baseline_key, SimKind::Record, wall));
+                                timings.push(timing(
+                                    baseline_key,
+                                    SimKind::Record,
+                                    wall,
+                                    baseline.gen_wall,
+                                ));
                                 completions.push(Completion {
                                     key: (**baseline_key).clone(),
                                     oracle: false,
@@ -342,7 +378,7 @@ pub fn execute(
                                     run_oracle_from_trace(trace, &worker_factory, &key.0, &key.1)
                                 });
                                 busy += wall;
-                                timings.push(timing(key, SimKind::Oracle, wall));
+                                timings.push(timing(key, SimKind::Oracle, wall, oracle.gen_wall));
                                 completions.push(Completion {
                                     key: key.clone(),
                                     oracle: true,
@@ -479,6 +515,7 @@ mod tests {
                 llc_policy: "Baseline".into(),
                 kind: SimKind::Plain,
                 wall: Duration::from_millis(750),
+                gen_wall: Duration::from_millis(250),
                 mem_ops: 1_000,
             }],
             worker_busy: vec![Duration::from_millis(750), Duration::from_millis(600)],
@@ -487,9 +524,15 @@ mod tests {
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"workload\": \"cg.B\""));
         assert!(json.contains("\"kind\": \"plain\""));
+        assert!(json.contains("\"gen_secs\": 0.250000"));
+        assert!(json.contains("\"sim_secs\": 0.500000"));
+        assert!(json.contains("\"total_gen_secs\": 0.250000"));
+        assert!(json.contains("\"total_sim_secs\": 0.500000"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!((stats.worker_utilization() - 0.45).abs() < 1e-9);
         assert!(stats.summary_line().contains("1 distinct runs"));
+        assert!(stats.summary_line().contains("0.2s generating + 0.5s simulating"));
+        assert_eq!(stats.run_timings[0].sim_wall(), Duration::from_millis(500));
     }
 
     #[test]

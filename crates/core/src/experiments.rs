@@ -210,6 +210,7 @@ impl ExperimentContext {
             stats: SimStats::default(),
             llt_accuracy: None,
             llc_accuracy: None,
+            gen_wall: std::time::Duration::ZERO,
         })
     }
 

@@ -8,6 +8,7 @@ use dpc_predictors::{
 };
 use dpc_types::SystemConfig;
 use dpc_workloads::WorkloadFactory;
+use std::time::Duration;
 
 /// TLB-side policy selector. Selectors are plain values so experiment
 /// configurations can be hashed and memoized.
@@ -101,6 +102,12 @@ pub struct RunResult {
     pub llt_accuracy: Option<AccuracyReport>,
     /// LLC-side predictor accuracy, when the policy reports one.
     pub llc_accuracy: Option<AccuracyReport>,
+    /// Wall time spent *generating* the event stream, charged to exactly
+    /// one run per captured stream: the run whose request performed the
+    /// trace-store capture. Zero on store hits and on live (store-off)
+    /// runs, where generation is interleaved with simulation and cannot
+    /// be split out.
+    pub gen_wall: Duration,
 }
 
 fn build_tlb_policy(sel: TlbPolicySel, system: &SystemConfig) -> Box<dyn LltPolicy> {
@@ -140,20 +147,28 @@ fn run_system(
     workload: &str,
     config: &RunConfig,
 ) -> RunResult {
-    let mut w = factory.build(workload).expect("experiment uses known workload names");
+    // One event source for the whole run: a zero-copy replay cursor from
+    // the shared trace store when enabled (captured once per campaign,
+    // covering exactly warmup + measure memory events), or a fresh live
+    // generator under `DPC_TRACE_STORE=off`. Both yield bit-identical
+    // events, so the simulation below cannot tell them apart.
+    let total_mem_ops = config.warmup_mem_ops + config.measure_mem_ops;
+    let (mut source, capture) =
+        factory.source(workload, total_mem_ops).expect("experiment uses known workload names");
     // Sample deadness ~200 times over the measured window.
     let approx_instructions = config.measure_mem_ops * 3;
     system.set_sample_interval((approx_instructions / 200).max(1000));
     if config.warmup_mem_ops > 0 {
-        system.run_until(w.as_mut(), config.warmup_mem_ops);
+        system.run_until(&mut source, config.warmup_mem_ops);
         system.reset_stats();
     }
-    let stats = system.run_until(w.as_mut(), config.measure_mem_ops);
+    let stats = system.run_until(&mut source, config.measure_mem_ops);
     RunResult {
         workload: workload.to_owned(),
         llt_accuracy: system.llt_policy().accuracy_report(),
         llc_accuracy: system.llc_policy().accuracy_report(),
         stats,
+        gen_wall: capture.charged_wall(),
     }
 }
 
@@ -289,6 +304,26 @@ mod tests {
         assert_eq!(plain.stats.llt_deadness, recorded.stats.llt_deadness);
         assert!(plain.llt_accuracy.is_none() && recorded.llt_accuracy.is_none());
         assert!(!trace.is_empty(), "recording pass must log lookups");
+    }
+
+    #[test]
+    fn trace_store_replay_matches_live_generation() {
+        let on = factory().with_trace_store(true);
+        let off = factory().with_trace_store(false);
+        let config = RunConfig::baseline(1_000, 20_000)
+            .with_policies(TlbPolicySel::DpPred, LlcPolicySel::CbPred);
+        let replayed = run_workload(&on, "canneal", &config);
+        let live = run_workload(&off, "canneal", &config);
+        assert_eq!(replayed.stats.cycles, live.stats.cycles, "replay must match live run");
+        assert_eq!(replayed.stats.llt, live.stats.llt);
+        assert_eq!(replayed.stats.llc, live.stats.llc);
+        assert_eq!(replayed.stats.llt_deadness, live.stats.llt_deadness);
+        assert!(live.gen_wall.is_zero(), "live runs charge no capture time");
+        // A second run of the same key replays the cached stream and
+        // charges no further capture time.
+        let again = run_workload(&on, "canneal", &config);
+        assert!(again.gen_wall.is_zero());
+        assert_eq!(again.stats.cycles, replayed.stats.cycles);
     }
 
     #[test]

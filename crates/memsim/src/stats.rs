@@ -205,7 +205,7 @@ impl DeadnessStats {
 }
 
 /// Full output of one simulation run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Retired instructions (memory + compute).
     pub instructions: u64,

@@ -179,9 +179,24 @@ impl System {
     /// Runs until the workload ends or `max_mem_ops` memory operations
     /// have been simulated, then returns the statistics.
     pub fn run_until(&mut self, workload: &mut dyn Workload, max_mem_ops: u64) -> SimStats {
+        self.run_events(&mut std::iter::from_fn(|| workload.next_event()), max_mem_ops)
+    }
+
+    /// Runs events pulled from `events` until the iterator ends or
+    /// `max_mem_ops` memory operations have been simulated — the borrowed
+    /// counterpart of [`System::run_until`] for driving the machine
+    /// straight from a captured `dpc_types::stream::EventStream` (or any
+    /// other event iterator) without boxing or re-buffering. The loop
+    /// stops as soon as the budget is reached and never pulls an event it
+    /// will not simulate.
+    pub fn run_events(
+        &mut self,
+        events: &mut dyn Iterator<Item = Event>,
+        max_mem_ops: u64,
+    ) -> SimStats {
         let stop_at = self.mem_ops + max_mem_ops;
         while self.mem_ops < stop_at {
-            match workload.next_event() {
+            match events.next() {
                 Some(event) => self.step(event),
                 None => break,
             }
@@ -442,25 +457,44 @@ impl System {
 mod tests {
     use super::*;
 
-    /// Strided single-pass reader: every page touched `touches_per_page`
-    /// times, never revisited.
-    struct Streamer {
-        next: u64,
+    /// Single-PC load generator shared by every test below: emits
+    /// `remaining` loads at addresses `addr(0), addr(1), …`. The two
+    /// constructors cover the patterns the tests need — a strided
+    /// single-pass stream (pages never revisited) and a small looping
+    /// working set (pages revisited forever).
+    struct SyntheticLoads {
+        i: u64,
         remaining: u64,
-        stride: u64,
+        addr: Box<dyn Fn(u64) -> u64>,
     }
 
-    impl Workload for Streamer {
+    impl SyntheticLoads {
+        /// Single-pass reader from `0x1000_0000` at byte stride `stride`.
+        fn strided(stride: u64, remaining: u64) -> Self {
+            SyntheticLoads { i: 0, remaining, addr: Box::new(move |i| 0x1000_0000 + i * stride) }
+        }
+
+        /// Loop over `pages` consecutive pages from `0x2000_0000`.
+        fn looping(pages: u64, remaining: u64) -> Self {
+            SyntheticLoads {
+                i: 0,
+                remaining,
+                addr: Box::new(move |i| 0x2000_0000 + (i % pages) * 4096),
+            }
+        }
+    }
+
+    impl Workload for SyntheticLoads {
         fn name(&self) -> &str {
-            "streamer"
+            "synthetic-loads"
         }
         fn next_event(&mut self) -> Option<Event> {
             if self.remaining == 0 {
                 return None;
             }
             self.remaining -= 1;
-            let va = VirtAddr::new(0x1000_0000 + self.next);
-            self.next += self.stride;
+            let va = VirtAddr::new((self.addr)(self.i));
+            self.i += 1;
             Some(Event::load(Pc::new(0x40_0000), va))
         }
     }
@@ -472,7 +506,7 @@ mod tests {
     #[test]
     fn conservation_laws() {
         let mut sys = system();
-        let stats = sys.run(&mut Streamer { next: 0, remaining: 20_000, stride: 64 });
+        let stats = sys.run(&mut SyntheticLoads::strided(64, 20_000));
         assert_eq!(stats.mem_ops, 20_000);
         for s in [&stats.l1d_tlb, &stats.llt, &stats.l1d, &stats.l2, &stats.llc] {
             assert_eq!(s.hits + s.misses, s.lookups, "hits + misses must equal lookups");
@@ -485,7 +519,7 @@ mod tests {
     fn page_locality_hits_l1_tlb() {
         let mut sys = system();
         // 64 accesses per 4 KiB page at stride 64: one TLB miss per page.
-        let stats = sys.run(&mut Streamer { next: 0, remaining: 6400, stride: 64 });
+        let stats = sys.run(&mut SyntheticLoads::strided(64, 6400));
         assert_eq!(stats.l1d_tlb.misses, 100, "one L1 TLB miss per fresh page");
         assert_eq!(stats.walks, 100 + stats.l1i_tlb.misses, "every LLT miss walks");
     }
@@ -495,7 +529,7 @@ mod tests {
         let mut sys = system();
         sys.set_sample_interval(1000);
         // Page-stride stream: each page touched once -> all LLT entries DOA.
-        let stats = sys.run(&mut Streamer { next: 0, remaining: 20_000, stride: 4096 });
+        let stats = sys.run(&mut SyntheticLoads::strided(4096, 20_000));
         assert!(stats.llt_evictions.total > 0);
         assert!(
             stats.llt_evictions.doa_fraction() > 0.95,
@@ -508,26 +542,8 @@ mod tests {
 
     #[test]
     fn repeated_small_working_set_is_live() {
-        struct Loop {
-            i: u64,
-            remaining: u64,
-        }
-        impl Workload for Loop {
-            fn name(&self) -> &str {
-                "loop"
-            }
-            fn next_event(&mut self) -> Option<Event> {
-                if self.remaining == 0 {
-                    return None;
-                }
-                self.remaining -= 1;
-                let va = VirtAddr::new(0x2000_0000 + (self.i % 16) * 4096);
-                self.i += 1;
-                Some(Event::load(Pc::new(0x40_0000), va))
-            }
-        }
         let mut sys = system();
-        let stats = sys.run(&mut Loop { i: 0, remaining: 10_000 });
+        let stats = sys.run(&mut SyntheticLoads::looping(16, 10_000));
         // 16 data pages plus the code page: cold misses only, then hits.
         assert_eq!(stats.llt.misses, 16 + stats.l1i_tlb.misses);
         assert_eq!(stats.walks, stats.llt.misses);
@@ -539,7 +555,7 @@ mod tests {
     #[test]
     fn stats_are_idempotent() {
         let mut sys = system();
-        sys.run(&mut Streamer { next: 0, remaining: 5000, stride: 4096 });
+        sys.run(&mut SyntheticLoads::strided(4096, 5000));
         let a = sys.stats();
         let b = sys.stats();
         assert_eq!(a.llt_deadness, b.llt_deadness);
@@ -549,19 +565,18 @@ mod tests {
     #[test]
     fn run_until_bounds_mem_ops() {
         let mut sys = system();
-        let stats =
-            sys.run_until(&mut Streamer { next: 0, remaining: 1_000_000, stride: 64 }, 1000);
+        let stats = sys.run_until(&mut SyntheticLoads::strided(64, 1_000_000), 1000);
         assert_eq!(stats.mem_ops, 1000);
     }
 
     #[test]
     fn reset_stats_keeps_state_warm() {
         let mut sys = system();
-        sys.run(&mut Streamer { next: 0, remaining: 6400, stride: 64 });
+        sys.run(&mut SyntheticLoads::strided(64, 6400));
         sys.reset_stats();
         // Re-run over the same pages: everything already mapped; the
         // 400 KiB working set is LLC-resident, so the LLC now hits.
-        let stats = sys.run(&mut Streamer { next: 0, remaining: 6400, stride: 64 });
+        let stats = sys.run(&mut SyntheticLoads::strided(64, 6400));
         assert_eq!(stats.mem_ops, 6400);
         assert_eq!(stats.llt.misses + stats.llt.hits, stats.llt.lookups);
         assert!(stats.llc.hits > 0);
@@ -573,7 +588,7 @@ mod tests {
         let mut sys = System::new(config).unwrap();
         // Touch 100 fresh pages: more than the 64-entry L1 D-TLB, so
         // evictions trickle translations into the LLT.
-        let stats = sys.run(&mut Streamer { next: 0, remaining: 6400, stride: 64 });
+        let stats = sys.run(&mut SyntheticLoads::strided(64, 6400));
         assert!(stats.llt.fills > 0, "L1 evictions must fill the LLT");
         // Re-walk count stays one per page: L1 miss → LLT (victim) hit.
         assert_eq!(stats.walks, stats.llt.misses - stats.llt.shadow_hits);
@@ -584,12 +599,36 @@ mod tests {
         // Paper Section III: "we did not find any significant performance
         // difference between these two alternative designs."
         let mut both = System::new(SystemConfig::paper_baseline()).unwrap();
-        let a = both.run(&mut Streamer { next: 0, remaining: 30_000, stride: 4096 });
+        let a = both.run(&mut SyntheticLoads::strided(4096, 30_000));
         let config = SystemConfig::paper_baseline().with_tlb_fill(TlbFillPolicy::L1ThenVictim);
         let mut victim = System::new(config).unwrap();
-        let b = victim.run(&mut Streamer { next: 0, remaining: 30_000, stride: 4096 });
+        let b = victim.run(&mut SyntheticLoads::strided(4096, 30_000));
         let ratio = a.ipc() / b.ipc();
         assert!((0.9..1.1).contains(&ratio), "IPC ratio {ratio} too far from 1");
+    }
+
+    #[test]
+    fn run_events_replays_borrowed_streams_identically() {
+        use dpc_types::stream::EventStream;
+        // Capture exactly the prefix a 3000-mem-op run consumes, then
+        // drive a fresh system straight from the borrowed stream.
+        let stream =
+            EventStream::capture_mem_ops(&mut SyntheticLoads::strided(64, 1_000_000), 3000);
+        let mut live_sys = system();
+        let live = live_sys.run_until(&mut SyntheticLoads::strided(64, 1_000_000), 3000);
+        let mut replay_sys = system();
+        let replayed = replay_sys.run_events(&mut stream.iter(), 3000);
+        assert_eq!(replayed.mem_ops, 3000);
+        assert_eq!(replayed.cycles, live.cycles, "replay must be bit-identical to live");
+        assert_eq!(replayed.llt, live.llt);
+        assert_eq!(replayed.llc, live.llc);
+        // The budget, not the stream end, stops the run: a longer stream
+        // replays the same prefix.
+        let longer =
+            EventStream::capture_mem_ops(&mut SyntheticLoads::strided(64, 1_000_000), 5000);
+        let mut prefix_sys = system();
+        let prefix = prefix_sys.run_events(&mut longer.iter(), 3000);
+        assert_eq!(prefix.cycles, live.cycles);
     }
 
     #[test]

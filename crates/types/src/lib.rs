@@ -33,6 +33,7 @@ pub mod config;
 pub mod counter;
 pub mod hash;
 mod invariant;
+pub mod stream;
 pub mod workload;
 
 pub use addr::{AccessKind, BlockAddr, Pc, Pfn, PhysAddr, VirtAddr, Vpn};
@@ -41,6 +42,7 @@ pub use config::{
     TlbFillPolicy,
 };
 pub use counter::SatCounter;
+pub use stream::{EventStream, StreamCursor};
 pub use workload::{Event, Workload};
 
 /// log2 of the page size: 4 KiB pages throughout, as in the paper.

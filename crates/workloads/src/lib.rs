@@ -57,6 +57,7 @@ pub mod ligra;
 pub mod mcf;
 pub mod spmv;
 pub mod stencil;
+pub mod store;
 pub mod trace;
 
 use dpc_types::Workload;
@@ -67,6 +68,7 @@ use std::sync::{Arc, OnceLock};
 
 pub use emitter::{Algorithm, Emitter, Generator};
 pub use layout::{AddressSpace, VArray};
+pub use store::{CaptureReport, EventCursor, EventSource, TraceStore};
 
 /// SplitMix64 finalizer: a cheap, high-quality deterministic hash used to
 /// derive synthetic data (edge weights, neighbor ids) from indices.
@@ -181,15 +183,28 @@ enum InputKind {
     Graph500Graph,
 }
 
-/// Lazily-built inputs shared by every clone of a factory. Each graph is
-/// built at most once per factory family, even when clones race from
-/// several worker threads (`OnceLock` serializes initialization), and the
-/// result is deterministic in `(scale, seed)` regardless of which thread
-/// wins.
+/// Lazily-built inputs shared by every clone of a factory. Each graph and
+/// each captured event stream is built at most once per factory family,
+/// even when clones race from several worker threads (`OnceLock`
+/// serializes initialization), and the result is deterministic in
+/// `(scale, seed)` regardless of which thread wins.
 #[derive(Debug, Default)]
 struct SharedInputs {
     shared_graph: OnceLock<Arc<CsrGraph>>,
     graph500_graph: OnceLock<Arc<CsrGraph>>,
+    traces: TraceStore,
+}
+
+/// Whether `DPC_TRACE_STORE` enables the shared trace store (the
+/// default). `off`, `0`, and `false` disable it; anything else enables.
+fn trace_store_env_enabled() -> bool {
+    match std::env::var("DPC_TRACE_STORE") {
+        Ok(value) => {
+            let value = value.to_ascii_lowercase();
+            !matches!(value.as_str(), "off" | "0" | "false")
+        }
+        Err(_) => true,
+    }
 }
 
 /// Builds workloads by name, caching the expensive shared inputs (graphs)
@@ -204,14 +219,37 @@ struct SharedInputs {
 pub struct WorkloadFactory {
     scale: Scale,
     seed: u64,
+    use_trace_store: bool,
     inputs: Arc<SharedInputs>,
 }
 
 impl WorkloadFactory {
     /// Creates a factory for the given scale and master seed. The same
     /// `(scale, seed)` always produces identical workloads.
+    ///
+    /// The shared [`TraceStore`] is enabled unless the `DPC_TRACE_STORE`
+    /// environment variable is `off`/`0`/`false` (the escape hatch for
+    /// memory-constrained hosts); see [`WorkloadFactory::source`].
     pub fn new(scale: Scale, seed: u64) -> Self {
-        WorkloadFactory { scale, seed, inputs: Arc::new(SharedInputs::default()) }
+        WorkloadFactory {
+            scale,
+            seed,
+            use_trace_store: trace_store_env_enabled(),
+            inputs: Arc::new(SharedInputs::default()),
+        }
+    }
+
+    /// Overrides the `DPC_TRACE_STORE` default for this factory (clones
+    /// inherit the setting; the underlying store stays shared either
+    /// way).
+    pub fn with_trace_store(mut self, enabled: bool) -> Self {
+        self.use_trace_store = enabled;
+        self
+    }
+
+    /// Whether [`WorkloadFactory::source`] replays from the shared store.
+    pub fn trace_store_enabled(&self) -> bool {
+        self.use_trace_store
     }
 
     /// The factory's scale.
@@ -222,6 +260,11 @@ impl WorkloadFactory {
     /// The factory's master seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The shared trace store backing this factory family.
+    pub fn trace_store(&self) -> &TraceStore {
+        &self.inputs.traces
     }
 
     fn graph(&self, kind: InputKind) -> Arc<CsrGraph> {
@@ -270,6 +313,52 @@ impl WorkloadFactory {
             "mcf" => Box::new(mcf::mcf(scale, seed ^ 0xAAAA)),
             other => return Err(UnknownWorkload { name: other.to_owned() }),
         })
+    }
+
+    /// Returns a zero-copy replay cursor over the named workload's
+    /// stream, capturing it into the shared [`TraceStore`] on first
+    /// request. The stream covers exactly `mem_ops` memory events (plus
+    /// interleaved compute events), the prefix a `mem_ops`-bounded
+    /// simulation consumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownWorkload`] if `name` is not one of
+    /// [`WORKLOAD_NAMES`].
+    pub fn stream(
+        &self,
+        name: &str,
+        mem_ops: u64,
+    ) -> Result<(EventCursor, CaptureReport), UnknownWorkload> {
+        if !WORKLOAD_NAMES.contains(&name) {
+            return Err(UnknownWorkload { name: name.to_owned() });
+        }
+        let (events, report) = self.inputs.traces.get_or_capture(name, mem_ops, || {
+            self.build(name).expect("name was validated against WORKLOAD_NAMES")
+        });
+        Ok((EventCursor::new(name, events), report))
+    }
+
+    /// Builds the event source for one simulation run covering `mem_ops`
+    /// memory events: a replay cursor from the shared store when the
+    /// store is enabled (see [`WorkloadFactory::with_trace_store`]), a
+    /// fresh live generator otherwise. Both yield bit-identical events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownWorkload`] if `name` is not one of
+    /// [`WORKLOAD_NAMES`].
+    pub fn source(
+        &self,
+        name: &str,
+        mem_ops: u64,
+    ) -> Result<(EventSource, CaptureReport), UnknownWorkload> {
+        if self.use_trace_store {
+            let (cursor, report) = self.stream(name, mem_ops)?;
+            Ok((EventSource::Replay(cursor), report))
+        } else {
+            Ok((EventSource::Live(self.build(name)?), CaptureReport::default()))
+        }
     }
 }
 
@@ -343,6 +432,56 @@ mod tests {
         assert!(factory.inputs.graph500_graph.get().is_none());
         factory.build("graph500").unwrap();
         assert!(factory.inputs.graph500_graph.get().is_some());
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_live_generation_for_every_workload() {
+        const MEM_OPS: u64 = 2_000;
+        let factory = WorkloadFactory::new(Scale::Tiny, 42).with_trace_store(true);
+        let live_factory = WorkloadFactory::new(Scale::Tiny, 42);
+        for name in WORKLOAD_NAMES {
+            let (mut replay, report) = factory.stream(name, MEM_OPS).unwrap();
+            assert!(report.captured, "{name}: first request must capture");
+            let mut live = live_factory.build(name).unwrap();
+            let mut replayed_mems = 0u64;
+            let mut index = 0u64;
+            while let Some(event) = replay.next_event() {
+                assert_eq!(Some(event), live.next_event(), "{name} diverged at event {index}");
+                if event.is_mem() {
+                    replayed_mems += 1;
+                }
+                index += 1;
+            }
+            assert_eq!(replayed_mems, MEM_OPS, "{name}: stream must cover the mem-op budget");
+            // Second request for the same key replays the cached stream.
+            let (_, report) = factory.stream(name, MEM_OPS).unwrap();
+            assert!(!report.captured, "{name}: second request must hit the cache");
+        }
+        assert_eq!(factory.trace_store().entries(), WORKLOAD_NAMES.len());
+    }
+
+    #[test]
+    fn source_respects_trace_store_toggle_and_env_default() {
+        let on = WorkloadFactory::new(Scale::Tiny, 3).with_trace_store(true);
+        let off = on.clone().with_trace_store(false);
+        assert!(on.trace_store_enabled());
+        assert!(!off.trace_store_enabled());
+        let (mut replay, _) = on.source("mcf", 100).unwrap();
+        let (mut live, report) = off.source("mcf", 100).unwrap();
+        assert!(matches!(replay, EventSource::Replay(_)));
+        assert!(matches!(live, EventSource::Live(_)));
+        assert!(!report.captured, "live sources never charge capture time");
+        for i in 0..150 {
+            let replayed = replay.next_event();
+            let generated = live.next_event();
+            if i < 100 {
+                assert_eq!(replayed, generated, "event {i}");
+            } else {
+                assert!(generated.is_some(), "live generator is unbounded");
+            }
+        }
+        assert!(on.source("nope", 100).is_err());
+        assert!(off.source("nope", 100).is_err());
     }
 
     #[test]

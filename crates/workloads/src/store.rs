@@ -1,0 +1,302 @@
+//! In-memory trace store: capture each workload stream once, replay it
+//! everywhere.
+//!
+//! A workload's event stream is policy-independent, so the hundreds of
+//! simulator configurations a campaign sweeps can all consume one
+//! recording instead of re-running the generator (graph traversals,
+//! annealing, pointer chasing) per run. [`TraceStore`] is that recording
+//! cache: it lazily captures each `(workload, mem_ops)` stream exactly
+//! once — even when worker threads race — and hands out zero-copy
+//! [`EventCursor`]s that replay the shared [`EventStream`] through the
+//! ordinary [`Workload`] interface.
+//!
+//! The store lives inside the factory's shared inputs
+//! (`WorkloadFactory::new` clones share one store), so the cache key does
+//! not need to repeat the factory's `(scale, seed)`: one store only ever
+//! holds streams for one `(scale, seed)` family. Replay is bit-identical
+//! to live generation because generators are deterministic and the
+//! capture stops exactly after the last memory event a `mem_ops`-bounded
+//! simulation consumes (see [`EventStream::capture_mem_ops`]).
+
+use dpc_types::stream::{EventStream, StreamCursor};
+use dpc_types::{Event, Workload};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+// dpc-lint: allow(determinism::wall-clock) -- capture-time observability only; never reaches simulated state
+use std::time::Instant;
+
+/// One captured stream plus how long the capture took.
+#[derive(Clone, Debug)]
+struct StoreEntry {
+    events: Arc<EventStream>,
+    capture_wall: Duration,
+}
+
+/// Per-key capture cells: the `OnceLock` serializes the capture itself,
+/// the outer map lock only guards cell lookup/insertion.
+type CaptureCells = BTreeMap<(String, u64), Arc<OnceLock<StoreEntry>>>;
+
+/// Lazily captures and shares event streams keyed by
+/// `(workload name, memory-op budget)`.
+///
+/// Thread-safe: the map lock is only held to fetch or insert a per-key
+/// cell; the capture itself runs inside the cell's `OnceLock`, so racing
+/// workers block on the one capture instead of duplicating it.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    cells: Mutex<CaptureCells>,
+}
+
+impl TraceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the stream for `(name, mem_ops)`, capturing it via `build`
+    /// on first request. `build` must return a workload whose stream is
+    /// deterministic for the key (true for every registered generator).
+    ///
+    /// The returned [`CaptureReport`] says whether *this* call performed
+    /// the capture and how long the capture took; see
+    /// [`CaptureReport::charged_wall`] for attributing that cost to
+    /// exactly one run.
+    pub fn get_or_capture(
+        &self,
+        name: &str,
+        mem_ops: u64,
+        build: impl FnOnce() -> Box<dyn Workload>,
+    ) -> (Arc<EventStream>, CaptureReport) {
+        let cell = {
+            let mut cells = self.cells.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            Arc::clone(cells.entry((name.to_owned(), mem_ops)).or_default())
+        };
+        let mut captured = false;
+        let entry = cell.get_or_init(|| {
+            captured = true;
+            // dpc-lint: allow(determinism::wall-clock) -- capture-time observability only; never reaches simulated state
+            let start = Instant::now();
+            let mut workload = build();
+            let events = EventStream::capture_mem_ops(workload.as_mut(), mem_ops);
+            StoreEntry { events: Arc::new(events), capture_wall: start.elapsed() }
+        });
+        (Arc::clone(&entry.events), CaptureReport { captured, capture_wall: entry.capture_wall })
+    }
+
+    /// Number of captured streams.
+    pub fn entries(&self) -> usize {
+        self.cells
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+            .filter(|cell| cell.get().is_some())
+            .count()
+    }
+
+    /// Total encoded bytes across all captured streams.
+    pub fn total_bytes(&self) -> usize {
+        self.cells
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+            .filter_map(|cell| cell.get())
+            .map(|entry| entry.events.encoded_bytes())
+            .sum()
+    }
+}
+
+/// Outcome of a [`TraceStore::get_or_capture`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CaptureReport {
+    /// Whether this call performed the capture (first request for the
+    /// key) rather than hitting the cache.
+    pub captured: bool,
+    /// Wall-clock cost of the capture, whichever call paid it.
+    pub capture_wall: Duration,
+}
+
+impl CaptureReport {
+    /// The capture cost attributable to this call: the full capture time
+    /// if this call captured, zero on a cache hit. Summing `charged_wall`
+    /// over all calls therefore counts each capture exactly once.
+    pub fn charged_wall(&self) -> Duration {
+        if self.captured {
+            self.capture_wall
+        } else {
+            Duration::ZERO
+        }
+    }
+}
+
+/// Zero-copy replay of a shared [`EventStream`] as a [`Workload`].
+///
+/// Cloning forks the replay position, not the stream.
+#[derive(Clone, Debug)]
+pub struct EventCursor {
+    name: String,
+    events: Arc<EventStream>,
+    cursor: StreamCursor,
+}
+
+impl EventCursor {
+    /// Creates a cursor at the start of `events`.
+    pub fn new(name: impl Into<String>, events: Arc<EventStream>) -> Self {
+        EventCursor { name: name.into(), events, cursor: StreamCursor::default() }
+    }
+
+    /// Resets the replay to the start of the stream.
+    pub fn rewind(&mut self) {
+        self.cursor = StreamCursor::default();
+    }
+
+    /// The shared stream this cursor replays.
+    pub fn stream(&self) -> &Arc<EventStream> {
+        &self.events
+    }
+
+    /// Number of events already replayed.
+    pub fn position(&self) -> usize {
+        self.cursor.position()
+    }
+}
+
+impl Workload for EventCursor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_event(&mut self) -> Option<Event> {
+        self.events.next_from(&mut self.cursor)
+    }
+}
+
+/// A run's event source: either a live generator or a cursor replaying a
+/// captured stream. Lets run loops stay agnostic of where events come
+/// from while the factory decides (see `WorkloadFactory::source`).
+pub enum EventSource {
+    /// Fresh generator; events are produced on demand.
+    Live(Box<dyn Workload>),
+    /// Replay of a stream captured in a [`TraceStore`].
+    Replay(EventCursor),
+}
+
+impl Workload for EventSource {
+    fn name(&self) -> &str {
+        match self {
+            EventSource::Live(workload) => workload.name(),
+            EventSource::Replay(cursor) => cursor.name(),
+        }
+    }
+
+    fn next_event(&mut self) -> Option<Event> {
+        match self {
+            EventSource::Live(workload) => workload.next_event(),
+            EventSource::Replay(cursor) => cursor.next_event(),
+        }
+    }
+}
+
+impl fmt::Debug for EventSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventSource::Live(workload) => f.debug_tuple("Live").field(&workload.name()).finish(),
+            EventSource::Replay(cursor) => f.debug_tuple("Replay").field(cursor).finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_types::{Pc, VirtAddr};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn counting_workload(counter: &Arc<AtomicUsize>) -> Box<dyn Workload> {
+        struct Counting(u64);
+        impl Workload for Counting {
+            fn name(&self) -> &str {
+                "counting"
+            }
+            fn next_event(&mut self) -> Option<Event> {
+                self.0 += 1;
+                Some(Event::load(Pc::new(0x400), VirtAddr::new(self.0 * 4096)))
+            }
+        }
+        counter.fetch_add(1, Ordering::SeqCst);
+        Box::new(Counting(0))
+    }
+
+    #[test]
+    fn captures_each_key_exactly_once() {
+        let store = TraceStore::new();
+        let builds = Arc::new(AtomicUsize::new(0));
+        let (first, report) = store.get_or_capture("w", 100, || counting_workload(&builds));
+        assert!(report.captured);
+        assert_eq!(first.mem_events(), 100);
+        let (second, report) = store.get_or_capture("w", 100, || counting_workload(&builds));
+        assert!(!report.captured, "second request must hit the cache");
+        assert_eq!(report.charged_wall(), Duration::ZERO);
+        assert!(Arc::ptr_eq(&first, &second), "stream must be shared, not copied");
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "generator must run once");
+        // A different budget is a different key.
+        let (_, report) = store.get_or_capture("w", 50, || counting_workload(&builds));
+        assert!(report.captured);
+        assert_eq!(store.entries(), 2);
+        assert!(store.total_bytes() > 0);
+    }
+
+    #[test]
+    fn racing_threads_share_one_capture() {
+        let store = Arc::new(TraceStore::new());
+        let builds = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let builds = Arc::clone(&builds);
+                std::thread::spawn(move || {
+                    store.get_or_capture("race", 1_000, || counting_workload(&builds)).0
+                })
+            })
+            .collect();
+        let streams: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one thread captures");
+        assert!(streams.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+    }
+
+    #[test]
+    fn cursor_replays_and_rewinds() {
+        let store = TraceStore::new();
+        let builds = Arc::new(AtomicUsize::new(0));
+        let (events, _) = store.get_or_capture("w", 10, || counting_workload(&builds));
+        let mut cursor = EventCursor::new("w", Arc::clone(&events));
+        assert_eq!(cursor.name(), "w");
+        let first: Vec<_> = std::iter::from_fn(|| cursor.next_event()).collect();
+        assert_eq!(first.len(), 10);
+        assert_eq!(cursor.position(), 10);
+        cursor.rewind();
+        let second: Vec<_> = std::iter::from_fn(|| cursor.next_event()).collect();
+        assert_eq!(first, second, "rewound cursor must replay identically");
+        // Cloned cursors fork the position, not the stream.
+        let clone = cursor.clone();
+        assert!(Arc::ptr_eq(cursor.stream(), clone.stream()));
+    }
+
+    #[test]
+    fn event_source_delegates_both_ways() {
+        let store = TraceStore::new();
+        let builds = Arc::new(AtomicUsize::new(0));
+        let (events, _) = store.get_or_capture("w", 5, || counting_workload(&builds));
+        let mut replay = EventSource::Replay(EventCursor::new("w", events));
+        let mut live = EventSource::Live(counting_workload(&builds));
+        assert_eq!(replay.name(), "w");
+        assert_eq!(live.name(), "counting");
+        for _ in 0..5 {
+            assert_eq!(replay.next_event(), live.next_event());
+        }
+        assert_eq!(replay.next_event(), None, "replay ends with the recording");
+        assert!(live.next_event().is_some(), "live generator keeps going");
+        assert!(format!("{replay:?}").contains("Replay"));
+    }
+}

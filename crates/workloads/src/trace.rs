@@ -8,7 +8,14 @@
 //!
 //! # Format
 //!
-//! Little-endian binary: an 8-byte magic (`b"DPCTRC1\n"`), then records:
+//! Little-endian binary: an 8-byte magic, then the payload.
+//!
+//! **v2** (`b"DPCTRC2\n"`, written by [`TraceWriter`]) is the serialized
+//! struct-of-arrays [`EventStream`]: three `u64` counts (events, memory
+//! events, compute events) followed by the tag, pc, vaddr, and ops
+//! arrays. See [`dpc_types::stream`] for the exact layout and tag table.
+//!
+//! **v1** (`b"DPCTRC1\n"`, legacy) is a per-record tag/payload stream:
 //!
 //! | tag (u8) | payload | meaning |
 //! |---|---|---|
@@ -16,6 +23,15 @@
 //! | 1 | `pc: u64, vaddr: u64` | store |
 //! | 2 | `pc: u64, vaddr: u64` | dependent load |
 //! | 3 | `ops: u32` | compute batch |
+//!
+//! v1 files still replay, but the format is lossy: its writer collapsed
+//! dependent stores into plain stores (there is no dependent-store tag),
+//! so the `dependent` flag of stores does not survive a v1 roundtrip.
+//! v2 preserves every event exactly, and its up-front counts let the
+//! reader validate the whole file before replay begins: any malformed
+//! input — bad magic, truncated record, unknown tag, inconsistent
+//! counts — is an [`io::Error`] from [`TraceWorkload::open`], never a
+//! panic and never a silently shortened replay.
 //!
 //! # Example
 //!
@@ -33,23 +49,29 @@
 //! # }
 //! ```
 
-use dpc_types::{AccessKind, Event, Pc, VirtAddr, Workload};
+use dpc_types::stream::{EventStream, StreamCursor};
+use dpc_types::{Event, Pc, VirtAddr, Workload};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"DPCTRC1\n";
+const MAGIC_V1: &[u8; 8] = b"DPCTRC1\n";
+const MAGIC_V2: &[u8; 8] = b"DPCTRC2\n";
 
-const TAG_LOAD: u8 = 0;
-const TAG_STORE: u8 = 1;
-const TAG_LOAD_DEP: u8 = 2;
-const TAG_COMPUTE: u8 = 3;
+const V1_TAG_LOAD: u8 = 0;
+const V1_TAG_STORE: u8 = 1;
+const V1_TAG_LOAD_DEP: u8 = 2;
+const V1_TAG_COMPUTE: u8 = 3;
 
-/// Streams events into a binary trace file.
+/// Writes events into a binary trace file (current format, `DPCTRC2`).
+///
+/// Events are buffered in an [`EventStream`] and serialized on
+/// [`TraceWriter::finish`] — the v2 format stores counts and
+/// struct-of-arrays payloads, so it cannot be streamed record by record.
 #[derive(Debug)]
 pub struct TraceWriter<W: Write> {
     sink: W,
-    events: u64,
+    stream: EventStream,
 }
 
 impl TraceWriter<BufWriter<File>> {
@@ -57,7 +79,7 @@ impl TraceWriter<BufWriter<File>> {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from file creation or the header write.
+    /// Propagates I/O errors from file creation.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
         Self::new(BufWriter::new(File::create(path)?))
     }
@@ -88,73 +110,70 @@ impl TraceWriter<BufWriter<File>> {
 
 impl<W: Write> TraceWriter<W> {
     /// Wraps any writer (pass `&mut buf` or a `BufWriter`; see
-    /// [`std::io::Write`]'s blanket impl for `&mut W`).
+    /// [`std::io::Write`]'s blanket impl for `&mut W`). Nothing is
+    /// written until [`TraceWriter::finish`].
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from the header write.
-    pub fn new(mut sink: W) -> io::Result<Self> {
-        sink.write_all(MAGIC)?;
-        Ok(TraceWriter { sink, events: 0 })
+    /// Infallible today; kept `io::Result` for signature stability.
+    pub fn new(sink: W) -> io::Result<Self> {
+        Ok(TraceWriter { sink, stream: EventStream::new() })
+    }
+
+    /// Wraps a writer and pre-fills it with an already-captured stream.
+    pub fn from_stream(sink: W, stream: EventStream) -> Self {
+        TraceWriter { sink, stream }
     }
 
     /// Appends one event.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors.
+    /// Infallible today (events buffer in memory); kept `io::Result` for
+    /// signature stability.
     pub fn write_event(&mut self, event: &Event) -> io::Result<()> {
-        match *event {
-            Event::Mem { pc, vaddr, kind, dependent } => {
-                let tag = match (kind, dependent) {
-                    (AccessKind::Write, _) => TAG_STORE,
-                    (AccessKind::Read, true) => TAG_LOAD_DEP,
-                    (AccessKind::Read, false) => TAG_LOAD,
-                };
-                self.sink.write_all(&[tag])?;
-                self.sink.write_all(&pc.raw().to_le_bytes())?;
-                self.sink.write_all(&vaddr.raw().to_le_bytes())?;
-            }
-            Event::Compute { ops } => {
-                self.sink.write_all(&[TAG_COMPUTE])?;
-                self.sink.write_all(&ops.to_le_bytes())?;
-            }
-        }
-        self.events += 1;
+        self.stream.push(*event);
         Ok(())
     }
 
-    /// Events written so far.
+    /// Events buffered so far.
     pub fn events(&self) -> u64 {
-        self.events
+        self.stream.len() as u64
     }
 
-    /// Flushes and returns the underlying writer.
+    /// Serializes the buffered stream (magic + v2 payload), flushes, and
+    /// returns the underlying writer.
     ///
     /// # Errors
     ///
-    /// Propagates flush errors.
+    /// Propagates I/O errors.
     pub fn finish(mut self) -> io::Result<W> {
+        self.sink.write_all(MAGIC_V2)?;
+        self.stream.write_to(&mut self.sink)?;
         self.sink.flush()?;
         Ok(self.sink)
     }
 }
 
-/// Replays a binary trace file as a [`Workload`].
-#[derive(Debug)]
-pub struct TraceWorkload<R: Read> {
-    source: R,
+/// Replays a binary trace file (v1 or v2) as a [`Workload`].
+///
+/// The whole file is decoded and validated at open time into an
+/// [`EventStream`]; replay is then a pure in-memory cursor walk.
+#[derive(Clone, Debug)]
+pub struct TraceWorkload {
     name: String,
-    corrupt: bool,
+    events: EventStream,
+    cursor: StreamCursor,
 }
 
-impl TraceWorkload<BufReader<File>> {
+impl TraceWorkload {
     /// Opens a trace file for replay.
     ///
     /// # Errors
     ///
-    /// Returns an error if the file cannot be opened or does not start
-    /// with the trace magic.
+    /// Returns an error if the file cannot be opened or is malformed in
+    /// any way: bad magic, truncated record, unknown tag, or (v2)
+    /// inconsistent counts.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
         let name = path
             .as_ref()
@@ -162,82 +181,122 @@ impl TraceWorkload<BufReader<File>> {
             .map_or_else(|| "trace".to_owned(), |s| s.to_string_lossy().into_owned());
         Self::with_name(BufReader::new(File::open(path)?), name)
     }
-}
 
-impl<R: Read> TraceWorkload<R> {
-    /// Wraps any reader.
+    /// Decodes a trace from any reader.
     ///
     /// # Errors
     ///
-    /// Returns `InvalidData` if the stream does not start with the trace
-    /// magic.
-    pub fn with_name(mut source: R, name: impl Into<String>) -> io::Result<Self> {
+    /// [`io::ErrorKind::InvalidData`] for bad magic, unknown record tags,
+    /// or inconsistent v2 counts; [`io::ErrorKind::UnexpectedEof`] for
+    /// input truncated mid-record or mid-array.
+    pub fn with_name<R: Read>(mut source: R, name: impl Into<String>) -> io::Result<Self> {
         let mut magic = [0u8; 8];
         source.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a dpc trace file"));
-        }
-        Ok(TraceWorkload { source, name: name.into(), corrupt: false })
+        let events = match &magic {
+            m if m == MAGIC_V1 => decode_v1(&mut source)?,
+            m if m == MAGIC_V2 => EventStream::read_from(&mut source)?,
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "not a dpc trace file (bad magic)",
+                ))
+            }
+        };
+        Ok(TraceWorkload { name: name.into(), events, cursor: StreamCursor::default() })
     }
 
-    fn read_u64(&mut self) -> io::Result<u64> {
-        let mut buf = [0u8; 8];
-        self.source.read_exact(&mut buf)?;
-        Ok(u64::from_le_bytes(buf))
+    /// Wraps an already-decoded stream.
+    pub fn from_stream(name: impl Into<String>, events: EventStream) -> Self {
+        TraceWorkload { name: name.into(), events, cursor: StreamCursor::default() }
     }
 
-    fn read_u32(&mut self) -> io::Result<u32> {
-        let mut buf = [0u8; 4];
-        self.source.read_exact(&mut buf)?;
-        Ok(u32::from_le_bytes(buf))
+    /// The decoded stream.
+    pub fn stream(&self) -> &EventStream {
+        &self.events
+    }
+
+    /// Consumes the replay, returning the decoded stream.
+    pub fn into_stream(self) -> EventStream {
+        self.events
+    }
+
+    /// Resets the replay to the start of the trace.
+    pub fn rewind(&mut self) {
+        self.cursor = StreamCursor::default();
     }
 }
 
-impl<R: Read> Workload for TraceWorkload<R> {
+impl Workload for TraceWorkload {
     fn name(&self) -> &str {
         &self.name
     }
 
-    /// Yields the next recorded event; ends at end-of-file. A torn or
-    /// corrupt record ends the replay (the stream cannot be resynced).
     fn next_event(&mut self) -> Option<Event> {
-        if self.corrupt {
-            return None;
-        }
-        let mut tag = [0u8; 1];
-        if self.source.read_exact(&mut tag).is_err() {
-            return None;
-        }
-        let event = (|| -> io::Result<Option<Event>> {
-            Ok(match tag[0] {
-                TAG_LOAD => {
-                    Some(Event::load(Pc::new(self.read_u64()?), VirtAddr::new(self.read_u64()?)))
-                }
-                TAG_STORE => {
-                    Some(Event::store(Pc::new(self.read_u64()?), VirtAddr::new(self.read_u64()?)))
-                }
-                TAG_LOAD_DEP => Some(Event::load_dependent(
-                    Pc::new(self.read_u64()?),
-                    VirtAddr::new(self.read_u64()?),
-                )),
-                TAG_COMPUTE => Some(Event::Compute { ops: self.read_u32()? }),
-                _ => None,
-            })
-        })();
-        match event {
-            Ok(Some(event)) => Some(event),
-            _ => {
-                self.corrupt = true;
-                None
+        self.events.next_from(&mut self.cursor)
+    }
+}
+
+/// Decodes the legacy v1 record stream strictly: end-of-file is only
+/// legal at a record boundary.
+fn decode_v1<R: Read>(source: &mut R) -> io::Result<EventStream> {
+    let mut stream = EventStream::new();
+    while let Some(tag) = read_tag(source)? {
+        let event = match tag {
+            V1_TAG_LOAD => Event::load(read_pc(source)?, read_vaddr(source)?),
+            V1_TAG_STORE => Event::store(read_pc(source)?, read_vaddr(source)?),
+            V1_TAG_LOAD_DEP => Event::load_dependent(read_pc(source)?, read_vaddr(source)?),
+            V1_TAG_COMPUTE => Event::Compute { ops: read_u32(source)? },
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("dpc trace v1: unknown record tag {other}"),
+                ))
             }
+        };
+        stream.push(event);
+    }
+    Ok(stream)
+}
+
+/// Reads one record tag, distinguishing clean end-of-file (`None`) from
+/// I/O failure.
+fn read_tag<R: Read>(source: &mut R) -> io::Result<Option<u8>> {
+    let mut buf = [0u8; 1];
+    loop {
+        match source.read(&mut buf) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(buf[0])),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
         }
     }
+}
+
+fn read_u64<R: Read>(source: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    source.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_u32<R: Read>(source: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    source.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_pc<R: Read>(source: &mut R) -> io::Result<Pc> {
+    Ok(Pc::new(read_u64(source)?))
+}
+
+fn read_vaddr<R: Read>(source: &mut R) -> io::Result<VirtAddr> {
+    Ok(VirtAddr::new(read_u64(source)?))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{Scale, WorkloadFactory};
+    use dpc_types::AccessKind;
 
     fn roundtrip(events: &[Event]) -> Vec<Event> {
         let mut buf = Vec::new();
@@ -252,14 +311,45 @@ mod tests {
         std::iter::from_fn(|| replay.next_event()).collect()
     }
 
+    /// Builds a v1-format byte string by hand (the v1 writer is gone).
+    fn v1_bytes(records: &[Event]) -> Vec<u8> {
+        let mut buf = MAGIC_V1.to_vec();
+        for event in records {
+            match *event {
+                Event::Mem { pc, vaddr, kind, dependent } => {
+                    let tag = match (kind, dependent) {
+                        (AccessKind::Write, _) => V1_TAG_STORE,
+                        (AccessKind::Read, true) => V1_TAG_LOAD_DEP,
+                        (AccessKind::Read, false) => V1_TAG_LOAD,
+                    };
+                    buf.push(tag);
+                    buf.extend_from_slice(&pc.raw().to_le_bytes());
+                    buf.extend_from_slice(&vaddr.raw().to_le_bytes());
+                }
+                Event::Compute { ops } => {
+                    buf.push(V1_TAG_COMPUTE);
+                    buf.extend_from_slice(&ops.to_le_bytes());
+                }
+            }
+        }
+        buf
+    }
+
     #[test]
-    fn all_event_kinds_roundtrip() {
+    fn all_event_kinds_roundtrip_including_dependent_stores() {
         let events = vec![
             Event::load(Pc::new(0x400), VirtAddr::new(0x1000)),
             Event::store(Pc::new(0x404), VirtAddr::new(0x2000)),
             Event::load_dependent(Pc::new(0x408), VirtAddr::new(0x3000)),
+            Event::Mem {
+                pc: Pc::new(0x40c),
+                vaddr: VirtAddr::new(0x4000),
+                kind: AccessKind::Write,
+                dependent: true,
+            },
             Event::Compute { ops: 7 },
         ];
+        // v2 is lossless: the dependent store survives (it did not in v1).
         assert_eq!(roundtrip(&events), events);
     }
 
@@ -281,33 +371,77 @@ mod tests {
             assert_eq!(replay.next_event().as_ref(), Some(expected), "event {i}");
         }
         assert_eq!(replay.next_event(), None, "replay must end with the recording");
+        replay.rewind();
+        assert_eq!(replay.next_event().as_ref(), recorded.first(), "rewind restarts the replay");
+    }
+
+    #[test]
+    fn v1_traces_still_replay() {
+        let events = vec![
+            Event::load(Pc::new(0x400), VirtAddr::new(0x1000)),
+            Event::store(Pc::new(0x404), VirtAddr::new(0x2000)),
+            Event::load_dependent(Pc::new(0x408), VirtAddr::new(0x3000)),
+            Event::Compute { ops: 7 },
+        ];
+        let buf = v1_bytes(&events);
+        let mut replay = TraceWorkload::with_name(buf.as_slice(), "legacy").unwrap();
+        let replayed: Vec<Event> = std::iter::from_fn(|| replay.next_event()).collect();
+        assert_eq!(replayed, events);
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let err = TraceWorkload::with_name(&b"NOTATRACE"[..], "x").unwrap_err();
+        let err = TraceWorkload::with_name(&b"NOTATRACEATALL"[..], "x").unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = TraceWorkload::with_name(&b"DPC"[..], "x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "short magic is truncation");
     }
 
     #[test]
-    fn truncated_record_ends_replay_cleanly() {
+    fn truncated_v1_record_is_an_error_at_open() {
+        let buf = v1_bytes(&[Event::load(Pc::new(1), VirtAddr::new(2))]);
+        for cut in [buf.len() - 5, buf.len() - 1, MAGIC_V1.len() + 1] {
+            let err = TraceWorkload::with_name(&buf[..cut], "torn").unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+        // EOF exactly at a record boundary is a clean (empty or shorter) trace.
+        let mut ok = TraceWorkload::with_name(&buf[..MAGIC_V1.len()], "empty").unwrap();
+        assert_eq!(ok.next_event(), None);
+    }
+
+    #[test]
+    fn unknown_v1_tag_is_an_error_at_open() {
+        let mut buf = MAGIC_V1.to_vec();
+        buf.push(99);
+        let err = TraceWorkload::with_name(buf.as_slice(), "weird").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("99"), "{err}");
+    }
+
+    #[test]
+    fn corrupted_v2_bytes_are_errors_at_open() {
         let mut buf = Vec::new();
         let mut writer = TraceWriter::new(&mut buf).unwrap();
         writer.write_event(&Event::load(Pc::new(1), VirtAddr::new(2))).unwrap();
-        let buf = writer.finish().unwrap();
-        // Chop the last record in half.
-        let torn = &buf[..buf.len() - 5];
-        let mut replay = TraceWorkload::with_name(torn, "torn").unwrap();
-        assert_eq!(replay.next_event(), None);
-        assert_eq!(replay.next_event(), None, "corrupt stream stays ended");
-    }
-
-    #[test]
-    fn unknown_tag_ends_replay() {
-        let mut buf = MAGIC.to_vec();
-        buf.push(99);
-        let mut replay = TraceWorkload::with_name(buf.as_slice(), "weird").unwrap();
-        assert_eq!(replay.next_event(), None);
+        writer.write_event(&Event::Compute { ops: 3 }).unwrap();
+        writer.finish().unwrap();
+        // Truncations anywhere in the payload are UnexpectedEof.
+        for cut in [MAGIC_V2.len() + 3, buf.len() - 1] {
+            let err = TraceWorkload::with_name(&buf[..cut], "torn").unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+        // A corrupted tag byte is InvalidData.
+        let mut bad_tag = buf.clone();
+        bad_tag[MAGIC_V2.len() + 24] = 77; // first tag, right after the three counts
+        let err = TraceWorkload::with_name(bad_tag.as_slice(), "bad").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Inconsistent counts are InvalidData.
+        let mut bad_counts = buf.clone();
+        bad_counts[MAGIC_V2.len()] ^= 0xff; // scribble on the event count
+        let err = TraceWorkload::with_name(bad_counts.as_slice(), "bad").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // The untouched buffer still decodes.
+        assert!(TraceWorkload::with_name(buf.as_slice(), "ok").is_ok());
     }
 
     #[test]
@@ -319,8 +453,21 @@ mod tests {
         assert_eq!(written, 1_000);
         let mut replay = TraceWorkload::open(&path).unwrap();
         assert_eq!(replay.name(), "dpc_trace_test");
+        assert_eq!(replay.stream().len(), 1_000);
         let count = std::iter::from_fn(|| replay.next_event()).count();
         assert_eq!(count, 1_000);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn from_stream_constructors_share_the_encoding() {
+        let mut stream = EventStream::new();
+        stream.push(Event::load(Pc::new(1), VirtAddr::new(0x1000)));
+        let mut sink = Vec::new();
+        TraceWriter::from_stream(&mut sink, stream.clone()).finish().unwrap();
+        let decoded = TraceWorkload::with_name(sink.as_slice(), "x").unwrap();
+        assert_eq!(decoded.stream(), &stream);
+        let direct = TraceWorkload::from_stream("x", stream.clone());
+        assert_eq!(direct.into_stream(), stream);
     }
 }

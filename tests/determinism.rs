@@ -141,6 +141,36 @@ fn oracle_table_render_is_identical_across_fresh_contexts() {
     );
 }
 
+/// The trace store's core guarantee: replaying a captured stream is
+/// bit-identical to generating the events live, all the way through the
+/// simulator and both predictors. Runs several workloads twice per
+/// factory so the second run exercises the store-hit path too.
+#[test]
+fn trace_store_replay_is_byte_identical_to_live_generation() {
+    for workload in ["bfs", "canneal", "mcf"] {
+        let replay = WorkloadFactory::new(Scale::Tiny, 13).with_trace_store(true);
+        let live = WorkloadFactory::new(Scale::Tiny, 13).with_trace_store(false);
+        let config = RunConfig::baseline(1_000, 20_000)
+            .with_policies(TlbPolicySel::DpPred, LlcPolicySel::CbPred);
+        for pass in 0..2 {
+            let r = dpc::run_workload(&replay, workload, &config);
+            let l = dpc::run_workload(&live, workload, &config);
+            assert_eq!(
+                r.stats, l.stats,
+                "{workload} pass {pass}: replayed stats must match live generation"
+            );
+            assert_eq!(r.llt_accuracy, l.llt_accuracy, "{workload} pass {pass}");
+            assert_eq!(r.llc_accuracy, l.llc_accuracy, "{workload} pass {pass}");
+            assert!(l.gen_wall.is_zero(), "live runs never charge capture time");
+            if pass == 1 {
+                assert!(r.gen_wall.is_zero(), "store hits never charge capture time");
+            }
+        }
+        assert_eq!(replay.trace_store().entries(), 1, "{workload} captured exactly once");
+        assert_eq!(live.trace_store().entries(), 0, "disabled store must stay empty");
+    }
+}
+
 #[test]
 fn oracle_passes_align() {
     // The Belady oracle's premise: the LLT lookup stream is identical
