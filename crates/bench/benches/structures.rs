@@ -29,6 +29,66 @@ fn bench_set_assoc(c: &mut Criterion) {
     group.finish();
 }
 
+/// Isolating micro-benches for the three phases of the SoA hot path:
+/// pure lookups against a warm array (hit and miss), victim selection on
+/// full sets, and the fill path into a policy-chosen way (no victim
+/// search). Together with `lookup_fill_*` these bound where a simulator
+/// regression comes from.
+fn bench_set_assoc_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_assoc_phases");
+    group.throughput(Throughput::Elements(1));
+    for kind in [ReplacementKind::Lru, ReplacementKind::Srrip, ReplacementKind::Fifo] {
+        // Fill all 128 sets × 8 ways with tags 0..1024 so the lookups
+        // below are all hits (addr maps to set addr % 128, tag == addr).
+        let warm = || {
+            let mut array: SetAssoc<u32> = SetAssoc::new(128, 8, kind);
+            for i in 0..1024u64 {
+                array.fill(i, i, 0, InsertPriority::Normal);
+            }
+            array
+        };
+        group.bench_function(format!("lookup_hit_{kind}"), |b| {
+            let mut array = warm();
+            let mut i = 0u64;
+            b.iter(|| {
+                let addr = i.wrapping_mul(0x9E37_79B1) % 1024;
+                black_box(array.lookup(addr, addr));
+                i += 1;
+            });
+        });
+        group.bench_function(format!("lookup_miss_{kind}"), |b| {
+            let mut array = warm();
+            let mut i = 0u64;
+            b.iter(|| {
+                // Tags ≥ 1024 are never resident: every probe misses.
+                let addr = i.wrapping_mul(0x9E37_79B1) % 1024;
+                black_box(array.lookup(addr, addr + 1024));
+                i += 1;
+            });
+        });
+        group.bench_function(format!("victim_way_{kind}"), |b| {
+            let mut array = warm();
+            let mut i = 0u64;
+            b.iter(|| {
+                black_box(array.victim_way(i % 128));
+                i += 1;
+            });
+        });
+        group.bench_function(format!("fill_way_{kind}"), |b| {
+            let mut array = warm();
+            let mut i = 0u64;
+            b.iter(|| {
+                // Round-robin way choice isolates the insert bookkeeping
+                // from the victim search.
+                let way = (i % 8) as usize;
+                black_box(array.fill_way(i % 1024, way, i, 0, InsertPriority::Normal));
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_tlb(c: &mut Criterion) {
     let config = SystemConfig::paper_baseline();
     let mut group = c.benchmark_group("tlb");
@@ -90,5 +150,12 @@ fn bench_page_table(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_set_assoc, bench_tlb, bench_cache, bench_page_table);
+criterion_group!(
+    benches,
+    bench_set_assoc,
+    bench_set_assoc_phases,
+    bench_tlb,
+    bench_cache,
+    bench_page_table
+);
 criterion_main!(benches);

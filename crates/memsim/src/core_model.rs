@@ -30,6 +30,9 @@ pub struct CoreModel {
     rob_size: usize,
     /// Retire cycle of instruction `i`, stored at `i % rob_size`.
     retire_ring: Vec<u64>,
+    /// `count % rob_size`, maintained as a wrapping cursor so the hot
+    /// path never divides by the (non-power-of-two) ROB size.
+    ring_pos: usize,
     /// Instructions issued so far.
     count: u64,
     /// Cycle in which the next dispatch slot falls.
@@ -62,6 +65,7 @@ impl CoreModel {
             width: u64::from(width),
             rob_size: rob_size as usize,
             retire_ring: vec![0; rob_size as usize],
+            ring_pos: 0,
             count: 0,
             dispatch_cycle: 0,
             dispatched_in_cycle: 0,
@@ -74,10 +78,11 @@ impl CoreModel {
     #[inline]
     fn dispatch_slot(&mut self) -> u64 {
         // ROB-full stall: instruction `count` cannot dispatch before
-        // instruction `count - rob_size` has retired.
-        let idx = (self.count % self.rob_size as u64) as usize;
+        // instruction `count - rob_size` has retired (its retire cycle
+        // sits in the ring slot this instruction is about to overwrite).
         if self.count >= self.rob_size as u64 {
-            let oldest_retire = self.retire_ring[idx];
+            dpc_types::invariant!(self.ring_pos < self.rob_size, "ring cursor wraps at rob_size");
+            let oldest_retire = self.retire_ring[self.ring_pos];
             if oldest_retire > self.dispatch_cycle {
                 self.dispatch_cycle = oldest_retire;
                 self.dispatched_in_cycle = 0;
@@ -133,8 +138,12 @@ impl CoreModel {
         if complete > self.last_retire {
             self.last_retire = complete;
         }
-        let idx = (self.count % self.rob_size as u64) as usize;
-        self.retire_ring[idx] = self.last_retire;
+        dpc_types::invariant!(self.ring_pos < self.rob_size, "ring cursor wraps at rob_size");
+        self.retire_ring[self.ring_pos] = self.last_retire;
+        self.ring_pos += 1;
+        if self.ring_pos == self.rob_size {
+            self.ring_pos = 0;
+        }
         self.count += 1;
     }
 

@@ -30,6 +30,10 @@ pub struct Hierarchy {
     pub llc: Cache,
     mem_latency: u32,
     policy: Box<dyn LlcPolicy>,
+    /// Cached [`LlcPolicy::is_null`]: `true` for the baseline no-op
+    /// policy, letting the access path skip dynamic hook dispatch entirely
+    /// (every skipped hook is a no-op, so behavior is identical).
+    policy_null: bool,
     /// LLC eviction-time dead/DOA classification (Fig. 4).
     pub llc_evictions: EvictionClasses,
     /// LLC resident-deadness sampler (Fig. 3).
@@ -47,12 +51,14 @@ pub struct Hierarchy {
 impl Hierarchy {
     /// Builds the hierarchy with the given LLC policy.
     pub fn new(config: &SystemConfig, policy: Box<dyn LlcPolicy>) -> Self {
+        let policy_null = policy.is_null();
         Hierarchy {
             l1d: Cache::new(&config.l1d),
             l2: Cache::new(&config.l2),
             llc: Cache::new(&config.llc),
             mem_latency: config.mem_latency,
             policy,
+            policy_null,
             llc_evictions: EvictionClasses::default(),
             llc_sampler: DeadnessSampler::new(),
             pending_doa_evictions: Vec::new(),
@@ -88,16 +94,23 @@ impl Hierarchy {
         }
         latency += u64::from(self.llc.latency);
         let hit_way = self.llc.lookup(block);
-        self.policy.on_lookup(block, hit_way.is_some());
-        // Set-access hook (AIP-style interval predictors train on every
-        // access to the set).
-        let policy = self.policy.as_mut();
-        self.llc
-            .array_mut()
-            .with_set_views(block.raw(), hit_way, |views| policy.on_set_access(views));
+        if !self.policy_null {
+            self.policy.on_lookup(block, hit_way.is_some());
+            // Set-access hook (AIP-style interval predictors train on
+            // every access to the set). Policies that don't observe set
+            // views skip the view construction entirely.
+            if self.policy.uses_set_views() {
+                let policy = self.policy.as_mut();
+                self.llc
+                    .array_mut()
+                    .with_set_views(block.raw(), hit_way, |views| policy.on_set_access(views));
+            }
+        }
         if let Some(way) = hit_way {
-            let state = &mut self.llc.array_mut().line_mut(block.raw(), way).payload.state;
-            self.policy.on_hit(block, state);
+            if !self.policy_null {
+                let state = &mut self.llc.array_mut().payload_mut(block.raw(), way).state;
+                self.policy.on_hit(block, state);
+            }
             self.l2.fill(block, InsertPriority::Normal, 0);
             self.l1d.fill(block, InsertPriority::Normal, 0);
             return latency;
@@ -109,7 +122,14 @@ impl Hierarchy {
         } else {
             self.llc_walker_misses += 1;
         }
-        match self.policy.on_fill(block, pc) {
+        // The baseline always allocates with default priority and state —
+        // exactly what `LlcPolicy::on_fill`'s default body returns.
+        let decision = if self.policy_null {
+            BlockFillDecision::ALLOCATE
+        } else {
+            self.policy.on_fill(block, pc)
+        };
+        match decision {
             BlockFillDecision::Allocate { priority, state } => {
                 self.fill_llc(block, priority, state);
             }
@@ -127,11 +147,14 @@ impl Hierarchy {
         // Give the policy a chance to override the victim when the set is
         // full (AIP victimizes predicted-dead blocks first).
         let evicted = if self.llc.array().set_full(block.raw()) {
-            let policy = self.policy.as_mut();
-            let choice = self
-                .llc
-                .array_mut()
-                .with_set_views(block.raw(), None, |views| policy.pick_victim(views));
+            let choice = if !self.policy_null && self.policy.overrides_victim() {
+                let policy = self.policy.as_mut();
+                self.llc
+                    .array_mut()
+                    .with_set_views(block.raw(), None, |views| policy.pick_victim(views))
+            } else {
+                None
+            };
             match choice {
                 Some(way) => self.llc.fill_way(block, way, priority, state),
                 None => self.llc.fill(block, priority, state),
@@ -146,12 +169,14 @@ impl Hierarchy {
             if life.hits == 0 {
                 self.pending_doa_evictions.push(victim.pfn());
             }
-            self.policy.on_evict(EvictedBlock {
-                block: victim,
-                state: victim_state,
-                life,
-                by_invalidation: false,
-            });
+            if !self.policy_null {
+                self.policy.on_evict(EvictedBlock {
+                    block: victim,
+                    state: victim_state,
+                    life,
+                    by_invalidation: false,
+                });
+            }
             // Inclusion: the victim may not survive in upper levels.
             self.l2.invalidate(victim);
             self.l1d.invalidate(victim);
@@ -168,9 +193,8 @@ impl Hierarchy {
     /// (end-of-simulation accounting).
     pub fn flush_sampler(&mut self) {
         let end_seq = self.llc.array().seq();
-        let stays: Vec<_> = self.llc.array().iter_valid().map(|l| l.life()).collect();
-        for life in stays {
-            self.llc_sampler.record_stay(life, end_seq);
+        for line in self.llc.array().iter_valid() {
+            self.llc_sampler.record_stay(line.life(), end_seq);
         }
     }
 }
@@ -277,10 +301,10 @@ mod tests {
         fn policy_name(&self) -> &'static str {
             "way-zero"
         }
-        fn pick_victim(
-            &mut self,
-            _lines: &mut [crate::policy::PolicyLineView<'_>],
-        ) -> Option<usize> {
+        fn overrides_victim(&self) -> bool {
+            true
+        }
+        fn pick_victim(&mut self, _lines: &mut [crate::policy::PolicyLineView]) -> Option<usize> {
             Some(0)
         }
         fn on_evict(&mut self, _evicted: EvictedBlock) {
@@ -314,7 +338,10 @@ mod tests {
             fn policy_name(&self) -> &'static str {
                 "hit-watcher"
             }
-            fn on_set_access(&mut self, lines: &mut [crate::policy::PolicyLineView<'_>]) {
+            fn uses_set_views(&self) -> bool {
+                true
+            }
+            fn on_set_access(&mut self, lines: &mut [crate::policy::PolicyLineView]) {
                 for view in lines {
                     if view.is_hit {
                         self.hits_flagged.set(self.hits_flagged.get() + 1);

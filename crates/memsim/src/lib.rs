@@ -56,6 +56,7 @@ pub mod page_table;
 pub mod policy;
 pub mod pwc;
 pub mod set_assoc;
+pub mod soa;
 pub mod stats;
 pub mod system;
 pub mod tlb;

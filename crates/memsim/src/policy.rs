@@ -70,11 +70,18 @@ impl BlockFillDecision {
         BlockFillDecision::Allocate { priority: InsertPriority::Normal, state: 0 };
 }
 
-/// A mutable view of one valid line handed to set-access hooks
+/// A view of one valid line handed to set-access hooks
 /// ([`LltPolicy::on_set_access`] / [`LlcPolicy::on_set_access`]) and to
 /// `pick_victim`.
-#[derive(Debug)]
-pub struct PolicyLineView<'a> {
+///
+/// `state` is a *copy* of the line's policy scratch state;
+/// [`SetAssoc::with_set_views`](crate::set_assoc::SetAssoc::with_set_views)
+/// writes whatever the hook leaves in it back to the line afterwards.
+/// Owning the state (instead of borrowing it) lets the array reuse one
+/// scratch buffer of views across calls, keeping the hot path free of
+/// heap allocations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PolicyLineView {
     /// Way index within the set.
     pub way: usize,
     /// The line's tag (VPN for TLBs, block address for caches).
@@ -84,8 +91,8 @@ pub struct PolicyLineView<'a> {
     pub hits: u64,
     /// Whether this lookup hit this line.
     pub is_hit: bool,
-    /// Per-line policy scratch state.
-    pub state: &'a mut u32,
+    /// Per-line policy scratch state (written back after the hook).
+    pub state: u32,
 }
 
 /// An LLT entry at the moment of its eviction.
@@ -177,6 +184,15 @@ pub trait LltPolicy: Debug {
     /// Short name for reports (e.g. `"dpPred"`, `"SHiP-TLB"`).
     fn policy_name(&self) -> &'static str;
 
+    /// Whether this policy is the no-op baseline. **Must return `true`
+    /// only if every hook keeps its default (no-op) body** — the simulator
+    /// caches this flag at construction and skips hook dispatch entirely
+    /// on the hot path when it is set, so an overridden hook behind a
+    /// `true` gate silently never runs.
+    fn is_null(&self) -> bool {
+        false
+    }
+
     /// Prediction-quality counters, if the policy tracks them.
     fn accuracy_report(&self) -> Option<AccuracyReport> {
         None
@@ -214,13 +230,30 @@ pub trait LltPolicy: Debug {
     /// Called on an LLT hit with the entry's scratch state.
     fn on_hit(&mut self, _vpn: Vpn, _state: &mut u32) {}
 
+    /// Whether the policy observes set accesses. **Must return `true` iff
+    /// [`LltPolicy::on_set_access`] is overridden** — the simulator skips
+    /// building line views entirely when this is `false`, so an
+    /// overridden hook behind a `false` gate silently never runs.
+    fn uses_set_views(&self) -> bool {
+        false
+    }
+
+    /// Whether the policy may override victim selection. **Must return
+    /// `true` iff [`LltPolicy::pick_victim`] is overridden** — the
+    /// simulator consults `pick_victim` only when this is `true`.
+    fn overrides_victim(&self) -> bool {
+        false
+    }
+
     /// Called on every lookup with views of all valid lines in the set
-    /// (interval-counting predictors like AIP train here).
-    fn on_set_access(&mut self, _lines: &mut [PolicyLineView<'_>]) {}
+    /// (interval-counting predictors like AIP train here). Only invoked
+    /// when [`LltPolicy::uses_set_views`] returns `true`.
+    fn on_set_access(&mut self, _lines: &mut [PolicyLineView]) {}
 
     /// Chooses a victim among the set's valid lines, or `None` to defer to
-    /// the base replacement policy. Only consulted when the set is full.
-    fn pick_victim(&mut self, _lines: &mut [PolicyLineView<'_>]) -> Option<usize> {
+    /// the base replacement policy. Only consulted when the set is full
+    /// and [`LltPolicy::overrides_victim`] returns `true`.
+    fn pick_victim(&mut self, _lines: &mut [PolicyLineView]) -> Option<usize> {
         None
     }
 
@@ -232,6 +265,15 @@ pub trait LltPolicy: Debug {
 pub trait LlcPolicy: Debug {
     /// Short name for reports (e.g. `"cbPred"`, `"SHiP-LLC"`).
     fn policy_name(&self) -> &'static str;
+
+    /// Whether this policy is the no-op baseline. **Must return `true`
+    /// only if every hook keeps its default (no-op) body** — the simulator
+    /// caches this flag at construction and skips hook dispatch entirely
+    /// on the hot path when it is set, so an overridden hook behind a
+    /// `true` gate silently never runs.
+    fn is_null(&self) -> bool {
+        false
+    }
 
     /// Prediction-quality counters, if the policy tracks them.
     fn accuracy_report(&self) -> Option<AccuracyReport> {
@@ -253,12 +295,29 @@ pub trait LlcPolicy: Debug {
     /// Called on an LLC hit with the block's scratch state.
     fn on_hit(&mut self, _block: BlockAddr, _state: &mut u32) {}
 
+    /// Whether the policy observes set accesses. **Must return `true` iff
+    /// [`LlcPolicy::on_set_access`] is overridden** — the simulator skips
+    /// building line views entirely when this is `false`, so an
+    /// overridden hook behind a `false` gate silently never runs.
+    fn uses_set_views(&self) -> bool {
+        false
+    }
+
+    /// Whether the policy may override victim selection. **Must return
+    /// `true` iff [`LlcPolicy::pick_victim`] is overridden** — the
+    /// simulator consults `pick_victim` only when this is `true`.
+    fn overrides_victim(&self) -> bool {
+        false
+    }
+
     /// Called on every lookup with views of all valid lines in the set.
-    fn on_set_access(&mut self, _lines: &mut [PolicyLineView<'_>]) {}
+    /// Only invoked when [`LlcPolicy::uses_set_views`] returns `true`.
+    fn on_set_access(&mut self, _lines: &mut [PolicyLineView]) {}
 
     /// Chooses a victim among the set's valid lines, or `None` to defer to
-    /// the base replacement policy.
-    fn pick_victim(&mut self, _lines: &mut [PolicyLineView<'_>]) -> Option<usize> {
+    /// the base replacement policy. Only consulted when
+    /// [`LlcPolicy::overrides_victim`] returns `true`.
+    fn pick_victim(&mut self, _lines: &mut [PolicyLineView]) -> Option<usize> {
         None
     }
 
@@ -275,6 +334,10 @@ impl LltPolicy for NullPagePolicy {
     fn policy_name(&self) -> &'static str {
         "baseline"
     }
+
+    fn is_null(&self) -> bool {
+        true
+    }
 }
 
 /// The baseline no-op LLC policy.
@@ -284,6 +347,10 @@ pub struct NullBlockPolicy;
 impl LlcPolicy for NullBlockPolicy {
     fn policy_name(&self) -> &'static str {
         "baseline"
+    }
+
+    fn is_null(&self) -> bool {
+        true
     }
 }
 

@@ -66,7 +66,7 @@ impl PwcSet {
             let tag = vpn.raw() >> shift;
             if let Some(way) = self.levels[level].lookup(tag, tag) {
                 self.hits[level] += 1;
-                let node = self.levels[level].line(tag, way).payload;
+                let node = *self.levels[level].payload(tag, way);
                 return PwcProbe {
                     hit_level: Some(level),
                     resume_node: node,

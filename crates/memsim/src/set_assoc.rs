@@ -5,11 +5,23 @@
 //! selected by [`ReplacementKind`]: LRU keeps a per-line recency stamp,
 //! SRRIP a 2-bit re-reference prediction value, FIFO an insertion stamp.
 //!
+//! Storage is the struct-of-arrays layout of [`crate::soa`]: lookups do a
+//! branchless tag compare over one contiguous tag column per set and a
+//! single validity-bitmask intersection, instead of walking an
+//! array-of-structs. Set indexing uses a precomputed mask when the set
+//! count is a power of two (every paper-baseline structure) and falls back
+//! to modulo otherwise (e.g. a 3 MB LLC with 3072 sets).
+//!
 //! Lifetime statistics needed by the paper's deadness characterization
 //! (fill time, last-hit time, hit count) are tracked per line in
 //! [`LineLife`].
+//!
+//! The victim-selection hooks ([`SetAssoc::with_set_views`]) reuse a
+//! scratch buffer owned by the array, so steady-state operation performs
+//! **zero heap allocations per event** (see DESIGN.md §10).
 
 use crate::policy::PolicyLineView;
+use crate::soa::{LineRef, SoaColumns};
 use dpc_types::{invariant, ReplacementKind};
 
 /// Payloads that expose 32 bits of policy scratch state to the
@@ -55,52 +67,6 @@ pub struct LineLife {
     pub hits: u64,
 }
 
-/// One way of one set.
-#[derive(Clone, Debug)]
-pub struct Line<P> {
-    valid: bool,
-    tag: u64,
-    stamp: u64,
-    rrpv: u8,
-    life: LineLife,
-    /// Policy- and structure-specific payload (TLB translation + metadata,
-    /// cache block flags, ...).
-    pub payload: P,
-}
-
-impl<P: Default> Line<P> {
-    fn empty() -> Self {
-        Line {
-            valid: false,
-            tag: 0,
-            stamp: 0,
-            rrpv: RRPV_MAX,
-            life: LineLife::default(),
-            payload: P::default(),
-        }
-    }
-}
-
-impl<P> Line<P> {
-    /// Whether the line holds valid contents.
-    #[inline]
-    pub fn is_valid(&self) -> bool {
-        self.valid
-    }
-
-    /// The line's tag (meaningless when invalid).
-    #[inline]
-    pub fn tag(&self) -> u64 {
-        self.tag
-    }
-
-    /// Lifetime statistics of the current contents.
-    #[inline]
-    pub fn life(&self) -> LineLife {
-        self.life
-    }
-}
-
 /// Contents evicted by an insertion.
 #[derive(Clone, Debug)]
 pub struct Evicted<P> {
@@ -112,13 +78,23 @@ pub struct Evicted<P> {
     pub payload: P,
 }
 
-/// A set-associative array of `sets × ways` lines holding payload `P`.
+/// A set-associative array of `sets × ways` lines holding payload `P`,
+/// stored as dense parallel columns ([`SoaColumns`]).
 #[derive(Clone, Debug)]
 pub struct SetAssoc<P> {
     sets: usize,
     ways: usize,
+    /// `sets - 1` when the set count is a power of two (mask indexing).
+    set_mask: u64,
+    /// Whether `set_mask` is usable (power-of-two set count).
+    sets_pow2: bool,
+    /// Bitmask with the low `ways` bits set (a full set's validity mask).
+    way_mask: u64,
     replacement: ReplacementKind,
-    lines: Vec<Line<P>>,
+    cols: SoaColumns<P>,
+    /// Reusable buffer for [`SetAssoc::with_set_views`]; preallocated to
+    /// `ways` so the hot path never reallocates.
+    scratch: Vec<PolicyLineView>,
     /// Monotonic recency clock (advanced on every touch/insert).
     tick: u64,
     /// Monotonic lookup sequence (advanced on every lookup), used for
@@ -131,12 +107,24 @@ impl<P: Default> SetAssoc<P> {
     ///
     /// # Panics
     ///
-    /// Panics if `sets` or `ways` is zero.
+    /// Panics if `sets` or `ways` is zero, or if `ways` exceeds the
+    /// 64-way validity-bitmask limit.
     pub fn new(sets: usize, ways: usize, replacement: ReplacementKind) -> Self {
         assert!(sets > 0 && ways > 0, "SetAssoc requires nonzero geometry");
-        let mut lines = Vec::with_capacity(sets * ways);
-        lines.resize_with(sets * ways, Line::empty);
-        SetAssoc { sets, ways, replacement, lines, tick: 0, seq: 0 }
+        let sets_pow2 = sets.is_power_of_two();
+        let way_mask = if ways == 64 { u64::MAX } else { (1u64 << ways) - 1 };
+        SetAssoc {
+            sets,
+            ways,
+            set_mask: (sets as u64).wrapping_sub(1),
+            sets_pow2,
+            way_mask,
+            replacement,
+            cols: SoaColumns::new(sets, ways, RRPV_MAX),
+            scratch: Vec::with_capacity(ways),
+            tick: 0,
+            seq: 0,
+        }
     }
 }
 
@@ -153,12 +141,16 @@ impl<P> SetAssoc<P> {
         self.ways
     }
 
-    /// Set index for a line address (block address, VPN, ...): modulo the
-    /// set count, which also handles non-power-of-two organizations such as
-    /// the paper's 3 MB LLC.
+    /// Set index for a line address (block address, VPN, ...): a mask when
+    /// the set count is a power of two, modulo otherwise (which also
+    /// handles non-power-of-two organizations such as a 3 MB LLC).
     #[inline]
     pub fn set_of(&self, addr: u64) -> usize {
-        (addr % self.sets as u64) as usize
+        if self.sets_pow2 {
+            (addr & self.set_mask) as usize
+        } else {
+            (addr % self.sets as u64) as usize
+        }
     }
 
     /// Current lookup sequence number (the structure-local clock used by
@@ -168,60 +160,106 @@ impl<P> SetAssoc<P> {
         self.seq
     }
 
+    /// Flat column index of `way` in the set `addr` maps to, with the set
+    /// index alongside it.
     #[inline]
-    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
-        let base = set * self.ways;
-        base..base + self.ways
+    fn locate(&self, addr: u64, way: usize) -> (usize, usize) {
+        let set = self.set_of(addr);
+        invariant!(way < self.ways, "way {way} out of range for {}-way array", self.ways);
+        (set, set * self.ways + way)
     }
 
     /// Looks up `tag` in its set. On a hit, advances the lookup clock,
     /// updates recency and lifetime stats, and returns the way index.
     /// On a miss, only the lookup clock advances.
+    #[inline]
     pub fn lookup(&mut self, addr: u64, tag: u64) -> Option<usize> {
         self.seq += 1;
         let set = self.set_of(addr);
-        let range = self.set_range(set);
-        let seq = self.seq;
-        for (way, idx) in range.clone().enumerate() {
-            if self.lines[idx].valid && self.lines[idx].tag == tag {
-                self.tick += 1;
-                let tick = self.tick;
-                let line = &mut self.lines[idx];
-                line.life.hits += 1;
-                line.life.last_hit_seq = seq;
-                match self.replacement {
-                    ReplacementKind::Lru => line.stamp = tick,
-                    ReplacementKind::Srrip => line.rrpv = 0,
-                    ReplacementKind::Fifo => {}
-                }
-                return Some(way);
-            }
+        let base = set * self.ways;
+        let hit = self.cols.match_mask(set, base, tag);
+        if hit == 0 {
+            return None;
         }
-        None
+        // First-match-wins, exactly like the previous linear scan.
+        let way = hit.trailing_zeros() as usize;
+        let idx = base + way;
+        self.tick += 1;
+        let life = &mut self.cols.lives[idx];
+        life.hits += 1;
+        life.last_hit_seq = self.seq;
+        match self.replacement {
+            ReplacementKind::Lru => self.cols.stamps[idx] = self.tick,
+            ReplacementKind::Srrip => self.cols.rrpvs[idx] = 0,
+            ReplacementKind::Fifo => {}
+        }
+        Some(way)
+    }
+
+    /// [`lookup`](Self::lookup) fused with payload access: on a hit,
+    /// returns the way *and* a reference to its payload, saving the
+    /// re-derivation of the flat column index that a separate
+    /// [`payload`](Self::payload) call would perform.
+    #[inline]
+    pub fn lookup_payload(&mut self, addr: u64, tag: u64) -> Option<(usize, &P)> {
+        self.seq += 1;
+        let set = self.set_of(addr);
+        let base = set * self.ways;
+        let hit = self.cols.match_mask(set, base, tag);
+        if hit == 0 {
+            return None;
+        }
+        let way = hit.trailing_zeros() as usize;
+        let idx = base + way;
+        self.tick += 1;
+        let life = &mut self.cols.lives[idx];
+        life.hits += 1;
+        life.last_hit_seq = self.seq;
+        match self.replacement {
+            ReplacementKind::Lru => self.cols.stamps[idx] = self.tick,
+            ReplacementKind::Srrip => self.cols.rrpvs[idx] = 0,
+            ReplacementKind::Fifo => {}
+        }
+        invariant!(idx < self.cols.payloads.len(), "set * ways + way stays inside the columns");
+        Some((way, &self.cols.payloads[idx]))
     }
 
     /// Probes for `tag` without advancing any clock or updating recency
     /// (used by inclusion checks and tests).
+    #[inline]
     pub fn peek(&self, addr: u64, tag: u64) -> Option<usize> {
         let set = self.set_of(addr);
-        self.set_range(set)
-            .enumerate()
-            .find(|&(_, idx)| self.lines[idx].valid && self.lines[idx].tag == tag)
-            .map(|(way, _)| way)
+        let hit = self.cols.match_mask(set, set * self.ways, tag);
+        if hit == 0 {
+            None
+        } else {
+            Some(hit.trailing_zeros() as usize)
+        }
     }
 
-    /// Immutable view of a way in the set that `addr` maps to.
-    pub fn line(&self, addr: u64, way: usize) -> &Line<P> {
-        let set = self.set_of(addr);
-        invariant!(way < self.ways, "way {way} out of range for {}-way array", self.ways);
-        &self.lines[set * self.ways + way]
+    /// Payload of a way in the set that `addr` maps to (contents are
+    /// meaningful only while the way is valid).
+    #[inline]
+    pub fn payload(&self, addr: u64, way: usize) -> &P {
+        let (_, idx) = self.locate(addr, way);
+        invariant!(idx < self.cols.payloads.len(), "locate() stays inside the columns");
+        &self.cols.payloads[idx]
     }
 
-    /// Mutable view of a way in the set that `addr` maps to.
-    pub fn line_mut(&mut self, addr: u64, way: usize) -> &mut Line<P> {
-        let set = self.set_of(addr);
-        invariant!(way < self.ways, "way {way} out of range for {}-way array", self.ways);
-        &mut self.lines[set * self.ways + way]
+    /// Mutable payload of a way in the set that `addr` maps to.
+    #[inline]
+    pub fn payload_mut(&mut self, addr: u64, way: usize) -> &mut P {
+        let (_, idx) = self.locate(addr, way);
+        invariant!(idx < self.cols.payloads.len(), "locate() stays inside the columns");
+        &mut self.cols.payloads[idx]
+    }
+
+    /// Lifetime statistics of a way in the set that `addr` maps to.
+    #[inline]
+    pub fn life_of(&self, addr: u64, way: usize) -> LineLife {
+        let (_, idx) = self.locate(addr, way);
+        invariant!(idx < self.cols.lives.len(), "locate() stays inside the columns");
+        self.cols.lives[idx]
     }
 
     /// The way the base replacement policy would evict from the set `addr`
@@ -229,33 +267,33 @@ impl<P> SetAssoc<P> {
     /// effect (that *is* the SRRIP victim-search algorithm).
     pub fn victim_way(&mut self, addr: u64) -> usize {
         let set = self.set_of(addr);
-        let range = self.set_range(set);
-        // Prefer an invalid way.
-        for (way, idx) in range.clone().enumerate() {
-            if !self.lines[idx].valid {
-                return way;
-            }
+        let base = set * self.ways;
+        // Prefer the first invalid way.
+        let invalid = !self.cols.valid[set] & self.way_mask;
+        if invalid != 0 {
+            return invalid.trailing_zeros() as usize;
         }
         match self.replacement {
             ReplacementKind::Lru | ReplacementKind::Fifo => {
+                // First-encountered minimum stamp, as before.
+                let stamps = &self.cols.stamps[base..base + self.ways];
                 let mut best = 0;
                 let mut best_stamp = u64::MAX;
-                for (way, idx) in range.enumerate() {
-                    if self.lines[idx].stamp < best_stamp {
-                        best_stamp = self.lines[idx].stamp;
+                for (way, &stamp) in stamps.iter().enumerate() {
+                    if stamp < best_stamp {
+                        best_stamp = stamp;
                         best = way;
                     }
                 }
                 best
             }
             ReplacementKind::Srrip => loop {
-                for (way, idx) in range.clone().enumerate() {
-                    if self.lines[idx].rrpv >= RRPV_MAX {
-                        return way;
-                    }
+                let rrpvs = &mut self.cols.rrpvs[base..base + self.ways];
+                if let Some(way) = rrpvs.iter().position(|&r| r >= RRPV_MAX) {
+                    return way;
                 }
-                for idx in range.clone() {
-                    self.lines[idx].rrpv += 1;
+                for rrpv in rrpvs {
+                    *rrpv += 1;
                 }
             },
         }
@@ -276,30 +314,31 @@ impl<P> SetAssoc<P> {
         let tick = self.tick;
         let seq = self.seq;
         let set = self.set_of(addr);
-        let line = &mut self.lines[set * self.ways + way];
-        let evicted = if line.valid {
+        let idx = set * self.ways + way;
+        let way_bit = 1u64 << way;
+        let evicted = if self.cols.valid[set] & way_bit != 0 {
             Some(Evicted {
-                tag: line.tag,
-                life: line.life,
-                payload: std::mem::replace(&mut line.payload, payload),
+                tag: self.cols.tags[idx],
+                life: self.cols.lives[idx],
+                payload: std::mem::replace(&mut self.cols.payloads[idx], payload),
             })
         } else {
-            line.payload = payload;
+            self.cols.payloads[idx] = payload;
             None
         };
-        line.valid = true;
-        line.tag = tag;
-        line.life = LineLife { fill_seq: seq, last_hit_seq: seq, hits: 0 };
+        self.cols.valid[set] |= way_bit;
+        self.cols.tags[idx] = tag;
+        self.cols.lives[idx] = LineLife { fill_seq: seq, last_hit_seq: seq, hits: 0 };
         match self.replacement {
             ReplacementKind::Lru => {
-                line.stamp = match priority {
+                self.cols.stamps[idx] = match priority {
                     InsertPriority::Normal | InsertPriority::High => tick,
                     InsertPriority::Distant => 0,
                 };
             }
-            ReplacementKind::Fifo => line.stamp = tick,
+            ReplacementKind::Fifo => self.cols.stamps[idx] = tick,
             ReplacementKind::Srrip => {
-                line.rrpv = match priority {
+                self.cols.rrpvs[idx] = match priority {
                     InsertPriority::Normal => RRPV_LONG,
                     InsertPriority::Distant => RRPV_MAX,
                     InsertPriority::High => 0,
@@ -330,55 +369,76 @@ impl<P> SetAssoc<P> {
         let way = self.peek(addr, tag)?;
         let set = self.set_of(addr);
         invariant!(way < self.ways, "peek returned way {way} beyond {}-way set", self.ways);
-        let line = &mut self.lines[set * self.ways + way];
-        line.valid = false;
-        Some(Evicted { tag: line.tag, life: line.life, payload: std::mem::take(&mut line.payload) })
+        let idx = set * self.ways + way;
+        self.cols.valid[set] &= !(1u64 << way);
+        Some(Evicted {
+            tag: self.cols.tags[idx],
+            life: self.cols.lives[idx],
+            payload: std::mem::take(&mut self.cols.payloads[idx]),
+        })
     }
 
     /// Whether every way of the set `addr` maps to holds valid contents.
+    #[inline]
     pub fn set_full(&self, addr: u64) -> bool {
         let set = self.set_of(addr);
-        self.lines[self.set_range(set)].iter().all(|line| line.valid)
+        self.cols.valid[set] == self.way_mask
     }
 
     /// Runs `f` over [`PolicyLineView`]s of all *valid* lines in the set
     /// `addr` maps to. `hit_way` marks which view (if any) corresponds to
     /// the line the current lookup hit.
+    ///
+    /// The views carry a *copy* of each line's policy state; whatever the
+    /// hook leaves in [`PolicyLineView::state`] is written back to the
+    /// line afterwards. The view buffer is owned by the array and reused
+    /// across calls — building views allocates nothing in steady state.
     pub fn with_set_views<R>(
         &mut self,
         addr: u64,
         hit_way: Option<usize>,
-        f: impl FnOnce(&mut [PolicyLineView<'_>]) -> R,
+        f: impl FnOnce(&mut [PolicyLineView]) -> R,
     ) -> R
     where
         P: HasPolicyState,
     {
         let set = self.set_of(addr);
-        let range = self.set_range(set);
-        let mut views: Vec<PolicyLineView<'_>> = Vec::with_capacity(self.ways);
-        for (way, line) in self.lines[range].iter_mut().enumerate() {
-            if line.valid {
-                views.push(PolicyLineView {
-                    way,
-                    tag: line.tag,
-                    hits: line.life.hits,
-                    is_hit: hit_way == Some(way),
-                    state: line.payload.policy_state_mut(),
-                });
-            }
+        let base = set * self.ways;
+        self.scratch.clear();
+        let mut mask = self.cols.valid[set];
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let idx = base + way;
+            self.scratch.push(PolicyLineView {
+                way,
+                tag: self.cols.tags[idx],
+                hits: self.cols.lives[idx].hits,
+                is_hit: hit_way == Some(way),
+                state: *self.cols.payloads[idx].policy_state_mut(),
+            });
         }
-        f(&mut views)
+        let result = f(&mut self.scratch);
+        for view in &self.scratch {
+            invariant!(
+                view.way < self.ways,
+                "policy moved a view beyond the {}-way set",
+                self.ways
+            );
+            *self.cols.payloads[base + view.way].policy_state_mut() = view.state;
+        }
+        result
     }
 
     /// Iterates over all valid lines (used by the deadness sampler's final
     /// flush and by tests).
-    pub fn iter_valid(&self) -> impl Iterator<Item = &Line<P>> {
-        self.lines.iter().filter(|l| l.valid)
+    pub fn iter_valid(&self) -> impl Iterator<Item = LineRef<'_, P>> {
+        self.cols.iter_valid()
     }
 
     /// Number of currently valid lines.
     pub fn valid_count(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.cols.valid_count()
     }
 }
 
@@ -396,8 +456,8 @@ mod tests {
         assert_eq!(s.lookup(5, 5), None);
         assert!(s.fill(5, 5, 99, InsertPriority::Normal).is_none());
         let way = s.lookup(5, 5).expect("filled tag must hit");
-        assert_eq!(s.line(5, way).payload, 99);
-        assert_eq!(s.line(5, way).life().hits, 1);
+        assert_eq!(*s.payload(5, way), 99);
+        assert_eq!(s.life_of(5, way).hits, 1);
     }
 
     #[test]
@@ -468,6 +528,18 @@ mod tests {
     }
 
     #[test]
+    fn stale_tag_in_invalid_way_never_hits() {
+        let mut s = sa(1, 2, ReplacementKind::Lru);
+        s.fill(0, 9, 1, InsertPriority::Normal);
+        s.invalidate(0, 9);
+        // The tag column still holds 9, but the validity mask excludes it.
+        assert_eq!(s.lookup(0, 9), None);
+        assert_eq!(s.peek(0, 9), None);
+        // Refilling lands in the freed way (first invalid way preferred).
+        assert!(s.fill(0, 8, 2, InsertPriority::Normal).is_none());
+    }
+
+    #[test]
     fn lifetime_stats_track_hits() {
         let mut s = sa(1, 1, ReplacementKind::Lru);
         s.lookup(0, 9); // seq 1, miss
@@ -497,6 +569,36 @@ mod tests {
         let s: SetAssoc<u32> = SetAssoc::new(3072, 16, ReplacementKind::Lru);
         assert_eq!(s.set_of(3072), 0);
         assert_eq!(s.set_of(3073), 1);
+    }
+
+    #[test]
+    fn pow2_set_indexing_matches_modulo() {
+        let s: SetAssoc<u32> = SetAssoc::new(128, 8, ReplacementKind::Lru);
+        for addr in [0u64, 1, 127, 128, 129, 0xDEAD_BEEF, u64::MAX] {
+            assert_eq!(s.set_of(addr), (addr % 128) as usize, "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn set_view_state_written_back() {
+        #[derive(Clone, Copy, Debug, Default)]
+        struct S(u32);
+        impl HasPolicyState for S {
+            fn policy_state_mut(&mut self) -> &mut u32 {
+                &mut self.0
+            }
+        }
+        let mut s: SetAssoc<S> = SetAssoc::new(1, 2, ReplacementKind::Lru);
+        s.fill(0, 1, S(5), InsertPriority::Normal);
+        s.fill(0, 2, S(6), InsertPriority::Normal);
+        let seen = s.with_set_views(0, Some(1), |views| {
+            views[0].state += 10;
+            views[1].state += 10;
+            (views[0].is_hit, views[1].is_hit, views.len())
+        });
+        assert_eq!(seen, (false, true, 2));
+        assert_eq!(s.payload(0, 0).0, 15, "hook state must be written back");
+        assert_eq!(s.payload(0, 1).0, 16);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Struct-of-arrays backing store for [`SetAssoc`](crate::set_assoc::SetAssoc).
+//!
+//! The hot path of the simulator is the tag search in `SetAssoc::lookup`;
+//! with an array-of-structs layout every probed way drags a whole
+//! `Line<P>` (tag + stamp + rrpv + lifetime stats + payload) through the
+//! data cache. This module stores each field in its own dense column so a
+//! set's tags occupy one contiguous run of `ways` × 8 bytes — a 16-way
+//! set's tags fit in two hardware cache lines — and validity is a single
+//! `u64` bitmask per set:
+//!
+//! * `valid[set]` — bit `w` set ⇔ way `w` holds valid contents;
+//! * `tags[set * ways + w]` — the tag stored in way `w`;
+//! * `stamps` / `rrpvs` — LRU/FIFO recency stamps and SRRIP re-reference
+//!   values, only touched by the replacement policy;
+//! * `lives` — [`LineLife`] lifetime statistics for the deadness
+//!   characterization;
+//! * `payloads` — the structure-specific payload (TLB translation, cache
+//!   block flags, PWC node, ...).
+//!
+//! [`SoaColumns::match_mask`] compares every tag of a set without
+//! branching and intersects with the validity mask; `trailing_zeros` on
+//! the result recovers the first matching way, preserving the
+//! first-match-wins semantics of the original linear scan bit for bit.
+//!
+//! Bounds evidence for the dpc-lint `hot-path::index` rule: every flat
+//! index is `set * ways + way` where `set` comes from
+//! `SetAssoc::set_of` (reduced modulo / masked by the set count) and
+//! `way < ways` is asserted by `invariant!` at the call sites, so all
+//! column accesses stay inside the `sets * ways` allocation made by
+//! [`SoaColumns::new`].
+
+use crate::set_assoc::LineLife;
+use dpc_types::invariant;
+
+/// Maximum associativity representable by the per-set `u64` validity
+/// bitmask.
+pub const MAX_WAYS: usize = 64;
+
+/// The dense parallel columns of a set-associative array.
+///
+/// Field layout is crate-internal; [`SetAssoc`](crate::set_assoc::SetAssoc)
+/// is the only consumer and re-exposes typed accessors.
+#[derive(Clone, Debug)]
+pub struct SoaColumns<P> {
+    ways: usize,
+    /// One validity bitmask per set (bit `w` = way `w` is valid).
+    pub(crate) valid: Vec<u64>,
+    /// Packed tags, `ways` consecutive entries per set.
+    pub(crate) tags: Vec<u64>,
+    /// LRU/FIFO recency stamps, same layout as `tags`.
+    pub(crate) stamps: Vec<u64>,
+    /// SRRIP re-reference prediction values, same layout as `tags`.
+    pub(crate) rrpvs: Vec<u8>,
+    /// Per-line lifetime statistics, same layout as `tags`.
+    pub(crate) lives: Vec<LineLife>,
+    /// Per-line payloads, same layout as `tags`.
+    pub(crate) payloads: Vec<P>,
+}
+
+impl<P: Default> SoaColumns<P> {
+    /// Allocates empty columns for `sets × ways` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` exceeds [`MAX_WAYS`] (the validity bitmask is one
+    /// `u64` per set).
+    pub(crate) fn new(sets: usize, ways: usize, initial_rrpv: u8) -> Self {
+        assert!(ways <= MAX_WAYS, "associativity {ways} exceeds the {MAX_WAYS}-way bitmask limit");
+        let lines = sets * ways;
+        let mut payloads = Vec::with_capacity(lines);
+        payloads.resize_with(lines, P::default);
+        SoaColumns {
+            ways,
+            valid: vec![0; sets],
+            tags: vec![0; lines],
+            stamps: vec![0; lines],
+            rrpvs: vec![initial_rrpv; lines],
+            lives: vec![LineLife::default(); lines],
+            payloads,
+        }
+    }
+}
+
+impl<P> SoaColumns<P> {
+    /// Branchless tag compare over the set's contiguous tag column,
+    /// intersected with the validity mask. Bit `w` of the result is set
+    /// iff way `w` is valid and holds `tag`; `trailing_zeros` recovers
+    /// the first match.
+    ///
+    /// The paper-baseline associativities (4-way L1 TLB, 8-way L1D/L2/LLT,
+    /// 16-way LLC) are dispatched to fixed-width comparisons so the
+    /// compiler sees a compile-time trip count and can fully unroll and
+    /// vectorize; any other geometry takes the generic loop.
+    #[inline]
+    pub(crate) fn match_mask(&self, set: usize, base: usize, tag: u64) -> u64 {
+        invariant!(set < self.valid.len(), "caller masks the set index into range");
+        invariant!(base + self.ways <= self.tags.len(), "base = set * ways stays inside the tags");
+        let tags = &self.tags[base..base + self.ways];
+        let mask = match self.ways {
+            4 => fixed_match::<4>(tags, tag),
+            8 => fixed_match::<8>(tags, tag),
+            16 => fixed_match::<16>(tags, tag),
+            _ => generic_match(tags, tag),
+        };
+        mask & self.valid[set]
+    }
+
+    /// Iterates over all valid lines in storage order.
+    pub(crate) fn iter_valid(&self) -> impl Iterator<Item = LineRef<'_, P>> {
+        self.valid.iter().enumerate().flat_map(move |(set, &mask)| {
+            let base = set * self.ways;
+            BitIter(mask).map(move |way| {
+                let idx = base + way;
+                LineRef { tag: self.tags[idx], life: self.lives[idx], payload: &self.payloads[idx] }
+            })
+        })
+    }
+
+    /// Number of valid lines across all sets.
+    #[inline]
+    pub(crate) fn valid_count(&self) -> usize {
+        self.valid.iter().map(|m| m.count_ones() as usize).sum()
+    }
+}
+
+/// Tag compare with a compile-time way count: converting the slice to a
+/// fixed-size array reference lets the compiler unroll the loop with no
+/// per-iteration bounds checks. Falls back to [`generic_match`] if the
+/// slice length does not match `N` (cannot happen for callers that slice
+/// `ways` elements, but keeps the function total without panicking).
+#[inline]
+fn fixed_match<const N: usize>(tags: &[u64], tag: u64) -> u64 {
+    let Ok(tags) = <&[u64; N]>::try_from(tags) else {
+        return generic_match(tags, tag);
+    };
+    let mut mask = 0u64;
+    for (way, &t) in tags.iter().enumerate() {
+        mask |= u64::from(t == tag) << way;
+    }
+    mask
+}
+
+/// Tag compare for arbitrary associativity.
+#[inline]
+fn generic_match(tags: &[u64], tag: u64) -> u64 {
+    let mut mask = 0u64;
+    for (way, &t) in tags.iter().enumerate() {
+        mask |= u64::from(t == tag) << way;
+    }
+    mask
+}
+
+/// A read-only view of one valid line, yielded by
+/// [`SetAssoc::iter_valid`](crate::set_assoc::SetAssoc::iter_valid).
+#[derive(Clone, Copy, Debug)]
+pub struct LineRef<'a, P> {
+    tag: u64,
+    life: LineLife,
+    /// The line's payload.
+    pub payload: &'a P,
+}
+
+impl<P> LineRef<'_, P> {
+    /// The line's tag.
+    #[inline]
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Lifetime statistics of the current contents.
+    #[inline]
+    pub fn life(&self) -> LineLife {
+        self.life
+    }
+}
+
+/// Iterator over the set bit positions of a `u64` mask, ascending.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let bit = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_mask_respects_validity_and_order() {
+        let mut cols: SoaColumns<u32> = SoaColumns::new(2, 4, 0);
+        // Set 1: ways 0 and 2 hold tag 7, but only way 2 is valid.
+        let base = 4;
+        cols.tags[base] = 7;
+        cols.tags[base + 2] = 7;
+        cols.valid[1] = 0b0100;
+        assert_eq!(cols.match_mask(1, base, 7), 0b0100);
+        // Making way 0 valid restores first-match-wins via trailing_zeros.
+        cols.valid[1] = 0b0101;
+        let mask = cols.match_mask(1, base, 7);
+        assert_eq!(mask, 0b0101);
+        assert_eq!(mask.trailing_zeros(), 0);
+        // An invalid set contributes nothing.
+        assert_eq!(cols.match_mask(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn bit_iter_ascends() {
+        let bits: Vec<usize> = BitIter(0b1010_0110).collect();
+        assert_eq!(bits, vec![1, 2, 5, 7]);
+        assert_eq!(BitIter(0).count(), 0);
+    }
+
+    #[test]
+    fn iter_valid_walks_storage_order() {
+        let mut cols: SoaColumns<u32> = SoaColumns::new(2, 2, 0);
+        cols.tags[1] = 11; // set 0, way 1
+        cols.tags[2] = 22; // set 1, way 0
+        cols.valid[0] = 0b10;
+        cols.valid[1] = 0b01;
+        let tags: Vec<u64> = cols.iter_valid().map(|l| l.tag()).collect();
+        assert_eq!(tags, vec![11, 22]);
+        assert_eq!(cols.valid_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitmask limit")]
+    fn over_wide_sets_rejected() {
+        let _: SoaColumns<u32> = SoaColumns::new(1, 65, 0);
+    }
+}

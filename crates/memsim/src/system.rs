@@ -74,6 +74,10 @@ pub struct System {
     l1d_tlb: Tlb,
     llt: Tlb,
     llt_policy: Box<dyn LltPolicy>,
+    /// Cached [`LltPolicy::is_null`]: `true` for the baseline no-op
+    /// policy, letting the translation path skip dynamic hook dispatch
+    /// entirely (every skipped hook is a no-op, so behavior is identical).
+    llt_null: bool,
     hier: Hierarchy,
     page_table: PageTable,
     walker: Walker,
@@ -118,12 +122,14 @@ impl System {
         llc_policy: Box<dyn LlcPolicy>,
     ) -> Result<Self, SystemError> {
         config.validate()?;
+        let llt_null = llt_policy.is_null();
         Ok(System {
             core: CoreModel::new(config.core.width, config.core.rob_size, config.core.mem_slots),
             l1i_tlb: Tlb::new(&config.l1_itlb),
             l1d_tlb: Tlb::new(&config.l1_dtlb),
             llt: Tlb::new(&config.l2_tlb),
             llt_policy,
+            llt_null,
             hier: Hierarchy::new(&config, llc_policy),
             page_table: PageTable::new(),
             walker: Walker::new(&config.pwc),
@@ -277,29 +283,41 @@ impl System {
         }
         latency += u64::from(self.llt.latency);
 
-        // --- LLT lookup with policy hooks ---
+        // --- LLT lookup with policy hooks (all no-ops for the baseline,
+        // so `llt_null` skips the dynamic dispatch without changing
+        // behavior) ---
         let hit_way = self.llt.lookup_way(vpn);
-        self.llt_policy.on_lookup(vpn, hit_way.is_some());
-        let policy = self.llt_policy.as_mut();
-        self.llt
-            .array_mut()
-            .with_set_views(vpn.raw(), hit_way, |views| policy.on_set_access(views));
+        if !self.llt_null {
+            self.llt_policy.on_lookup(vpn, hit_way.is_some());
+            // Policies that don't observe set views skip view construction.
+            if self.llt_policy.uses_set_views() {
+                let policy = self.llt_policy.as_mut();
+                self.llt
+                    .array_mut()
+                    .with_set_views(vpn.raw(), hit_way, |views| policy.on_set_access(views));
+            }
+        }
         if let Some(way) = hit_way {
-            let line = self.llt.array_mut().line_mut(vpn.raw(), way);
-            let pfn = Pfn::new(line.payload.pfn);
-            self.llt_policy.on_hit(vpn, &mut line.payload.state);
+            let entry = self.llt.array_mut().payload_mut(vpn.raw(), way);
+            let pfn = Pfn::new(entry.pfn);
+            if !self.llt_null {
+                self.llt_policy.on_hit(vpn, &mut entry.state);
+            }
             self.fill_l1(side, vpn, pfn, pc);
             return (pfn, latency);
         }
 
         // --- LLT miss: shadow/victim-buffer probe ---
-        if let Some(pfn) = self.llt_policy.shadow_lookup(vpn) {
-            self.llt.stats.shadow_hits += 1;
-            // Paper Fig. 6a: re-allocate the mispredicted entry in the LLT.
-            let state = self.llt_policy.refill_state(vpn, pc);
-            self.fill_llt(vpn, pfn, InsertPriority::Normal, state);
-            self.fill_l1(side, vpn, pfn, pc);
-            return (pfn, latency);
+        if !self.llt_null {
+            if let Some(pfn) = self.llt_policy.shadow_lookup(vpn) {
+                self.llt.stats.shadow_hits += 1;
+                // Paper Fig. 6a: re-allocate the mispredicted entry in the
+                // LLT.
+                let state = self.llt_policy.refill_state(vpn, pc);
+                self.fill_llt(vpn, pfn, InsertPriority::Normal, state);
+                self.fill_l1(side, vpn, pfn, pc);
+                return (pfn, latency);
+            }
         }
 
         // --- True miss: page walk ---
@@ -320,7 +338,14 @@ impl System {
     /// Runs the LLT fill-decision flow (policy consultation, bypass
     /// bookkeeping, dpPred → PFQ message).
     fn llt_insert(&mut self, vpn: Vpn, pfn: Pfn, pc: Pc) {
-        match self.llt_policy.on_fill(vpn, pfn, pc) {
+        // The baseline always allocates with default priority and state —
+        // exactly what `LltPolicy::on_fill`'s default body returns.
+        let decision = if self.llt_null {
+            PageFillDecision::ALLOCATE
+        } else {
+            self.llt_policy.on_fill(vpn, pfn, pc)
+        };
+        match decision {
             PageFillDecision::Allocate { priority, state } => {
                 self.fill_llt(vpn, pfn, priority, state);
             }
@@ -364,11 +389,14 @@ impl System {
 
     fn fill_llt(&mut self, vpn: Vpn, pfn: Pfn, priority: InsertPriority, state: u32) {
         let evicted = if self.llt.array().set_full(vpn.raw()) {
-            let policy = self.llt_policy.as_mut();
-            let choice = self
-                .llt
-                .array_mut()
-                .with_set_views(vpn.raw(), None, |views| policy.pick_victim(views));
+            let choice = if !self.llt_null && self.llt_policy.overrides_victim() {
+                let policy = self.llt_policy.as_mut();
+                self.llt
+                    .array_mut()
+                    .with_set_views(vpn.raw(), None, |views| policy.pick_victim(views))
+            } else {
+                None
+            };
             match choice {
                 Some(way) => self.llt.fill_way(vpn, way, pfn, priority, state),
                 None => self.llt.fill(vpn, pfn, priority, state),
@@ -381,12 +409,14 @@ impl System {
             self.llt_evictions.record(life, end_seq);
             self.llt_sampler.record_stay(life, end_seq);
             self.page_stay_doa.insert(evicted_vpn, life.hits == 0);
-            self.llt_policy.on_evict(EvictedPage {
-                vpn: evicted_vpn,
-                pfn: Pfn::new(entry.pfn),
-                state: entry.state,
-                life,
-            });
+            if !self.llt_null {
+                self.llt_policy.on_evict(EvictedPage {
+                    vpn: evicted_vpn,
+                    pfn: Pfn::new(entry.pfn),
+                    state: entry.state,
+                    life,
+                });
+            }
         }
     }
 

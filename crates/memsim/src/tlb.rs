@@ -52,10 +52,10 @@ impl Tlb {
     /// Looks up `vpn`, updating recency and counters.
     pub fn lookup(&mut self, vpn: Vpn) -> Option<Pfn> {
         self.stats.lookups += 1;
-        match self.array.lookup(vpn.raw(), vpn.raw()) {
-            Some(way) => {
+        match self.array.lookup_payload(vpn.raw(), vpn.raw()) {
+            Some((_, entry)) => {
                 self.stats.hits += 1;
-                Some(Pfn::new(self.array.line(vpn.raw(), way).payload.pfn))
+                Some(Pfn::new(entry.pfn))
             }
             None => {
                 self.stats.misses += 1;
@@ -84,7 +84,7 @@ impl Tlb {
     /// Hit count of a resident entry (the paper's `Accessed` bit is
     /// `hits > 0`), or `None` if absent. Side-effect free.
     pub fn resident_hits(&self, vpn: Vpn) -> Option<u64> {
-        self.array.peek(vpn.raw(), vpn.raw()).map(|way| self.array.line(vpn.raw(), way).life().hits)
+        self.array.peek(vpn.raw(), vpn.raw()).map(|way| self.array.life_of(vpn.raw(), way).hits)
     }
 
     /// Allocates a translation, evicting via the base replacement policy.

@@ -103,15 +103,15 @@ impl AipCore {
 
     /// Interval bookkeeping on every set access: the hit line banks its
     /// live interval and resets; all other lines age.
-    fn on_set_access(&mut self, lines: &mut [PolicyLineView<'_>]) {
+    fn on_set_access(&mut self, lines: &mut [PolicyLineView]) {
         for view in lines {
-            let state = *view.state;
+            let state = view.state;
             if view.is_hit {
                 let live = interval_of(state).min(MAX_LIVE_MAX);
                 let banked = set_max_live(state, max_live_of(state).max(live));
-                *view.state = set_interval(banked, 0) & !PREDICTED_DEAD_BIT;
+                view.state = set_interval(banked, 0) & !PREDICTED_DEAD_BIT;
             } else {
-                *view.state = set_interval(state, interval_of(state) + 1);
+                view.state = set_interval(state, interval_of(state) + 1);
             }
         }
     }
@@ -137,11 +137,11 @@ impl AipCore {
     }
 
     /// Victim selection: the first confidently-dead line, if any.
-    fn pick_victim(&mut self, lines: &mut [PolicyLineView<'_>]) -> Option<usize> {
+    fn pick_victim(&mut self, lines: &mut [PolicyLineView]) -> Option<usize> {
         for view in lines.iter_mut() {
-            if self.is_dead(view.tag, *view.state) {
-                if *view.state & PREDICTED_DEAD_BIT == 0 {
-                    *view.state |= PREDICTED_DEAD_BIT;
+            if self.is_dead(view.tag, view.state) {
+                if view.state & PREDICTED_DEAD_BIT == 0 {
+                    view.state |= PREDICTED_DEAD_BIT;
                     self.predictions += 1;
                 }
                 return Some(view.way);
@@ -226,11 +226,19 @@ impl LlcPolicy for AipLlc {
         }
     }
 
-    fn on_set_access(&mut self, lines: &mut [PolicyLineView<'_>]) {
+    fn uses_set_views(&self) -> bool {
+        true
+    }
+
+    fn overrides_victim(&self) -> bool {
+        true
+    }
+
+    fn on_set_access(&mut self, lines: &mut [PolicyLineView]) {
         self.core.on_set_access(lines);
     }
 
-    fn pick_victim(&mut self, lines: &mut [PolicyLineView<'_>]) -> Option<usize> {
+    fn pick_victim(&mut self, lines: &mut [PolicyLineView]) -> Option<usize> {
         self.core.pick_victim(lines)
     }
 
@@ -275,11 +283,19 @@ impl LltPolicy for AipTlb {
         }
     }
 
-    fn on_set_access(&mut self, lines: &mut [PolicyLineView<'_>]) {
+    fn uses_set_views(&self) -> bool {
+        true
+    }
+
+    fn overrides_victim(&self) -> bool {
+        true
+    }
+
+    fn on_set_access(&mut self, lines: &mut [PolicyLineView]) {
         self.core.on_set_access(lines);
     }
 
-    fn pick_victim(&mut self, lines: &mut [PolicyLineView<'_>]) -> Option<usize> {
+    fn pick_victim(&mut self, lines: &mut [PolicyLineView]) -> Option<usize> {
         self.core.pick_victim(lines)
     }
 
@@ -292,28 +308,23 @@ impl LltPolicy for AipTlb {
 mod tests {
     use super::*;
 
-    fn view(way: usize, tag: u64, state: &mut u32, is_hit: bool) -> PolicyLineView<'_> {
+    fn view(way: usize, tag: u64, state: u32, is_hit: bool) -> PolicyLineView {
         PolicyLineView { way, tag, hits: 0, is_hit, state }
     }
 
     #[test]
     fn intervals_age_and_reset() {
         let mut core = AipCore::new();
-        let mut a = 0u32;
-        let mut b = 0u32;
-        {
-            let mut views = vec![view(0, 10, &mut a, true), view(1, 20, &mut b, false)];
-            core.on_set_access(&mut views);
-        }
-        assert_eq!(interval_of(a), 0, "hit line resets");
-        assert_eq!(interval_of(b), 1, "other lines age");
-        {
-            let mut views = vec![view(0, 10, &mut a, false), view(1, 20, &mut b, true)];
-            core.on_set_access(&mut views);
-        }
-        assert_eq!(interval_of(a), 1);
-        assert_eq!(interval_of(b), 0);
-        assert_eq!(max_live_of(b), 1, "live interval banked on access");
+        let mut views = vec![view(0, 10, 0, true), view(1, 20, 0, false)];
+        core.on_set_access(&mut views);
+        assert_eq!(interval_of(views[0].state), 0, "hit line resets");
+        assert_eq!(interval_of(views[1].state), 1, "other lines age");
+        views[0].is_hit = false;
+        views[1].is_hit = true;
+        core.on_set_access(&mut views);
+        assert_eq!(interval_of(views[0].state), 1);
+        assert_eq!(interval_of(views[1].state), 0);
+        assert_eq!(max_live_of(views[1].state), 1, "live interval banked on access");
     }
 
     #[test]
@@ -347,19 +358,15 @@ mod tests {
         let base = core.initial_state(pc);
         core.on_evict(20, base, 0);
         core.on_evict(20, base, 0); // confident threshold 0 for tag 20
-        let mut alive = base;
-        let mut dead = set_interval(base, 9);
-        let choice = {
-            let mut views = vec![view(0, 10, &mut alive, false), view(1, 20, &mut dead, false)];
-            core.pick_victim(&mut views)
-        };
+        let alive = base;
+        let dead = set_interval(base, 9);
+        let mut views = vec![view(0, 10, alive, false), view(1, 20, dead, false)];
+        let choice = core.pick_victim(&mut views);
         assert_eq!(choice, Some(1));
         assert_eq!(core.predictions, 1);
-        // Picking again does not double-count the same prediction.
-        let choice2 = {
-            let mut views = vec![view(0, 10, &mut alive, false), view(1, 20, &mut dead, false)];
-            core.pick_victim(&mut views)
-        };
+        // Picking again (with the written-back state carrying the
+        // predicted-dead bit) does not double-count the same prediction.
+        let choice2 = core.pick_victim(&mut views);
         assert_eq!(choice2, Some(1));
         assert_eq!(core.predictions, 1);
     }

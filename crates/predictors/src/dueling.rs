@@ -140,8 +140,20 @@ impl LltPolicy for DuelingDpPred {
         self.inner.on_hit(vpn, state);
     }
 
-    fn on_set_access(&mut self, lines: &mut [PolicyLineView<'_>]) {
+    fn uses_set_views(&self) -> bool {
+        self.inner.uses_set_views()
+    }
+
+    fn overrides_victim(&self) -> bool {
+        self.inner.overrides_victim()
+    }
+
+    fn on_set_access(&mut self, lines: &mut [PolicyLineView]) {
         self.inner.on_set_access(lines);
+    }
+
+    fn pick_victim(&mut self, lines: &mut [PolicyLineView]) -> Option<usize> {
+        self.inner.pick_victim(lines)
     }
 
     fn on_evict(&mut self, evicted: EvictedPage) {

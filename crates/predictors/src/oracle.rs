@@ -279,7 +279,11 @@ impl LltPolicy for BeladyOracle {
         }
     }
 
-    fn pick_victim(&mut self, lines: &mut [PolicyLineView<'_>]) -> Option<usize> {
+    fn overrides_victim(&self) -> bool {
+        true
+    }
+
+    fn pick_victim(&mut self, lines: &mut [PolicyLineView]) -> Option<usize> {
         let victim = self.pending_victim.take()?;
         lines.iter().find(|view| view.tag == victim.raw()).map(|view| view.way)
     }
@@ -397,11 +401,9 @@ mod tests {
             oracle.on_fill(Vpn::new(3), Pfn::new(3), Pc::new(0)),
             PageFillDecision::Allocate { .. }
         ));
-        let mut s1 = 0u32;
-        let mut s2 = 0u32;
         let mut views = vec![
-            PolicyLineView { way: 0, tag: 1, hits: 0, is_hit: false, state: &mut s1 },
-            PolicyLineView { way: 1, tag: 2, hits: 0, is_hit: false, state: &mut s2 },
+            PolicyLineView { way: 0, tag: 1, hits: 0, is_hit: false, state: 0 },
+            PolicyLineView { way: 1, tag: 2, hits: 0, is_hit: false, state: 0 },
         ];
         assert_eq!(oracle.pick_victim(&mut views), Some(0), "vpn 1 has the farthest next use");
     }

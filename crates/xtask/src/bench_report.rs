@@ -1,0 +1,273 @@
+//! `cargo xtask bench-report` — benchmark-regression tracking.
+//!
+//! Collects the `median.point_estimate` from every
+//! `target/criterion/simulator/*/new/estimates.json` left behind by
+//! `cargo bench --bench simulator` and writes them, together with the
+//! commit sha and commit date, to `BENCH_simulator.json` at the
+//! workspace root. The checked-in copy of that file is the regression
+//! baseline: `bench-report --check` re-collects the current estimates
+//! and fails if any bench shared with the baseline got more than 15%
+//! slower (median vs median).
+//!
+//! Only the `simulator` group gates: the `structures` micro-benches
+//! isolate *where* a regression lives but their one-shot samples are too
+//! noisy to act as a tripwire. Like the lint pass, everything here is
+//! hand-rolled (no serde) so the workspace stays dependency-free on an
+//! offline toolchain.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::Command;
+
+/// Gate threshold: a bench fails `--check` when its median exceeds the
+/// baseline median by more than this fraction.
+pub const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// The criterion group whose estimates are reported and gated.
+pub const GROUP: &str = "simulator";
+
+/// Report file name at the workspace root.
+pub const REPORT_FILE: &str = "BENCH_simulator.json";
+
+/// Collected medians, bench id → nanoseconds.
+pub type Medians = BTreeMap<String, f64>;
+
+/// Walk `target/criterion/simulator/*/new/estimates.json` under `root`
+/// and return the median point estimate for each bench id.
+pub fn collect_medians(root: &Path) -> Result<Medians, String> {
+    let group_dir = root.join("target").join("criterion").join(GROUP);
+    let entries = std::fs::read_dir(&group_dir).map_err(|err| {
+        format!(
+            "cannot read {}: {err}\n(run `cargo bench --bench simulator` first)",
+            group_dir.display()
+        )
+    })?;
+    let mut medians = Medians::new();
+    for entry in entries {
+        let entry = entry.map_err(|err| err.to_string())?;
+        let estimates = entry.path().join("new").join("estimates.json");
+        let Ok(text) = std::fs::read_to_string(&estimates) else { continue };
+        let median = extract_median(&text)
+            .ok_or_else(|| format!("no median.point_estimate in {}", estimates.display()))?;
+        let bench = entry.file_name().to_string_lossy().into_owned();
+        medians.insert(format!("{GROUP}/{bench}"), median);
+    }
+    if medians.is_empty() {
+        return Err(format!(
+            "no estimates under {} — run `cargo bench --bench simulator` first",
+            group_dir.display()
+        ));
+    }
+    Ok(medians)
+}
+
+/// Pull `median.point_estimate` out of a criterion `estimates.json`
+/// without a JSON parser: find the `"median"` object, then the first
+/// `"point_estimate"` number inside it.
+pub fn extract_median(text: &str) -> Option<f64> {
+    let median_at = text.find("\"median\"")?;
+    let tail = &text[median_at..];
+    let key_at = tail.find("\"point_estimate\"")?;
+    let after_key = &tail[key_at + "\"point_estimate\"".len()..];
+    let colon = after_key.find(':')?;
+    let value = after_key[colon + 1..].trim_start().split([',', '}']).next()?.trim();
+    value.parse().ok()
+}
+
+/// Render the report JSON: stable key order, one bench per line so the
+/// baseline parser (and humans diffing the file) stay simple.
+pub fn render(medians: &Medians, git_sha: &str, date: &str) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"unit\": \"ns\",\n");
+    out.push_str(&format!("  \"git_sha\": \"{git_sha}\",\n"));
+    out.push_str(&format!("  \"date\": \"{date}\",\n"));
+    out.push_str("  \"median_ns\": {\n");
+    let last = medians.len().saturating_sub(1);
+    for (i, (bench, median)) in medians.iter().enumerate() {
+        let comma = if i == last { "" } else { "," };
+        out.push_str(&format!("    \"{bench}\": {median:.1}{comma}\n"));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Parse a report previously written by [`render`]: every
+/// `"<group>/<bench>": <number>` line inside the `median_ns` object.
+pub fn parse_report(text: &str) -> Medians {
+    let mut medians = Medians::new();
+    let body = text.split_once("\"median_ns\"").map_or("", |(_, rest)| rest);
+    for line in body.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else { continue };
+        let key = key.trim().trim_matches('"');
+        if !key.contains('/') {
+            continue;
+        }
+        if let Ok(median) = value.trim().parse::<f64>() {
+            medians.insert(key.to_owned(), median);
+        }
+    }
+    medians
+}
+
+/// One `--check` comparison row.
+pub struct Comparison {
+    pub bench: String,
+    pub baseline_ns: f64,
+    pub current_ns: f64,
+    /// `current / baseline`; > 1 means slower.
+    pub ratio: f64,
+    pub regressed: bool,
+}
+
+/// Compare current medians against the baseline. Benches only present on
+/// one side are skipped (renames and new benches must not fail CI); a
+/// shared bench regresses when it is >15% slower than the baseline.
+pub fn compare(baseline: &Medians, current: &Medians) -> Vec<Comparison> {
+    baseline
+        .iter()
+        .filter_map(|(bench, &baseline_ns)| {
+            let &current_ns = current.get(bench)?;
+            let ratio = if baseline_ns > 0.0 { current_ns / baseline_ns } else { 1.0 };
+            Some(Comparison {
+                bench: bench.clone(),
+                baseline_ns,
+                current_ns,
+                ratio,
+                regressed: ratio > 1.0 + REGRESSION_TOLERANCE,
+            })
+        })
+        .collect()
+}
+
+fn git_output(root: &Path, args: &[&str]) -> String {
+    Command::new("git")
+        .args(args)
+        .current_dir(root)
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map_or_else(
+            || "unknown".to_owned(),
+            |out| String::from_utf8_lossy(&out.stdout).trim().to_owned(),
+        )
+}
+
+/// Entry point for `cargo xtask bench-report [--check]`. Returns the
+/// process exit code.
+pub fn run(root: &Path, check: bool) -> u8 {
+    let current = match collect_medians(root) {
+        Ok(medians) => medians,
+        Err(err) => {
+            eprintln!("bench-report: {err}");
+            return 2;
+        }
+    };
+    let report_path = root.join(REPORT_FILE);
+
+    if check {
+        let baseline_text = match std::fs::read_to_string(&report_path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("bench-report: cannot read baseline {}: {err}", report_path.display());
+                return 2;
+            }
+        };
+        let baseline = parse_report(&baseline_text);
+        if baseline.is_empty() {
+            eprintln!("bench-report: baseline {} has no medians", report_path.display());
+            return 2;
+        }
+        let rows = compare(&baseline, &current);
+        let mut regressions = 0;
+        for row in &rows {
+            let verdict = if row.regressed { "REGRESSED" } else { "ok" };
+            println!(
+                "{:<40} baseline {:>12.1} ns  current {:>12.1} ns  ratio {:.3}  {verdict}",
+                row.bench, row.baseline_ns, row.current_ns, row.ratio
+            );
+            regressions += u32::from(row.regressed);
+        }
+        if rows.is_empty() {
+            eprintln!("bench-report: no benches shared between baseline and current run");
+            return 2;
+        }
+        if regressions > 0 {
+            let pct = REGRESSION_TOLERANCE * 100.0;
+            eprintln!("bench-report: {regressions} bench(es) more than {pct:.0}% slower");
+            return 1;
+        }
+        println!("bench-report: {} bench(es) within tolerance", rows.len());
+        return 0;
+    }
+
+    // Stamp the report with the *commit* sha/date rather than the wall
+    // clock so re-running on the same tree rewrites the same file.
+    let sha = git_output(root, &["rev-parse", "--short", "HEAD"]);
+    let date = git_output(root, &["log", "-1", "--format=%cI"]);
+    let text = render(&current, &sha, &date);
+    if let Err(err) = std::fs::write(&report_path, &text) {
+        eprintln!("bench-report: cannot write {}: {err}", report_path.display());
+        return 2;
+    }
+    println!("bench-report: wrote {} ({} benches)", report_path.display(), current.len());
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_median_point_estimate() {
+        let json = r#"{"mean":{"point_estimate":4859253.0},"median":{"point_estimate":4598222.5}}"#;
+        assert_eq!(extract_median(json), Some(4_598_222.5));
+    }
+
+    #[test]
+    fn extracts_from_real_criterion_shape() {
+        // Real criterion nests confidence intervals before the estimate.
+        let json = r#"{"mean":{"confidence_interval":{"confidence_level":0.95,
+            "lower_bound":1.0,"upper_bound":2.0},"point_estimate":1.5,"standard_error":0.1},
+            "median":{"confidence_interval":{"confidence_level":0.95,"lower_bound":3.0,
+            "upper_bound":4.0},"point_estimate":3.5,"standard_error":0.1}}"#;
+        assert_eq!(extract_median(json), Some(3.5));
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let mut medians = Medians::new();
+        medians.insert("simulator/canneal_baseline".to_owned(), 4_811_000.0);
+        medians.insert("simulator/bfs_dppred_cbpred".to_owned(), 1_640_500.5);
+        let text = render(&medians, "abc1234", "2026-08-06T00:00:00+00:00");
+        assert_eq!(parse_report(&text), medians);
+    }
+
+    #[test]
+    fn regression_gate_trips_above_tolerance() {
+        let mut baseline = Medians::new();
+        baseline.insert("simulator/a".to_owned(), 1000.0);
+        baseline.insert("simulator/b".to_owned(), 1000.0);
+        baseline.insert("simulator/renamed".to_owned(), 1000.0);
+        let mut current = Medians::new();
+        current.insert("simulator/a".to_owned(), 1149.0); // +14.9% → ok
+        current.insert("simulator/b".to_owned(), 1151.0); // +15.1% → regressed
+        current.insert("simulator/new".to_owned(), 9999.0); // unmatched → skipped
+        let rows = compare(&baseline, &current);
+        assert_eq!(rows.len(), 2);
+        assert!(!rows[0].regressed, "simulator/a is within tolerance");
+        assert!(rows[1].regressed, "simulator/b is past tolerance");
+    }
+
+    #[test]
+    fn faster_is_never_a_regression() {
+        let mut baseline = Medians::new();
+        baseline.insert("simulator/a".to_owned(), 1000.0);
+        let mut current = Medians::new();
+        current.insert("simulator/a".to_owned(), 400.0);
+        let rows = compare(&baseline, &current);
+        assert!(!rows[0].regressed);
+        assert!(rows[0].ratio < 0.5);
+    }
+}

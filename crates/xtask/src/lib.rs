@@ -26,6 +26,7 @@
 //! dependency-free by design (it lexes the source itself rather than
 //! using `syn`) so it builds and gates CI on an offline toolchain.
 
+pub mod bench_report;
 pub mod rules;
 pub mod source;
 

@@ -6,6 +6,11 @@
 //!   exits nonzero and prints `rule file:line message` for every
 //!   violation.
 //! * `lint --list` — list every rule with its one-line description.
+//! * `bench-report` — collect `cargo bench --bench simulator` medians
+//!   from `target/criterion` into `BENCH_simulator.json`.
+//! * `bench-report --check` — compare the current medians against the
+//!   checked-in `BENCH_simulator.json`; exits nonzero if any shared
+//!   bench is >15% slower.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -14,9 +19,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("bench-report") => {
+            let check = args[1..].iter().any(|a| a == "--check");
+            ExitCode::from(xtask::bench_report::run(&workspace_root(), check))
+        }
         _ => {
             eprintln!("usage: cargo xtask lint [--list]");
-            eprintln!("       (cargo run --package xtask -- lint, without the alias)");
+            eprintln!("       cargo xtask bench-report [--check]");
+            eprintln!("       (cargo run --package xtask -- <cmd>, without the alias)");
             ExitCode::from(2)
         }
     }
@@ -26,7 +36,7 @@ const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
     ("determinism::wall-clock", "no Instant/SystemTime outside crates/core/src/campaign.rs"),
     ("determinism::unseeded-rng", "no thread_rng/from_entropy/rand::random; seed_from_u64 only"),
     ("determinism::hash-iteration", "no HashMap/HashSet iteration; BTree* or sort first"),
-    ("budget::structure-size", "paper hardware budgets pinned (pHIST/bHIST/PFQ/shadow/Table I)"),
+    ("budget::structure-size", "paper budgets pinned (pHIST/bHIST/PFQ/shadow/RRPV width/Table I)"),
     ("budget::counter-width", "SatCounter::new literal widths within 1..=8"),
     ("hot-path::unwrap", "no unwrap/expect in non-test memsim/predictors code"),
     ("hot-path::panic", "no panic!/unreachable!/todo!/unimplemented!/get_unchecked there"),

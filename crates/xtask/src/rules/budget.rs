@@ -2,9 +2,10 @@
 //! Table I) only holds while the reproduced structures keep the stated
 //! sizes. These rules pin the defaults — pHIST 1024×3-bit (6-bit PC hash
 //! × 4-bit VPN hash), bHIST 4096×3-bit with a 12-bit block hash, 8-entry
-//! PFQ, 2-entry shadow table, prediction threshold 6, and the Table I
-//! machine — against the source, so a drive-by "tune the table size"
-//! edit fails the lint instead of silently invalidating every result.
+//! PFQ, 2-entry shadow table, prediction threshold 6, the 2-bit SRRIP
+//! RRPV width, and the Table I machine — against the source, so a
+//! drive-by "tune the table size" edit fails the lint instead of
+//! silently invalidating every result.
 
 use super::{push, Violation};
 use crate::source::SourceFile;
@@ -173,9 +174,80 @@ const fn spec(
     BudgetSpec { file, function, context, field, expected, note }
 }
 
+/// One pinned module-level `const`: a paper parameter that lives as a
+/// free constant rather than a constructor field.
+struct ConstSpec {
+    /// File the constant lives in.
+    file: &'static str,
+    /// Constant name (`const <name>` is located by text).
+    name: &'static str,
+    /// Exact expected initializer text (whitespace-normalized).
+    expected: &'static str,
+    /// What the paper says this is.
+    note: &'static str,
+}
+
+/// Paper parameters pinned as module-level constants. The SRRIP RRPV
+/// width is a storage budget like any table size: widening it to 3-bit
+/// RRIP changes both the replacement behaviour and the per-line metadata
+/// cost the iso-storage comparison accounts for.
+const CONST_PINS: &[ConstSpec] = &[
+    ConstSpec {
+        file: "crates/memsim/src/set_assoc.rs",
+        name: "RRPV_MAX",
+        expected: "3",
+        note: "2-bit SRRIP: RRPV_MAX = 2^2 - 1",
+    },
+    ConstSpec {
+        file: "crates/memsim/src/set_assoc.rs",
+        name: "RRPV_LONG",
+        expected: "2",
+        note: "2-bit SRRIP long re-reference insertion (RRPV_MAX - 1)",
+    },
+];
+
 pub fn check(file: &SourceFile, violations: &mut Vec<Violation>) {
     check_structure_sizes(file, violations);
+    check_const_pins(file, violations);
     check_counter_widths(file, violations);
+}
+
+fn check_const_pins(file: &SourceFile, violations: &mut Vec<Violation>) {
+    for pin in CONST_PINS.iter().filter(|p| p.file == file.rel) {
+        let pattern = format!("const {}:", pin.name);
+        let Some(offset) = file.token_offsets(&pattern).into_iter().next() else {
+            push(
+                violations,
+                file,
+                STRUCTURE_SIZE,
+                0,
+                format!(
+                    "expected `const {}` (pins {}) — renamed or removed without updating \
+                     the budget table in crates/xtask/src/rules/budget.rs",
+                    pin.name, pin.note
+                ),
+            );
+            continue;
+        };
+        let tail = &file.scrubbed[offset..];
+        let value = tail.find('=').and_then(|eq| tail[eq + 1..].split(';').next().map(str::trim));
+        match value {
+            Some(value) if normalize(value) == normalize(pin.expected) => {}
+            _ => push(
+                violations,
+                file,
+                STRUCTURE_SIZE,
+                offset,
+                format!(
+                    "`const {} = {}` violates the paper's hardware budget: expected `{}` ({})",
+                    pin.name,
+                    value.unwrap_or("?"),
+                    pin.expected,
+                    pin.note
+                ),
+            ),
+        }
+    }
 }
 
 fn check_structure_sizes(file: &SourceFile, violations: &mut Vec<Violation>) {
@@ -418,6 +490,33 @@ mod tests {
         let v = run("crates/types/src/config.rs", &drifted);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].message.contains("1024-entry LLT"));
+    }
+
+    const GOOD_RRPV: &str = "/// Maximum RRPV for 2-bit SRRIP (2^2 - 1).\npub const RRPV_MAX: \
+        u8 = 3;\n/// SRRIP long re-reference insertion value.\npub const RRPV_LONG: u8 = 2;\n";
+
+    #[test]
+    fn rrpv_width_pinned() {
+        assert!(run("crates/memsim/src/set_assoc.rs", GOOD_RRPV).is_empty());
+        let widened = GOOD_RRPV.replace("RRPV_MAX: u8 = 3", "RRPV_MAX: u8 = 7");
+        let v = run("crates/memsim/src/set_assoc.rs", &widened);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, STRUCTURE_SIZE);
+        assert!(v[0].message.contains("2-bit SRRIP"));
+    }
+
+    #[test]
+    fn removed_rrpv_const_fails() {
+        let v = run("crates/memsim/src/set_assoc.rs", "pub const RRPV_MAX: u8 = 3;\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("RRPV_LONG"));
+        assert!(v[0].message.contains("renamed or removed"));
+    }
+
+    #[test]
+    fn const_pins_scoped_to_their_file() {
+        // Other files may define their own RRPV constants freely.
+        assert!(run("crates/memsim/src/cache.rs", "pub const RRPV_MAX: u8 = 7;\n").is_empty());
     }
 
     #[test]

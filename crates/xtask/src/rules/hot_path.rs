@@ -193,7 +193,25 @@ fn main_identifier(content: &str) -> Option<String> {
 
 /// Keywords in a binding's right-hand side that certify the value as an
 /// in-range index.
-const TRUSTED_PRODUCERS: &[&str] = &["index", "idx", "hash", "radix", "set_of", "way", "len"];
+///
+/// `locate`, `match_mask` and `trailing_zeros` cover the SoA hot path
+/// (`crates/memsim/src/soa.rs` and its `set_assoc` callers): `locate`
+/// returns a flat column index bounded by construction, and a way index
+/// recovered via `trailing_zeros` of a validity/match bitmask is bounded
+/// by the mask width (`match_mask` intersects with the per-set validity
+/// mask, whose population never exceeds `ways`).
+const TRUSTED_PRODUCERS: &[&str] = &[
+    "index",
+    "idx",
+    "hash",
+    "radix",
+    "set_of",
+    "way",
+    "len",
+    "locate",
+    "match_mask",
+    "trailing_zeros",
+];
 
 fn body_shows_bounds_reasoning(body: &str, ident: &str) -> bool {
     // Bounded loop variable: `for <ident> in ...` or `.enumerate()` in
@@ -220,22 +238,25 @@ fn body_shows_bounds_reasoning(body: &str, ident: &str) -> bool {
         }
     }
     // A binding whose right-hand side masks or calls a trusted producer:
-    // `let idx = self.index(...)`, `let set = x % sets`, `cursors.entry(..)`.
-    let pattern = format!("{ident} =");
-    let mut from = 0;
-    while let Some(pos) = body[from..].find(&pattern) {
-        let start = from + pos;
-        from = start + pattern.len();
-        let left_ok = start == 0 || !is_ident_byte(body.as_bytes()[start - 1]);
-        if !left_ok || body.as_bytes().get(start + pattern.len()) == Some(&b'=') {
-            continue;
-        }
-        let rhs_end = body[start..].find(';').map_or(body.len(), |e| start + e);
-        let rhs = &body[start + pattern.len()..rhs_end];
-        if ["%", "&", ">>", ".min(", ".clamp("].iter().any(|m| rhs.contains(m))
-            || TRUSTED_PRODUCERS.iter().any(|p| rhs.to_ascii_lowercase().contains(p))
-        {
-            return true;
+    // `let idx = self.index(...)`, `let set = x % sets`, or a tuple
+    // destructuring that ends with the identifier, as in
+    // `let (set, idx) = self.locate(addr, way)`.
+    for pattern in [format!("{ident} ="), format!("{ident}) =")] {
+        let mut from = 0;
+        while let Some(pos) = body[from..].find(&pattern) {
+            let start = from + pos;
+            from = start + pattern.len();
+            let left_ok = start == 0 || !is_ident_byte(body.as_bytes()[start - 1]);
+            if !left_ok || body.as_bytes().get(start + pattern.len()) == Some(&b'=') {
+                continue;
+            }
+            let rhs_end = body[start..].find(';').map_or(body.len(), |e| start + e);
+            let rhs = &body[start + pattern.len()..rhs_end];
+            if ["%", "&", ">>", ".min(", ".clamp("].iter().any(|m| rhs.contains(m))
+                || TRUSTED_PRODUCERS.iter().any(|p| rhs.to_ascii_lowercase().contains(p))
+            {
+                return true;
+            }
         }
     }
     false
@@ -349,6 +370,38 @@ mod tests {
         let src = "fn f(&mut self, pc: u32, vpn: u32) {\n    let slot = self.index(pc, vpn);\n    \
                    self.phist[slot].clear();\n}\n";
         assert!(run("crates/predictors/src/dppred.rs", src).is_empty());
+    }
+
+    #[test]
+    fn soa_bitmask_first_match_allowed() {
+        // The SoA hot-path idiom: a way recovered from the match bitmask
+        // via `trailing_zeros` is bounded by the validity-mask width.
+        let src =
+            "fn lookup(&mut self, set: usize, base: usize, tag: u64) -> Option<usize> {\n    \
+                   let hit = self.cols.match_mask(set, base, tag);\n    \
+                   let way = hit.trailing_zeros() as usize;\n    \
+                   Some(self.stamps[way])\n}\n";
+        assert!(run("crates/memsim/src/soa.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tuple_destructured_trusted_producer_allowed() {
+        // `locate` returns `(set, flat_index)`; binding through a tuple
+        // pattern is the same evidence as a direct binding.
+        let src = "fn payload(&self, addr: u64, way: usize) -> &P {\n    \
+                   let (_, idx) = self.locate(addr, way);\n    \
+                   &self.payloads[idx]\n}\n";
+        assert!(run("crates/memsim/src/set_assoc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tuple_binding_without_producer_still_flagged() {
+        let src = "fn f(&self, addr: u64) -> u32 {\n    \
+                   let (_, wild) = self.mystery(addr);\n    \
+                   self.payloads[wild]\n}\n";
+        let v = run("crates/memsim/src/set_assoc.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, INDEX);
     }
 
     #[test]
