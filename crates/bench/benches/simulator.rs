@@ -1,32 +1,25 @@
 //! End-to-end simulator throughput: memory operations per second through
 //! the full system (TLBs + walks + caches + timing model) for
 //! representative workloads and policy configurations.
+//!
+//! This benchmark measures the *production* hot path: typed
+//! (monomorphized) policies and chunked replay of a pre-captured event
+//! stream via [`System::run_stream`] — the same combination every
+//! campaign run uses now that the shared trace store is the default
+//! event source. Stream capture happens once per workload, outside the
+//! timed region, so the numbers isolate simulation throughput from
+//! generator throughput (the latter is tracked by the `workloads` and
+//! `trace_store` benches).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use dpc::prelude::*;
+use dpc_types::stream::StreamCursor;
 
 const OPS_PER_ITER: u64 = 20_000;
 
-fn system_with(
-    config: SystemConfig,
-    tlb: TlbPolicySel,
-    llc: LlcPolicySel,
-    factory: &WorkloadFactory,
-    workload: &str,
-) -> (System, Box<dyn Workload>) {
-    let run = RunConfig::baseline(0, 0).with_policies(tlb, llc).with_system(config);
-    // Build via the public selector machinery by doing a zero-op run.
-    let _ = run;
-    let system = match (tlb, llc) {
-        (TlbPolicySel::Baseline, LlcPolicySel::Baseline) => System::new(config).unwrap(),
-        _ => System::with_policies(
-            config,
-            Box::new(DpPred::paper_default()),
-            Box::new(CbPred::paper_default(&config.llc)),
-        )
-        .unwrap(),
-    };
-    (system, factory.build(workload).unwrap())
+fn captured_stream(factory: &WorkloadFactory, workload: &str) -> EventStream {
+    let mut generator = factory.build(workload).unwrap();
+    EventStream::capture_mem_ops(generator.as_mut(), OPS_PER_ITER)
 }
 
 fn bench_simulation_throughput(c: &mut Criterion) {
@@ -36,35 +29,33 @@ fn bench_simulation_throughput(c: &mut Criterion) {
     group.sample_size(10);
 
     for workload in ["canneal", "bfs", "lbm"] {
+        let factory = WorkloadFactory::new(Scale::Tiny, 42);
+        let stream = captured_stream(&factory, workload);
+
         group.bench_function(format!("{workload}_baseline"), |b| {
-            let factory = WorkloadFactory::new(Scale::Tiny, 42);
             b.iter_batched(
-                || {
-                    system_with(
-                        config,
-                        TlbPolicySel::Baseline,
-                        LlcPolicySel::Baseline,
-                        &factory,
-                        workload,
-                    )
+                || System::with_typed_policies(config, NullPagePolicy, NullBlockPolicy).unwrap(),
+                |mut system| {
+                    let mut cursor = StreamCursor::default();
+                    system.run_stream(&stream, &mut cursor, OPS_PER_ITER)
                 },
-                |(mut system, mut w)| system.run_until(w.as_mut(), OPS_PER_ITER),
                 BatchSize::PerIteration,
             );
         });
         group.bench_function(format!("{workload}_dppred_cbpred"), |b| {
-            let factory = WorkloadFactory::new(Scale::Tiny, 42);
             b.iter_batched(
                 || {
-                    system_with(
+                    System::with_typed_policies(
                         config,
-                        TlbPolicySel::DpPred,
-                        LlcPolicySel::CbPred,
-                        &factory,
-                        workload,
+                        DpPred::paper_default(),
+                        CbPred::paper_default(&config.llc),
                     )
+                    .unwrap()
                 },
-                |(mut system, mut w)| system.run_until(w.as_mut(), OPS_PER_ITER),
+                |mut system| {
+                    let mut cursor = StreamCursor::default();
+                    system.run_stream(&stream, &mut cursor, OPS_PER_ITER)
+                },
                 BatchSize::PerIteration,
             );
         });

@@ -15,7 +15,8 @@
 #![allow(unsafe_code)]
 
 use dpc_memsim::system::System;
-use dpc_predictors::{AipLlc, AipTlb};
+use dpc_memsim::{LlcPolicy, LltPolicy};
+use dpc_predictors::{AipLlc, AipTlb, CbPred, DpPred};
 use dpc_types::stream::EventStream;
 use dpc_types::SystemConfig;
 use dpc_workloads::{Scale, WorkloadFactory};
@@ -63,13 +64,19 @@ fn allocations_during(f: impl FnOnce()) -> u64 {
 const MEM_OPS: u64 = 30_000;
 
 /// Replays `stream` through `sys` once (statistics side effects only).
-fn replay(sys: &mut System, stream: &EventStream) {
+/// Generic over the policy pair, so it covers both the `dyn`-fallback
+/// `System` and the monomorphized instantiations.
+fn replay<L: LltPolicy, C: LlcPolicy>(sys: &mut System<L, C>, stream: &EventStream) {
     for event in stream {
         sys.step(event);
     }
 }
 
-fn assert_event_loop_allocation_free(label: &str, mut sys: System, stream: &EventStream) {
+fn assert_event_loop_allocation_free<L: LltPolicy, C: LlcPolicy>(
+    label: &str,
+    mut sys: System<L, C>,
+    stream: &EventStream,
+) {
     // Push deadness sampling beyond the horizon: `take_sample` grows a
     // sample vector by design and is not a per-event cost.
     sys.set_sample_interval(1 << 60);
@@ -107,4 +114,17 @@ fn warm_event_loop_never_allocates() {
     )
     .expect("AIP config is valid");
     assert_event_loop_allocation_free("aip", aip, &stream);
+
+    // The paper's headline configuration on the monomorphized fast path:
+    // dpPred (pHIST + shadow table) and cbPred (bHIST + PFQ + ghost
+    // FIFOs) must also reach an allocation-free steady state — their
+    // bypass paths drive the ghost trackers and the System's DOA
+    // classification maps, none of which may grow per event once warm.
+    let dppred_cbpred = System::with_typed_policies(
+        config,
+        DpPred::paper_default(),
+        CbPred::paper_default(&config.llc),
+    )
+    .expect("dpPred+cbPred config is valid");
+    assert_event_loop_allocation_free("dppred_cbpred", dppred_cbpred, &stream);
 }

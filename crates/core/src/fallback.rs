@@ -1,0 +1,108 @@
+//! Boxed (`dyn`-dispatch) policy construction — the runtime fallback of
+//! [`crate::dispatch`].
+//!
+//! The campaign path runs every configuration through the static
+//! dispatcher, which monomorphizes the simulator per policy pair. This
+//! module keeps the old boxed builders alive for callers that genuinely
+//! need runtime policy values (external tools composing policies
+//! dynamically, and the `dispatch_equivalence` test that pins the two
+//! paths to identical statistics). It is the designated fallback module
+//! of the `dispatch::boxed-policy` dpc-lint rule: the only place in
+//! `crates/core` allowed to name the boxed policy types.
+
+use crate::runner::{run_system, LlcPolicySel, RunConfig, RunResult, TlbPolicySel};
+use dpc_memsim::{DynLlcPolicy, DynLltPolicy, NullBlockPolicy, NullPagePolicy, System};
+use dpc_predictors::{
+    AipLlc, AipTlb, CbPred, CbPredConfig, DpPred, DpPredConfig, DuelingDpPred, ShipLlc, ShipTlb,
+};
+use dpc_types::SystemConfig;
+use dpc_workloads::WorkloadFactory;
+
+/// Builds the boxed LLT policy named by `sel`, constructed exactly like
+/// the typed policies of [`crate::dispatch::dispatch`].
+pub fn build_tlb_policy(sel: TlbPolicySel, system: &SystemConfig) -> DynLltPolicy {
+    match sel {
+        TlbPolicySel::Baseline => Box::new(NullPagePolicy),
+        TlbPolicySel::DpPred => Box::new(DpPred::new(DpPredConfig::for_tlb(&system.l2_tlb))),
+        TlbPolicySel::DpPredNoShadow => Box::new(DpPred::new(DpPredConfig {
+            shadow_entries: 0,
+            ..DpPredConfig::for_tlb(&system.l2_tlb)
+        })),
+        TlbPolicySel::DpPredCustom(config) => Box::new(DpPred::new(config)),
+        TlbPolicySel::DuelingDpPred => {
+            Box::new(DuelingDpPred::new(DpPredConfig::for_tlb(&system.l2_tlb)))
+        }
+        TlbPolicySel::ShipTlb => Box::new(ShipTlb::for_tlb(&system.l2_tlb)),
+        TlbPolicySel::AipTlb => Box::new(AipTlb::paper_default()),
+    }
+}
+
+/// Builds the boxed LLC policy named by `sel`, constructed exactly like
+/// the typed policies of [`crate::dispatch::dispatch`].
+pub fn build_llc_policy(sel: LlcPolicySel, system: &SystemConfig) -> DynLlcPolicy {
+    match sel {
+        LlcPolicySel::Baseline => Box::new(NullBlockPolicy),
+        LlcPolicySel::CbPred => Box::new(CbPred::paper_default(&system.llc)),
+        LlcPolicySel::CbPredNoPfq => Box::new(CbPred::without_pfq(&system.llc)),
+        LlcPolicySel::CbPredPfq(entries) => Box::new(CbPred::new(CbPredConfig {
+            pfq_entries: entries,
+            ..CbPredConfig::paper_default(&system.llc)
+        })),
+        LlcPolicySel::ShipLlc => Box::new(ShipLlc::for_cache(&system.llc)),
+        LlcPolicySel::AipLlc => Box::new(AipLlc::paper_default()),
+    }
+}
+
+/// Runs `workload` under `config` through the boxed `dyn`-dispatch
+/// fallback — behaviorally identical to [`crate::run_workload`], just
+/// slower. Exists so the equivalence suite can pin monomorphized and
+/// fallback systems to identical statistics, and as the escape hatch for
+/// policies outside the paper matrix.
+///
+/// # Panics
+///
+/// Panics if the system configuration is invalid or the workload name is
+/// unknown — experiment definitions control both.
+pub fn run_workload_dyn(
+    factory: &WorkloadFactory,
+    workload: &str,
+    config: &RunConfig,
+) -> RunResult {
+    let system = System::with_policies(
+        config.system,
+        build_tlb_policy(config.tlb_policy, &config.system),
+        build_llc_policy(config.llc_policy, &config.system),
+    )
+    .expect("experiment configurations are valid");
+    run_system(system, factory, workload, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_policy_selectors_construct() {
+        let system = SystemConfig::paper_baseline();
+        for sel in [
+            TlbPolicySel::Baseline,
+            TlbPolicySel::DpPred,
+            TlbPolicySel::DpPredNoShadow,
+            TlbPolicySel::DuelingDpPred,
+            TlbPolicySel::ShipTlb,
+            TlbPolicySel::AipTlb,
+        ] {
+            let _ = build_tlb_policy(sel, &system);
+        }
+        for sel in [
+            LlcPolicySel::Baseline,
+            LlcPolicySel::CbPred,
+            LlcPolicySel::CbPredNoPfq,
+            LlcPolicySel::CbPredPfq(64),
+            LlcPolicySel::ShipLlc,
+            LlcPolicySel::AipLlc,
+        ] {
+            let _ = build_llc_policy(sel, &system);
+        }
+    }
+}

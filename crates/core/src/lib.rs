@@ -22,12 +22,13 @@
 //! ```
 //! use dpc::prelude::*;
 //!
-//! // Build the paper's machine with dpPred + cbPred attached.
+//! // Build the paper's machine with dpPred + cbPred attached. Typed
+//! // policies monomorphize the whole simulation loop around the pair.
 //! let config = SystemConfig::paper_baseline();
-//! let mut system = System::with_policies(
+//! let mut system = System::with_typed_policies(
 //!     config,
-//!     Box::new(DpPred::paper_default()),
-//!     Box::new(CbPred::paper_default(&config.llc)),
+//!     DpPred::paper_default(),
+//!     CbPred::paper_default(&config.llc),
 //! )?;
 //!
 //! // Run a workload for 50K memory operations.
@@ -54,12 +55,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod campaign;
+pub mod dispatch;
 pub mod experiments;
+pub mod fallback;
 pub mod report;
 pub mod runner;
 
 pub use campaign::{CampaignStats, RunTiming, SimKind};
+pub use dispatch::{dispatch, PolicyApply};
 pub use experiments::{CampaignPlan, ExperimentContext, ExperimentOptions, RunKey};
+pub use fallback::run_workload_dyn;
 pub use report::{geomean, ExpTable, Summary};
 pub use runner::{run_oracle, run_workload, LlcPolicySel, RunConfig, RunResult, TlbPolicySel};
 

@@ -1,13 +1,16 @@
 //! Single-run plumbing: policy selection, warm-up, and result capture.
+//!
+//! Policy selectors are resolved to *concrete* policy types through the
+//! static dispatcher in [`crate::dispatch`], so every run executes a
+//! simulator monomorphized for its policy pair; the boxed runtime path
+//! lives in [`crate::fallback`].
 
+use crate::dispatch::{dispatch, PolicyApply};
 use dpc_memsim::policy::AccuracyReport;
-use dpc_memsim::{LlcPolicy, LltPolicy, NullBlockPolicy, NullPagePolicy, SimStats, System};
-use dpc_predictors::{
-    AipLlc, AipTlb, BeladyOracle, CbPred, CbPredConfig, DpPred, DpPredConfig, DuelingDpPred,
-    LookupRecorder, LookupTrace, ShipLlc, ShipTlb,
-};
+use dpc_memsim::{LlcPolicy, LltPolicy, NullBlockPolicy, SimStats, System};
+use dpc_predictors::{BeladyOracle, DpPredConfig, LookupRecorder, LookupTrace};
 use dpc_types::SystemConfig;
-use dpc_workloads::WorkloadFactory;
+use dpc_workloads::{EventSource, WorkloadFactory};
 use std::time::Duration;
 
 /// TLB-side policy selector. Selectors are plain values so experiment
@@ -110,39 +113,8 @@ pub struct RunResult {
     pub gen_wall: Duration,
 }
 
-fn build_tlb_policy(sel: TlbPolicySel, system: &SystemConfig) -> Box<dyn LltPolicy> {
-    match sel {
-        TlbPolicySel::Baseline => Box::new(NullPagePolicy),
-        TlbPolicySel::DpPred => Box::new(DpPred::new(DpPredConfig::for_tlb(&system.l2_tlb))),
-        TlbPolicySel::DpPredNoShadow => Box::new(DpPred::new(DpPredConfig {
-            shadow_entries: 0,
-            ..DpPredConfig::for_tlb(&system.l2_tlb)
-        })),
-        TlbPolicySel::DpPredCustom(config) => Box::new(DpPred::new(config)),
-        TlbPolicySel::DuelingDpPred => {
-            Box::new(DuelingDpPred::new(DpPredConfig::for_tlb(&system.l2_tlb)))
-        }
-        TlbPolicySel::ShipTlb => Box::new(ShipTlb::for_tlb(&system.l2_tlb)),
-        TlbPolicySel::AipTlb => Box::new(AipTlb::paper_default()),
-    }
-}
-
-fn build_llc_policy(sel: LlcPolicySel, system: &SystemConfig) -> Box<dyn LlcPolicy> {
-    match sel {
-        LlcPolicySel::Baseline => Box::new(NullBlockPolicy),
-        LlcPolicySel::CbPred => Box::new(CbPred::paper_default(&system.llc)),
-        LlcPolicySel::CbPredNoPfq => Box::new(CbPred::without_pfq(&system.llc)),
-        LlcPolicySel::CbPredPfq(entries) => Box::new(CbPred::new(CbPredConfig {
-            pfq_entries: entries,
-            ..CbPredConfig::paper_default(&system.llc)
-        })),
-        LlcPolicySel::ShipLlc => Box::new(ShipLlc::for_cache(&system.llc)),
-        LlcPolicySel::AipLlc => Box::new(AipLlc::paper_default()),
-    }
-}
-
-fn run_system(
-    mut system: System,
+pub(crate) fn run_system<L: LltPolicy, C: LlcPolicy>(
+    mut system: System<L, C>,
     factory: &WorkloadFactory,
     workload: &str,
     config: &RunConfig,
@@ -151,18 +123,33 @@ fn run_system(
     // the shared trace store when enabled (captured once per campaign,
     // covering exactly warmup + measure memory events), or a fresh live
     // generator under `DPC_TRACE_STORE=off`. Both yield bit-identical
-    // events, so the simulation below cannot tell them apart.
+    // events, so the simulation below cannot tell them apart; the replay
+    // side is additionally consumed in decoded chunks
+    // (`System::run_stream`), which is bit-identical to event-at-a-time
+    // consumption by construction.
     let total_mem_ops = config.warmup_mem_ops + config.measure_mem_ops;
-    let (mut source, capture) =
+    let (source, capture) =
         factory.source(workload, total_mem_ops).expect("experiment uses known workload names");
     // Sample deadness ~200 times over the measured window.
     let approx_instructions = config.measure_mem_ops * 3;
     system.set_sample_interval((approx_instructions / 200).max(1000));
-    if config.warmup_mem_ops > 0 {
-        system.run_until(&mut source, config.warmup_mem_ops);
-        system.reset_stats();
-    }
-    let stats = system.run_until(&mut source, config.measure_mem_ops);
+    let stats = match source {
+        EventSource::Replay(mut cursor) => {
+            let (stream, position) = cursor.replay_parts();
+            if config.warmup_mem_ops > 0 {
+                system.run_stream(stream, position, config.warmup_mem_ops);
+                system.reset_stats();
+            }
+            system.run_stream(stream, position, config.measure_mem_ops)
+        }
+        EventSource::Live(mut generator) => {
+            if config.warmup_mem_ops > 0 {
+                system.run_until(generator.as_mut(), config.warmup_mem_ops);
+                system.reset_stats();
+            }
+            system.run_until(generator.as_mut(), config.measure_mem_ops)
+        }
+    };
     RunResult {
         workload: workload.to_owned(),
         llt_accuracy: system.llt_policy().accuracy_report(),
@@ -172,20 +159,39 @@ fn run_system(
     }
 }
 
-/// Runs `workload` under `config`.
+/// The [`PolicyApply`] action behind [`run_workload`]: builds the
+/// monomorphized system for the dispatched policy pair and runs it.
+struct RunAction<'a> {
+    factory: &'a WorkloadFactory,
+    workload: &'a str,
+    config: &'a RunConfig,
+}
+
+impl PolicyApply for RunAction<'_> {
+    type Out = RunResult;
+
+    fn apply<L: LltPolicy, C: LlcPolicy>(self, llt: L, llc: C) -> RunResult {
+        let system = System::with_typed_policies(self.config.system, llt, llc)
+            .expect("experiment configurations are valid");
+        run_system(system, self.factory, self.workload, self.config)
+    }
+}
+
+/// Runs `workload` under `config`, statically dispatched: the policy
+/// selectors are resolved to concrete types and the whole simulation
+/// loop is monomorphized around them (see [`crate::dispatch`]).
 ///
 /// # Panics
 ///
 /// Panics if the system configuration is invalid or the workload name is
 /// unknown — experiment definitions control both.
 pub fn run_workload(factory: &WorkloadFactory, workload: &str, config: &RunConfig) -> RunResult {
-    let system = System::with_policies(
-        config.system,
-        build_tlb_policy(config.tlb_policy, &config.system),
-        build_llc_policy(config.llc_policy, &config.system),
+    dispatch(
+        config.tlb_policy,
+        config.llc_policy,
+        &config.system,
+        RunAction { factory, workload, config },
     )
-    .expect("experiment configurations are valid");
-    run_system(system, factory, workload, config)
 }
 
 /// Runs `workload` once under the policy-free baseline machine of `config`
@@ -204,7 +210,7 @@ pub fn record_baseline(
     config: &RunConfig,
 ) -> (RunResult, LookupTrace) {
     let (recorder, record) = LookupRecorder::new();
-    let pass1 = System::with_policies(config.system, Box::new(recorder), Box::new(NullBlockPolicy))
+    let pass1 = System::with_typed_policies(config.system, recorder, NullBlockPolicy)
         .expect("experiment configurations are valid");
     let result = run_system(pass1, factory, workload, config);
     // `run_system` consumed (and dropped) the system holding the recorder,
@@ -228,7 +234,7 @@ pub fn run_oracle_from_trace(
         u64::from(config.system.l2_tlb.sets()),
         config.system.l2_tlb.ways as usize,
     );
-    let pass2 = System::with_policies(config.system, Box::new(oracle), Box::new(NullBlockPolicy))
+    let pass2 = System::with_typed_policies(config.system, oracle, NullBlockPolicy)
         .expect("experiment configurations are valid");
     run_system(pass2, factory, workload, config)
 }
@@ -327,27 +333,14 @@ mod tests {
     }
 
     #[test]
-    fn all_policy_selectors_construct() {
-        let system = SystemConfig::paper_baseline();
-        for sel in [
-            TlbPolicySel::Baseline,
-            TlbPolicySel::DpPred,
-            TlbPolicySel::DpPredNoShadow,
-            TlbPolicySel::DuelingDpPred,
-            TlbPolicySel::ShipTlb,
-            TlbPolicySel::AipTlb,
-        ] {
-            let _ = build_tlb_policy(sel, &system);
-        }
-        for sel in [
-            LlcPolicySel::Baseline,
-            LlcPolicySel::CbPred,
-            LlcPolicySel::CbPredNoPfq,
-            LlcPolicySel::CbPredPfq(64),
-            LlcPolicySel::ShipLlc,
-            LlcPolicySel::AipLlc,
-        ] {
-            let _ = build_llc_policy(sel, &system);
-        }
+    fn typed_dispatch_matches_dyn_fallback() {
+        let f = factory();
+        let config = RunConfig::baseline(500, 10_000)
+            .with_policies(TlbPolicySel::DpPred, LlcPolicySel::CbPred);
+        let typed = run_workload(&f, "canneal", &config);
+        let boxed = crate::fallback::run_workload_dyn(&f, "canneal", &config);
+        assert_eq!(typed.stats, boxed.stats, "monomorphized and dyn systems must agree");
+        assert_eq!(typed.llt_accuracy, boxed.llt_accuracy);
+        assert_eq!(typed.llc_accuracy, boxed.llc_accuracy);
     }
 }

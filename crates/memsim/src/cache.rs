@@ -46,6 +46,7 @@ impl Cache {
 
     /// Looks up a block, updating recency and counters. Returns the hit
     /// way.
+    #[inline]
     pub fn lookup(&mut self, block: BlockAddr) -> Option<usize> {
         self.stats.lookups += 1;
         let way = self.array.lookup(block.raw(), block.raw());
@@ -58,12 +59,14 @@ impl Cache {
     }
 
     /// Probes without side effects.
+    #[inline]
     pub fn contains(&self, block: BlockAddr) -> bool {
         self.array.peek(block.raw(), block.raw()).is_some()
     }
 
     /// Allocates `block`, evicting via the base replacement policy.
     /// Returns the displaced block, if any.
+    #[inline]
     pub fn fill(
         &mut self,
         block: BlockAddr,
@@ -79,6 +82,7 @@ impl Cache {
 
     /// Allocates `block` into a specific way (used when a policy overrides
     /// the victim choice).
+    #[inline]
     pub fn fill_way(
         &mut self,
         block: BlockAddr,
@@ -95,6 +99,7 @@ impl Cache {
 
     /// Removes `block` if present (back-invalidation), returning its
     /// metadata.
+    #[inline]
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<(BlockAddr, u32, LineLife)> {
         self.array.invalidate(block.raw(), block.raw()).map(|e| {
             self.stats.invalidations += 1;

@@ -114,10 +114,21 @@ impl CoreModel {
     #[inline]
     pub fn issue_mem(&mut self, latency: u64, dependent: bool) {
         let dispatch = self.dispatch_slot();
-        // Acquire the earliest-free memory slot.
+        // Acquire the earliest-free memory slot. Dispatch cycles are
+        // monotone, so every slot whose `free_at` is already at or before
+        // `dispatch` is interchangeable with the true minimum: `start`
+        // comes out as `dispatch` either way, and a stale value ≤
+        // `dispatch` can never delay a later access. Taking the *first*
+        // such slot lets the scan stop after one probe in the common
+        // low-MLP case instead of always walking every slot.
         let mut slot_idx = 0;
         let mut slot_free = u64::MAX;
         for (idx, &free_at) in self.mem_slots.iter().enumerate() {
+            if free_at <= dispatch {
+                slot_idx = idx;
+                slot_free = free_at;
+                break;
+            }
             if free_at < slot_free {
                 slot_free = free_at;
                 slot_idx = idx;
@@ -156,11 +167,13 @@ impl CoreModel {
     }
 
     /// Total cycles elapsed: the retire time of the youngest instruction.
+    #[inline]
     pub fn cycles(&self) -> u64 {
         self.last_retire
     }
 
     /// Instructions issued so far.
+    #[inline]
     pub fn instructions(&self) -> u64 {
         self.count
     }

@@ -1,0 +1,208 @@
+//! The designated `dyn`-dispatch fallback for [`System`](crate::System).
+//!
+//! The simulator is generic over its two policies (`System<L, C>`) so
+//! that every policy pair the campaign sweeps compiles into its own
+//! monomorphic event loop with the pHIST/bHIST lookup and update paths
+//! inlined (DESIGN.md §11). Exotic or test policies that are only known
+//! at runtime still need the old boxed form — this module is the one
+//! place in `memsim`/`core` where `Box<dyn LltPolicy>` / `Box<dyn
+//! LlcPolicy>` may appear (enforced by the `dispatch::boxed-policy`
+//! dpc-lint rule): it defines the boxed aliases, forwards the policy
+//! traits through the box, and keeps the original [`System::new`] /
+//! [`System::with_policies`] constructors compiling unchanged on the
+//! defaulted `System` type.
+//!
+//! The forwarding impls delegate **every** trait method explicitly —
+//! leaving one to its default body would silently disconnect the boxed
+//! policy's override of that hook.
+
+use crate::hierarchy::Hierarchy;
+use crate::policy::{
+    AccuracyReport, BlockFillDecision, EvictedBlock, EvictedPage, LlcPolicy, LltPolicy,
+    NullBlockPolicy, NullPagePolicy, PageFillDecision, PolicyLineView,
+};
+use crate::system::{System, SystemError};
+use dpc_types::{BlockAddr, Pc, Pfn, SystemConfig, Vpn};
+
+/// Boxed LLT policy: the runtime-dispatch fallback type parameter.
+pub type DynLltPolicy = Box<dyn LltPolicy>;
+
+/// Boxed LLC policy: the runtime-dispatch fallback type parameter.
+pub type DynLlcPolicy = Box<dyn LlcPolicy>;
+
+impl LltPolicy for DynLltPolicy {
+    fn policy_name(&self) -> &'static str {
+        (**self).policy_name()
+    }
+    fn is_null(&self) -> bool {
+        (**self).is_null()
+    }
+    fn accuracy_report(&self) -> Option<AccuracyReport> {
+        (**self).accuracy_report()
+    }
+    fn on_lookup(&mut self, vpn: Vpn, hit: bool) {
+        (**self).on_lookup(vpn, hit);
+    }
+    fn shadow_lookup(&mut self, vpn: Vpn) -> Option<Pfn> {
+        (**self).shadow_lookup(vpn)
+    }
+    fn on_fill(&mut self, vpn: Vpn, pfn: Pfn, pc: Pc) -> PageFillDecision {
+        (**self).on_fill(vpn, pfn, pc)
+    }
+    fn on_bypass(&mut self, vpn: Vpn, pfn: Pfn) {
+        (**self).on_bypass(vpn, pfn);
+    }
+    fn refill_state(&mut self, vpn: Vpn, pc: Pc) -> u32 {
+        (**self).refill_state(vpn, pc)
+    }
+    fn on_hit(&mut self, vpn: Vpn, state: &mut u32) {
+        (**self).on_hit(vpn, state);
+    }
+    fn uses_set_views(&self) -> bool {
+        (**self).uses_set_views()
+    }
+    fn overrides_victim(&self) -> bool {
+        (**self).overrides_victim()
+    }
+    fn on_set_access(&mut self, lines: &mut [PolicyLineView]) {
+        (**self).on_set_access(lines);
+    }
+    fn pick_victim(&mut self, lines: &mut [PolicyLineView]) -> Option<usize> {
+        (**self).pick_victim(lines)
+    }
+    fn on_evict(&mut self, evicted: EvictedPage) {
+        (**self).on_evict(evicted);
+    }
+}
+
+impl LlcPolicy for DynLlcPolicy {
+    fn policy_name(&self) -> &'static str {
+        (**self).policy_name()
+    }
+    fn is_null(&self) -> bool {
+        (**self).is_null()
+    }
+    fn accuracy_report(&self) -> Option<AccuracyReport> {
+        (**self).accuracy_report()
+    }
+    fn note_doa_page(&mut self, pfn: Pfn) {
+        (**self).note_doa_page(pfn);
+    }
+    fn on_lookup(&mut self, block: BlockAddr, hit: bool) {
+        (**self).on_lookup(block, hit);
+    }
+    fn on_fill(&mut self, block: BlockAddr, pc: Pc) -> BlockFillDecision {
+        (**self).on_fill(block, pc)
+    }
+    fn on_hit(&mut self, block: BlockAddr, state: &mut u32) {
+        (**self).on_hit(block, state);
+    }
+    fn uses_set_views(&self) -> bool {
+        (**self).uses_set_views()
+    }
+    fn overrides_victim(&self) -> bool {
+        (**self).overrides_victim()
+    }
+    fn on_set_access(&mut self, lines: &mut [PolicyLineView]) {
+        (**self).on_set_access(lines);
+    }
+    fn pick_victim(&mut self, lines: &mut [PolicyLineView]) -> Option<usize> {
+        (**self).pick_victim(lines)
+    }
+    fn on_evict(&mut self, evicted: EvictedBlock) {
+        (**self).on_evict(evicted);
+    }
+}
+
+/// The boxed constructors, on the defaulted (`dyn`-fallback) `System`
+/// type so existing callers compile unchanged.
+impl System {
+    /// Builds a baseline system (no predictors) from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::InvalidConfig`] if the configuration fails
+    /// [`SystemConfig::validate`].
+    pub fn new(config: SystemConfig) -> Result<Self, SystemError> {
+        Self::with_policies(config, Box::new(NullPagePolicy), Box::new(NullBlockPolicy))
+    }
+
+    /// Builds a system with the given boxed LLT and LLC policies —
+    /// the runtime-dispatch fallback for policies whose types are only
+    /// known at runtime. Policy pairs known at compile time should use
+    /// [`System::with_typed_policies`], which monomorphizes the whole
+    /// event loop around them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::InvalidConfig`] if the configuration fails
+    /// [`SystemConfig::validate`].
+    pub fn with_policies(
+        config: SystemConfig,
+        llt_policy: DynLltPolicy,
+        llc_policy: DynLlcPolicy,
+    ) -> Result<Self, SystemError> {
+        Self::with_typed_policies(config, llt_policy, llc_policy)
+    }
+}
+
+/// The boxed constructor on the defaulted `Hierarchy` type.
+impl Hierarchy {
+    /// Builds the hierarchy with the given boxed LLC policy (the
+    /// runtime-dispatch fallback of [`Hierarchy::with_typed_policy`]).
+    pub fn new(config: &SystemConfig, policy: DynLlcPolicy) -> Self {
+        Self::with_typed_policy(config, policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boxed_policies_forward_every_hook() {
+        // A policy overriding every query hook; the forwarding impl must
+        // surface each override through the box.
+        #[derive(Debug)]
+        struct Loud;
+        impl LltPolicy for Loud {
+            fn policy_name(&self) -> &'static str {
+                "loud"
+            }
+            fn uses_set_views(&self) -> bool {
+                true
+            }
+            fn overrides_victim(&self) -> bool {
+                true
+            }
+            fn shadow_lookup(&mut self, _vpn: Vpn) -> Option<Pfn> {
+                Some(Pfn::new(7))
+            }
+            fn on_fill(&mut self, _vpn: Vpn, _pfn: Pfn, _pc: Pc) -> PageFillDecision {
+                PageFillDecision::Bypass
+            }
+            fn refill_state(&mut self, _vpn: Vpn, _pc: Pc) -> u32 {
+                42
+            }
+        }
+        let mut boxed: DynLltPolicy = Box::new(Loud);
+        assert_eq!(boxed.policy_name(), "loud");
+        assert!(!boxed.is_null());
+        assert!(boxed.uses_set_views());
+        assert!(boxed.overrides_victim());
+        assert_eq!(boxed.shadow_lookup(Vpn::new(1)), Some(Pfn::new(7)));
+        assert_eq!(boxed.on_fill(Vpn::new(1), Pfn::new(2), Pc::new(3)), PageFillDecision::Bypass);
+        assert_eq!(boxed.refill_state(Vpn::new(1), Pc::new(3)), 42);
+
+        let mut block: DynLlcPolicy = Box::new(NullBlockPolicy);
+        assert!(block.is_null());
+        assert_eq!(block.on_fill(BlockAddr::new(1), Pc::new(3)), BlockFillDecision::ALLOCATE);
+    }
+
+    #[test]
+    fn dyn_fallback_system_still_constructs() {
+        let sys = System::new(SystemConfig::paper_baseline()).expect("valid config");
+        assert_eq!(sys.llt_policy().policy_name(), "baseline");
+        assert_eq!(sys.llc_policy().policy_name(), "baseline");
+    }
+}

@@ -14,14 +14,18 @@
 //! page table competes for cache space, as in the paper's methodology.
 
 use crate::cache::Cache;
+use crate::fallback::DynLlcPolicy;
 use crate::policy::{BlockFillDecision, EvictedBlock, LlcPolicy};
 use crate::set_assoc::InsertPriority;
 use crate::stats::{DeadnessSampler, EvictionClasses};
 use dpc_types::{AccessKind, BlockAddr, Pc, Pfn, PhysAddr, SystemConfig};
 
-/// The L1D/L2/LLC hierarchy plus main memory.
+/// The L1D/L2/LLC hierarchy plus main memory, generic over the LLC
+/// policy. The parameter defaults to the boxed fallback from
+/// [`crate::fallback`]; concrete policy types monomorphize the access
+/// path (see [`crate::System`]).
 #[derive(Debug)]
-pub struct Hierarchy {
+pub struct Hierarchy<C: LlcPolicy = DynLlcPolicy> {
     /// L1 data cache.
     pub l1d: Cache,
     /// L2 cache.
@@ -29,9 +33,9 @@ pub struct Hierarchy {
     /// L3 / last-level cache (inclusive).
     pub llc: Cache,
     mem_latency: u32,
-    policy: Box<dyn LlcPolicy>,
+    policy: C,
     /// Cached [`LlcPolicy::is_null`]: `true` for the baseline no-op
-    /// policy, letting the access path skip dynamic hook dispatch entirely
+    /// policy, letting the access path skip hook dispatch entirely
     /// (every skipped hook is a no-op, so behavior is identical).
     policy_null: bool,
     /// LLC eviction-time dead/DOA classification (Fig. 4).
@@ -48,9 +52,11 @@ pub struct Hierarchy {
     pub llc_walker_misses: u64,
 }
 
-impl Hierarchy {
-    /// Builds the hierarchy with the given LLC policy.
-    pub fn new(config: &SystemConfig, policy: Box<dyn LlcPolicy>) -> Self {
+impl<C: LlcPolicy> Hierarchy<C> {
+    /// Builds the hierarchy with the given LLC policy, monomorphizing
+    /// the access path around its concrete type. The boxed constructor
+    /// [`Hierarchy::new`] (in [`crate::fallback`]) delegates here.
+    pub fn with_typed_policy(config: &SystemConfig, policy: C) -> Self {
         let policy_null = policy.is_null();
         Hierarchy {
             l1d: Cache::new(&config.l1d),
@@ -68,13 +74,13 @@ impl Hierarchy {
     }
 
     /// The attached LLC policy.
-    pub fn policy_mut(&mut self) -> &mut dyn LlcPolicy {
-        self.policy.as_mut()
+    pub fn policy_mut(&mut self) -> &mut C {
+        &mut self.policy
     }
 
     /// Read-only access to the attached LLC policy.
-    pub fn policy(&self) -> &dyn LlcPolicy {
-        self.policy.as_ref()
+    pub fn policy(&self) -> &C {
+        &self.policy
     }
 
     /// Performs an access and returns its latency in cycles.
@@ -100,7 +106,7 @@ impl Hierarchy {
             // every access to the set). Policies that don't observe set
             // views skip the view construction entirely.
             if self.policy.uses_set_views() {
-                let policy = self.policy.as_mut();
+                let policy = &mut self.policy;
                 self.llc
                     .array_mut()
                     .with_set_views(block.raw(), hit_way, |views| policy.on_set_access(views));
@@ -148,7 +154,7 @@ impl Hierarchy {
         // full (AIP victimizes predicted-dead blocks first).
         let evicted = if self.llc.array().set_full(block.raw()) {
             let choice = if !self.policy_null && self.policy.overrides_victim() {
-                let policy = self.policy.as_mut();
+                let policy = &mut self.policy;
                 self.llc
                     .array_mut()
                     .with_set_views(block.raw(), None, |views| policy.pick_victim(views))

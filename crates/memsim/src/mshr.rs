@@ -34,6 +34,7 @@ impl Mshr {
 
     /// Records the PC of the instruction whose miss on `vpn` started a
     /// walk. Returns `false` (and counts an overflow) when full.
+    #[inline]
     pub fn allocate(&mut self, vpn: Vpn, pc: Pc) -> bool {
         if self.entries.len() >= self.capacity {
             self.overflows += 1;
@@ -45,6 +46,7 @@ impl Mshr {
 
     /// Retrieves and releases the PC recorded for `vpn` at fill time.
     /// Falls back to PC 0 if the entry was lost to overflow.
+    #[inline]
     pub fn complete(&mut self, vpn: Vpn) -> Pc {
         if let Some(pos) = self.entries.iter().position(|&(v, _)| v == vpn) {
             self.entries.remove(pos).map_or(Pc::new(0), |(_, pc)| pc)
@@ -54,11 +56,13 @@ impl Mshr {
     }
 
     /// Outstanding entries.
+    #[inline]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// Whether no misses are outstanding.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }

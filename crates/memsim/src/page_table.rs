@@ -12,6 +12,7 @@
 //! over the frame space with a bijective multiplier, emulating the
 //! fragmented VA→PA mappings of a long-running system.
 
+use dpc_types::hash::FastBuildHasher;
 use dpc_types::{Pfn, PhysAddr, Vpn};
 use std::collections::HashMap;
 
@@ -87,7 +88,9 @@ type Node = Box<[u64; NODE_ENTRIES]>;
 #[derive(Debug)]
 pub struct PageTable {
     root: Pfn,
-    nodes: HashMap<Pfn, Node>,
+    // Keyed by scattered frame numbers and probed four times per walk;
+    // the fast hasher keeps those probes off the SipHash tax.
+    nodes: HashMap<Pfn, Node, FastBuildHasher>,
     frames: FrameAllocator,
     mapped_pages: u64,
 }
@@ -97,7 +100,7 @@ impl PageTable {
     pub fn new() -> Self {
         let mut frames = FrameAllocator::new();
         let root = frames.alloc();
-        let mut nodes = HashMap::new();
+        let mut nodes = HashMap::default();
         nodes.insert(root, new_node());
         PageTable { root, nodes, frames, mapped_pages: 0 }
     }

@@ -331,10 +331,12 @@ pub trait LlcPolicy: Debug {
 pub struct NullPagePolicy;
 
 impl LltPolicy for NullPagePolicy {
+    #[inline]
     fn policy_name(&self) -> &'static str {
         "baseline"
     }
 
+    #[inline]
     fn is_null(&self) -> bool {
         true
     }
@@ -345,10 +347,12 @@ impl LltPolicy for NullPagePolicy {
 pub struct NullBlockPolicy;
 
 impl LlcPolicy for NullBlockPolicy {
+    #[inline]
     fn policy_name(&self) -> &'static str {
         "baseline"
     }
 
+    #[inline]
     fn is_null(&self) -> bool {
         true
     }

@@ -265,6 +265,7 @@ impl<P> SetAssoc<P> {
     /// The way the base replacement policy would evict from the set `addr`
     /// maps to. Invalid ways are preferred. SRRIP ages lines as a side
     /// effect (that *is* the SRRIP victim-search algorithm).
+    #[inline]
     pub fn victim_way(&mut self, addr: u64) -> usize {
         let set = self.set_of(addr);
         let base = set * self.ways;
@@ -301,6 +302,7 @@ impl<P> SetAssoc<P> {
 
     /// Inserts `payload` under `tag` into the given `way` of the set `addr`
     /// maps to, returning the previous contents if the way was valid.
+    #[inline]
     pub fn fill_way(
         &mut self,
         addr: u64,
@@ -349,6 +351,7 @@ impl<P> SetAssoc<P> {
     }
 
     /// Inserts via the base replacement policy's victim choice.
+    #[inline]
     pub fn fill(
         &mut self,
         addr: u64,
@@ -393,6 +396,7 @@ impl<P> SetAssoc<P> {
     /// hook leaves in [`PolicyLineView::state`] is written back to the
     /// line afterwards. The view buffer is owned by the array and reused
     /// across calls — building views allocates nothing in steady state.
+    #[inline]
     pub fn with_set_views<R>(
         &mut self,
         addr: u64,

@@ -2,16 +2,17 @@
 //! dead-page and dead-block policy attachment points.
 
 use crate::core_model::CoreModel;
+use crate::fallback::{DynLlcPolicy, DynLltPolicy};
 use crate::hierarchy::Hierarchy;
 use crate::mshr::Mshr;
 use crate::page_table::PageTable;
-use crate::policy::{
-    EvictedPage, LlcPolicy, LltPolicy, NullBlockPolicy, NullPagePolicy, PageFillDecision,
-};
+use crate::policy::{EvictedPage, LlcPolicy, LltPolicy, PageFillDecision};
 use crate::set_assoc::InsertPriority;
 use crate::stats::{DeadnessSampler, EvictionClasses, SimStats};
 use crate::tlb::Tlb;
 use crate::walker::Walker;
+use dpc_types::hash::FastBuildHasher;
+use dpc_types::stream::{EventBatch, EventStream, StreamCursor};
 use dpc_types::{
     AccessKind, ConfigError, Event, Pc, Pfn, PhysAddr, SystemConfig, TlbFillPolicy, VirtAddr, Vpn,
     Workload,
@@ -24,6 +25,10 @@ use std::fmt;
 const MSHR_CAPACITY: usize = 16;
 /// Default instructions between deadness samples.
 const DEFAULT_SAMPLE_INTERVAL: u64 = 50_000;
+/// Events decoded per [`System::run_stream`] chunk: large enough to
+/// amortize the tag-decode branch tree and the loop bookkeeping, small
+/// enough that the scratch batch stays L1-cache-resident (~256 × 32 B).
+const EVENT_CHUNK: usize = 256;
 
 /// Errors from [`System`] construction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,24 +66,34 @@ enum Side {
     Data,
 }
 
-/// The simulated machine.
+/// The simulated machine, generic over its two content-management
+/// policies.
 ///
-/// Construct with [`System::new`] (baseline policies) or
-/// [`System::with_policies`] (predictors under test), feed it a
-/// [`Workload`] via [`System::run`], and read the [`SimStats`].
+/// The type parameters default to the boxed trait objects from
+/// [`crate::fallback`], so `System` written without parameters is the
+/// runtime-dispatch fallback built by [`System::new`] /
+/// [`System::with_policies`]. Concrete policy pairs — what the campaign
+/// driver instantiates for every configuration in the paper's policy
+/// matrix — go through [`System::with_typed_policies`], which
+/// monomorphizes the whole event loop (translation path, hierarchy
+/// hooks, pHIST/bHIST lookups) around the policy types (DESIGN.md §11).
+///
+/// Feed the machine a [`Workload`] via [`System::run`] /
+/// [`System::run_until`], or replay a captured stream in decoded chunks
+/// via [`System::run_stream`], then read the [`SimStats`].
 #[derive(Debug)]
-pub struct System {
+pub struct System<L: LltPolicy = DynLltPolicy, C: LlcPolicy = DynLlcPolicy> {
     config: SystemConfig,
     core: CoreModel,
     l1i_tlb: Tlb,
     l1d_tlb: Tlb,
     llt: Tlb,
-    llt_policy: Box<dyn LltPolicy>,
+    llt_policy: L,
     /// Cached [`LltPolicy::is_null`]: `true` for the baseline no-op
-    /// policy, letting the translation path skip dynamic hook dispatch
-    /// entirely (every skipped hook is a no-op, so behavior is identical).
+    /// policy, letting the translation path skip hook dispatch entirely
+    /// (every skipped hook is a no-op, so behavior is identical).
     llt_null: bool,
-    hier: Hierarchy,
+    hier: Hierarchy<C>,
     page_table: PageTable,
     walker: Walker,
     mshr: Mshr,
@@ -86,9 +101,9 @@ pub struct System {
     llt_evictions: EvictionClasses,
     llt_sampler: DeadnessSampler,
     /// DOA-ness of each page's most recent completed LLT stay (Table III).
-    page_stay_doa: HashMap<Vpn, bool>,
+    page_stay_doa: HashMap<Vpn, bool, FastBuildHasher>,
     /// Reverse translation map for classifying evicted LLC blocks.
-    pfn_to_vpn: HashMap<Pfn, Vpn>,
+    pfn_to_vpn: HashMap<Pfn, Vpn, FastBuildHasher>,
     doa_blocks_on_doa_pages: u64,
     doa_blocks_classified: u64,
 
@@ -98,28 +113,20 @@ pub struct System {
     mem_ops: u64,
 }
 
-impl System {
-    /// Builds a baseline system (no predictors) from `config`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SystemError::InvalidConfig`] if the configuration fails
-    /// [`SystemConfig::validate`].
-    pub fn new(config: SystemConfig) -> Result<Self, SystemError> {
-        Self::with_policies(config, Box::new(NullPagePolicy), Box::new(NullBlockPolicy))
-    }
-
+impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
     /// Builds a system with the given LLT and LLC content-management
-    /// policies.
+    /// policies, monomorphizing the event loop around their concrete
+    /// types. The boxed constructors [`System::new`] and
+    /// [`System::with_policies`] (in [`crate::fallback`]) delegate here.
     ///
     /// # Errors
     ///
     /// Returns [`SystemError::InvalidConfig`] if the configuration fails
     /// [`SystemConfig::validate`].
-    pub fn with_policies(
+    pub fn with_typed_policies(
         config: SystemConfig,
-        llt_policy: Box<dyn LltPolicy>,
-        llc_policy: Box<dyn LlcPolicy>,
+        llt_policy: L,
+        llc_policy: C,
     ) -> Result<Self, SystemError> {
         config.validate()?;
         let llt_null = llt_policy.is_null();
@@ -130,14 +137,14 @@ impl System {
             llt: Tlb::new(&config.l2_tlb),
             llt_policy,
             llt_null,
-            hier: Hierarchy::new(&config, llc_policy),
+            hier: Hierarchy::with_typed_policy(&config, llc_policy),
             page_table: PageTable::new(),
             walker: Walker::new(&config.pwc),
             mshr: Mshr::new(MSHR_CAPACITY),
             llt_evictions: EvictionClasses::default(),
             llt_sampler: DeadnessSampler::new(),
-            page_stay_doa: HashMap::new(),
-            pfn_to_vpn: HashMap::new(),
+            page_stay_doa: HashMap::default(),
+            pfn_to_vpn: HashMap::default(),
             doa_blocks_on_doa_pages: 0,
             doa_blocks_classified: 0,
             sample_interval: DEFAULT_SAMPLE_INTERVAL,
@@ -154,12 +161,12 @@ impl System {
     }
 
     /// The attached LLT policy (e.g. to read its accuracy report).
-    pub fn llt_policy(&self) -> &dyn LltPolicy {
-        self.llt_policy.as_ref()
+    pub fn llt_policy(&self) -> &L {
+        &self.llt_policy
     }
 
     /// The attached LLC policy (e.g. to read its accuracy report).
-    pub fn llc_policy(&self) -> &dyn LlcPolicy {
+    pub fn llc_policy(&self) -> &C {
         self.hier.policy()
     }
 
@@ -206,6 +213,39 @@ impl System {
                 Some(event) => self.step(event),
                 None => break,
             }
+        }
+        self.stats()
+    }
+
+    /// Replays `stream` from `cursor` until the stream ends or
+    /// `max_mem_ops` memory operations have been simulated, decoding in
+    /// chunks of [`EVENT_CHUNK`] events into a reusable scratch batch and
+    /// stepping the decoded slice — the batched counterpart of
+    /// [`System::run_events`], bit-identical to it (the chunk decoder
+    /// applies the memory-op budget before every event, exactly like the
+    /// event-at-a-time loop; see
+    /// [`EventStream::decode_chunk`]).
+    ///
+    /// The cursor is left on the first event not simulated, so a
+    /// warm-up/measure split drives two `run_stream` calls over the same
+    /// stream with the same cursor.
+    pub fn run_stream(
+        &mut self,
+        stream: &EventStream,
+        cursor: &mut StreamCursor,
+        max_mem_ops: u64,
+    ) -> SimStats {
+        let mut batch = EventBatch::with_capacity(EVENT_CHUNK);
+        let mut remaining = max_mem_ops;
+        while remaining > 0 {
+            let mem_taken = stream.decode_chunk(cursor, &mut batch, EVENT_CHUNK, remaining);
+            if batch.is_empty() {
+                break;
+            }
+            for &event in batch.events() {
+                self.step(event);
+            }
+            remaining -= mem_taken;
         }
         self.stats()
     }
@@ -291,7 +331,7 @@ impl System {
             self.llt_policy.on_lookup(vpn, hit_way.is_some());
             // Policies that don't observe set views skip view construction.
             if self.llt_policy.uses_set_views() {
-                let policy = self.llt_policy.as_mut();
+                let policy = &mut self.llt_policy;
                 self.llt
                     .array_mut()
                     .with_set_views(vpn.raw(), hit_way, |views| policy.on_set_access(views));
@@ -390,7 +430,7 @@ impl System {
     fn fill_llt(&mut self, vpn: Vpn, pfn: Pfn, priority: InsertPriority, state: u32) {
         let evicted = if self.llt.array().set_full(vpn.raw()) {
             let choice = if !self.llt_null && self.llt_policy.overrides_victim() {
-                let policy = self.llt_policy.as_mut();
+                let policy = &mut self.llt_policy;
                 self.llt
                     .array_mut()
                     .with_set_views(vpn.raw(), None, |views| policy.pick_victim(views))
@@ -533,7 +573,13 @@ mod tests {
         System::new(SystemConfig::paper_baseline()).expect("baseline config is valid")
     }
 
+    // Most tests below simulate tens of thousands of memory operations;
+    // under Miri's interpreter that is minutes per test, so only the
+    // small ones run there (the CI Miri job covers `memsim` for the
+    // pointer/aliasing behavior of the SoA arrays and the batched replay
+    // path, not for throughput).
     #[test]
+    #[cfg_attr(miri, ignore = "simulates 20k mem ops; too slow under Miri")]
     fn conservation_laws() {
         let mut sys = system();
         let stats = sys.run(&mut SyntheticLoads::strided(64, 20_000));
@@ -546,6 +592,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "simulates 6.4k mem ops; too slow under Miri")]
     fn page_locality_hits_l1_tlb() {
         let mut sys = system();
         // 64 accesses per 4 KiB page at stride 64: one TLB miss per page.
@@ -555,6 +602,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "simulates 20k mem ops; too slow under Miri")]
     fn streaming_pages_are_doa_in_llt() {
         let mut sys = system();
         sys.set_sample_interval(1000);
@@ -571,6 +619,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "simulates 10k mem ops; too slow under Miri")]
     fn repeated_small_working_set_is_live() {
         let mut sys = system();
         let stats = sys.run(&mut SyntheticLoads::looping(16, 10_000));
@@ -583,6 +632,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "simulates 5k mem ops; too slow under Miri")]
     fn stats_are_idempotent() {
         let mut sys = system();
         sys.run(&mut SyntheticLoads::strided(4096, 5000));
@@ -600,6 +650,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "simulates 12.8k mem ops; too slow under Miri")]
     fn reset_stats_keeps_state_warm() {
         let mut sys = system();
         sys.run(&mut SyntheticLoads::strided(64, 6400));
@@ -613,6 +664,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "simulates 6.4k mem ops; too slow under Miri")]
     fn victim_fill_policy_populates_llt_on_l1_eviction() {
         let config = SystemConfig::paper_baseline().with_tlb_fill(TlbFillPolicy::L1ThenVictim);
         let mut sys = System::new(config).unwrap();
@@ -625,6 +677,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "simulates 60k mem ops; too slow under Miri")]
     fn fill_policies_perform_similarly() {
         // Paper Section III: "we did not find any significant performance
         // difference between these two alternative designs."
@@ -638,6 +691,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "simulates 11k mem ops; too slow under Miri")]
     fn run_events_replays_borrowed_streams_identically() {
         use dpc_types::stream::EventStream;
         // Capture exactly the prefix a 3000-mem-op run consumes, then
@@ -659,6 +713,46 @@ mod tests {
         let mut prefix_sys = system();
         let prefix = prefix_sys.run_events(&mut longer.iter(), 3000);
         assert_eq!(prefix.cycles, live.cycles);
+    }
+
+    #[test]
+    fn run_stream_matches_event_at_a_time_replay() {
+        // Small enough to run under Miri (which is how CI exercises the
+        // chunk-decode path for aliasing bugs) yet longer than two
+        // EVENT_CHUNKs so chunk boundaries are crossed, with a warm-up/
+        // measure split landing mid-chunk.
+        let stream = EventStream::capture_mem_ops(&mut SyntheticLoads::strided(4096, 1000), 600);
+        let mut item_sys = system();
+        let mut item_cursor = stream.iter();
+        item_sys.run_events(&mut item_cursor, 100);
+        item_sys.reset_stats();
+        let item = item_sys.run_events(&mut item_cursor, 500);
+
+        let mut chunk_sys = system();
+        let mut cursor = StreamCursor::default();
+        chunk_sys.run_stream(&stream, &mut cursor, 100);
+        chunk_sys.reset_stats();
+        let chunked = chunk_sys.run_stream(&stream, &mut cursor, 500);
+
+        assert_eq!(chunked.mem_ops, item.mem_ops);
+        assert_eq!(chunked.cycles, item.cycles, "batched replay must be bit-identical");
+        assert_eq!(chunked.llt, item.llt);
+        assert_eq!(chunked.llc, item.llc);
+        assert_eq!(cursor.mem_position(), 600);
+        // A typed (monomorphized) system consumes the same stream with
+        // the same result as the dyn fallback above.
+        let mut typed_sys = System::with_typed_policies(
+            SystemConfig::paper_baseline(),
+            crate::policy::NullPagePolicy,
+            crate::policy::NullBlockPolicy,
+        )
+        .expect("baseline config is valid");
+        let mut typed_cursor = StreamCursor::default();
+        typed_sys.run_stream(&stream, &mut typed_cursor, 100);
+        typed_sys.reset_stats();
+        let typed = typed_sys.run_stream(&stream, &mut typed_cursor, 500);
+        assert_eq!(typed.cycles, item.cycles, "typed and dyn systems must agree");
+        assert_eq!(typed.llt, item.llt);
     }
 
     #[test]

@@ -50,6 +50,7 @@ impl Tlb {
     }
 
     /// Looks up `vpn`, updating recency and counters.
+    #[inline]
     pub fn lookup(&mut self, vpn: Vpn) -> Option<Pfn> {
         self.stats.lookups += 1;
         match self.array.lookup_payload(vpn.raw(), vpn.raw()) {
@@ -65,6 +66,7 @@ impl Tlb {
     }
 
     /// Looks up `vpn` returning the hit way (for policy hooks).
+    #[inline]
     pub fn lookup_way(&mut self, vpn: Vpn) -> Option<usize> {
         self.stats.lookups += 1;
         let way = self.array.lookup(vpn.raw(), vpn.raw());
@@ -77,17 +79,20 @@ impl Tlb {
     }
 
     /// Probes without side effects.
+    #[inline]
     pub fn contains(&self, vpn: Vpn) -> bool {
         self.array.peek(vpn.raw(), vpn.raw()).is_some()
     }
 
     /// Hit count of a resident entry (the paper's `Accessed` bit is
     /// `hits > 0`), or `None` if absent. Side-effect free.
+    #[inline]
     pub fn resident_hits(&self, vpn: Vpn) -> Option<u64> {
         self.array.peek(vpn.raw(), vpn.raw()).map(|way| self.array.life_of(vpn.raw(), way).hits)
     }
 
     /// Allocates a translation, evicting via the base replacement policy.
+    #[inline]
     pub fn fill(
         &mut self,
         vpn: Vpn,
@@ -103,6 +108,7 @@ impl Tlb {
     }
 
     /// Allocates a translation into a specific way (policy-chosen victim).
+    #[inline]
     pub fn fill_way(
         &mut self,
         vpn: Vpn,

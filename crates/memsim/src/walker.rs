@@ -9,6 +9,7 @@
 
 use crate::hierarchy::Hierarchy;
 use crate::page_table::PageTable;
+use crate::policy::LlcPolicy;
 use crate::pwc::PwcSet;
 use dpc_types::{AccessKind, Pc, Pfn, PwcConfig, Vpn};
 
@@ -50,11 +51,11 @@ impl Walker {
 
     /// Walks `vpn`: resolves the translation in `page_table` and charges
     /// the PTE loads to `hierarchy`.
-    pub fn walk(
+    pub fn walk<C: LlcPolicy>(
         &mut self,
         vpn: Vpn,
         page_table: &mut PageTable,
-        hierarchy: &mut Hierarchy,
+        hierarchy: &mut Hierarchy<C>,
     ) -> WalkOutcome {
         self.walks += 1;
         let path = page_table.translate(vpn);

@@ -211,14 +211,17 @@ impl Default for AipLlc {
 }
 
 impl LlcPolicy for AipLlc {
+    #[inline]
     fn policy_name(&self) -> &'static str {
         "AIP-LLC"
     }
 
+    #[inline]
     fn accuracy_report(&self) -> Option<AccuracyReport> {
         Some(self.core.report())
     }
 
+    #[inline]
     fn on_fill(&mut self, _block: BlockAddr, pc: Pc) -> BlockFillDecision {
         BlockFillDecision::Allocate {
             priority: InsertPriority::Normal,
@@ -226,22 +229,27 @@ impl LlcPolicy for AipLlc {
         }
     }
 
+    #[inline]
     fn uses_set_views(&self) -> bool {
         true
     }
 
+    #[inline]
     fn overrides_victim(&self) -> bool {
         true
     }
 
+    #[inline]
     fn on_set_access(&mut self, lines: &mut [PolicyLineView]) {
         self.core.on_set_access(lines);
     }
 
+    #[inline]
     fn pick_victim(&mut self, lines: &mut [PolicyLineView]) -> Option<usize> {
         self.core.pick_victim(lines)
     }
 
+    #[inline]
     fn on_evict(&mut self, evicted: EvictedBlock) {
         self.core.on_evict(evicted.block.raw(), evicted.state, evicted.life.hits);
     }
@@ -268,14 +276,17 @@ impl Default for AipTlb {
 }
 
 impl LltPolicy for AipTlb {
+    #[inline]
     fn policy_name(&self) -> &'static str {
         "AIP-TLB"
     }
 
+    #[inline]
     fn accuracy_report(&self) -> Option<AccuracyReport> {
         Some(self.core.report())
     }
 
+    #[inline]
     fn on_fill(&mut self, _vpn: Vpn, _pfn: Pfn, pc: Pc) -> PageFillDecision {
         PageFillDecision::Allocate {
             priority: InsertPriority::Normal,
@@ -283,22 +294,27 @@ impl LltPolicy for AipTlb {
         }
     }
 
+    #[inline]
     fn uses_set_views(&self) -> bool {
         true
     }
 
+    #[inline]
     fn overrides_victim(&self) -> bool {
         true
     }
 
+    #[inline]
     fn on_set_access(&mut self, lines: &mut [PolicyLineView]) {
         self.core.on_set_access(lines);
     }
 
+    #[inline]
     fn pick_victim(&mut self, lines: &mut [PolicyLineView]) -> Option<usize> {
         self.core.pick_victim(lines)
     }
 
+    #[inline]
     fn on_evict(&mut self, evicted: EvictedPage) {
         self.core.on_evict(evicted.vpn.raw(), evicted.state, evicted.life.hits);
     }

@@ -118,17 +118,24 @@ impl CbPred {
 
     #[inline]
     fn bhist_index(&self, block: BlockAddr) -> usize {
-        let idx = hash_block(block, self.config.hash_bits) as usize % self.config.bhist_entries;
+        let hash = hash_block(block, self.config.hash_bits) as usize;
+        // Power-of-two bHIST geometries (the paper default) reduce by
+        // mask; anything else falls back to modulo. Same result either
+        // way — this just avoids a hardware divide on every fill/evict.
+        let entries = self.config.bhist_entries;
+        let idx = if entries.is_power_of_two() { hash & (entries - 1) } else { hash % entries };
         invariant!(idx < self.bhist.len(), "bHIST index {idx} out of range");
         idx
     }
 }
 
 impl LlcPolicy for CbPred {
+    #[inline]
     fn policy_name(&self) -> &'static str {
         "cbPred"
     }
 
+    #[inline]
     fn accuracy_report(&self) -> Option<AccuracyReport> {
         let correct = self.ghost.resolved_correct();
         Some(AccuracyReport {
@@ -139,6 +146,7 @@ impl LlcPolicy for CbPred {
         })
     }
 
+    #[inline]
     fn note_doa_page(&mut self, pfn: Pfn) {
         self.doa_pages_received += 1;
         if self.pfq.contains(&pfn) {
@@ -156,10 +164,12 @@ impl LlcPolicy for CbPred {
         );
     }
 
+    #[inline]
     fn on_lookup(&mut self, block: BlockAddr, _hit: bool) {
         self.ghost.note_lookup(block.raw());
     }
 
+    #[inline]
     fn on_fill(&mut self, block: BlockAddr, _pc: Pc) -> BlockFillDecision {
         let on_doa_page = if self.config.use_pfq { self.pfq.contains(&block.pfn()) } else { true };
         if !on_doa_page {
@@ -177,6 +187,7 @@ impl LlcPolicy for CbPred {
         }
     }
 
+    #[inline]
     fn on_evict(&mut self, evicted: EvictedBlock) {
         let accessed = evicted.accessed();
         if !accessed {

@@ -164,6 +164,7 @@ impl DpPred {
     /// negative-feedback action on a shadow hit (paper Fig. 6a). With
     /// PC-only indexing the single entry for the stored PC hash is cleared
     /// instead.
+    #[inline]
     fn negative_feedback(&mut self, vpn_hash: u32, pc_hash: u32) {
         self.negative_feedback_events += 1;
         if self.config.vpn_bits == 0 {
@@ -183,10 +184,12 @@ impl DpPred {
 }
 
 impl LltPolicy for DpPred {
+    #[inline]
     fn policy_name(&self) -> &'static str {
         "dpPred"
     }
 
+    #[inline]
     fn accuracy_report(&self) -> Option<AccuracyReport> {
         let correct = self.ghost.resolved_correct();
         Some(AccuracyReport {
@@ -197,10 +200,12 @@ impl LltPolicy for DpPred {
         })
     }
 
+    #[inline]
     fn on_lookup(&mut self, vpn: Vpn, _hit: bool) {
         self.ghost.note_lookup(vpn.raw());
     }
 
+    #[inline]
     fn shadow_lookup(&mut self, vpn: Vpn) -> Option<Pfn> {
         let pos = self.shadow.iter().position(|e| e.vpn == vpn)?;
         let entry = self.shadow.remove(pos)?;
@@ -209,6 +214,7 @@ impl LltPolicy for DpPred {
         Some(entry.pfn)
     }
 
+    #[inline]
     fn on_fill(&mut self, vpn: Vpn, _pfn: Pfn, pc: Pc) -> PageFillDecision {
         let pc_hash = hash_pc(pc, self.config.pc_bits);
         let vpn_hash = self.vpn_hash(vpn);
@@ -223,6 +229,7 @@ impl LltPolicy for DpPred {
         }
     }
 
+    #[inline]
     fn on_bypass(&mut self, vpn: Vpn, pfn: Pfn) {
         if self.config.shadow_entries == 0 {
             return;
@@ -243,11 +250,13 @@ impl LltPolicy for DpPred {
         );
     }
 
+    #[inline]
     fn refill_state(&mut self, vpn: Vpn, pc: Pc) -> u32 {
         self.ghost.note_fill(vpn.raw());
         hash_pc(pc, self.config.pc_bits)
     }
 
+    #[inline]
     fn on_evict(&mut self, evicted: EvictedPage) {
         let pc_hash = evicted.state;
         let vpn_hash = self.vpn_hash(evicted.vpn);

@@ -83,14 +83,17 @@ impl DuelingDpPred {
 }
 
 impl LltPolicy for DuelingDpPred {
+    #[inline]
     fn policy_name(&self) -> &'static str {
         "dueling-dpPred"
     }
 
+    #[inline]
     fn accuracy_report(&self) -> Option<AccuracyReport> {
         self.inner.accuracy_report()
     }
 
+    #[inline]
     fn on_lookup(&mut self, vpn: Vpn, hit: bool) {
         if !hit {
             // Train PSEL on leader-set misses.
@@ -103,10 +106,12 @@ impl LltPolicy for DuelingDpPred {
         self.inner.on_lookup(vpn, hit);
     }
 
+    #[inline]
     fn shadow_lookup(&mut self, vpn: Vpn) -> Option<Pfn> {
         self.inner.shadow_lookup(vpn)
     }
 
+    #[inline]
     fn on_fill(&mut self, vpn: Vpn, pfn: Pfn, pc: Pc) -> PageFillDecision {
         // Always consult dpPred so it keeps training and its ghost
         // accounting stays consistent...
@@ -128,34 +133,42 @@ impl LltPolicy for DuelingDpPred {
         }
     }
 
+    #[inline]
     fn on_bypass(&mut self, vpn: Vpn, pfn: Pfn) {
         self.inner.on_bypass(vpn, pfn);
     }
 
+    #[inline]
     fn refill_state(&mut self, vpn: Vpn, pc: Pc) -> u32 {
         self.inner.refill_state(vpn, pc)
     }
 
+    #[inline]
     fn on_hit(&mut self, vpn: Vpn, state: &mut u32) {
         self.inner.on_hit(vpn, state);
     }
 
+    #[inline]
     fn uses_set_views(&self) -> bool {
         self.inner.uses_set_views()
     }
 
+    #[inline]
     fn overrides_victim(&self) -> bool {
         self.inner.overrides_victim()
     }
 
+    #[inline]
     fn on_set_access(&mut self, lines: &mut [PolicyLineView]) {
         self.inner.on_set_access(lines);
     }
 
+    #[inline]
     fn pick_victim(&mut self, lines: &mut [PolicyLineView]) -> Option<usize> {
         self.inner.pick_victim(lines)
     }
 
+    #[inline]
     fn on_evict(&mut self, evicted: EvictedPage) {
         self.inner.on_evict(evicted);
     }

@@ -26,6 +26,10 @@ struct GhostEntry {
 pub struct GhostTracker {
     assoc: u64,
     sets: u64,
+    /// `sets - 1` when the set count is a power of two (the common
+    /// paper geometries), letting [`set_of`](Self::set_of) mask instead
+    /// of dividing on every lookup; `None` falls back to modulo.
+    set_mask: Option<u64>,
     ghosts: Vec<VecDeque<GhostEntry>>,
     fills: Vec<u64>,
     /// Bypasses whose ghost aged out un-referenced (correct predictions).
@@ -48,6 +52,7 @@ impl GhostTracker {
         GhostTracker {
             assoc,
             sets,
+            set_mask: sets.is_power_of_two().then(|| sets - 1),
             ghosts: vec![VecDeque::new(); sets as usize],
             fills: vec![0; sets as usize],
             correct: 0,
@@ -58,13 +63,17 @@ impl GhostTracker {
 
     #[inline]
     fn set_of(&self, tag: u64) -> usize {
-        (tag % self.sets) as usize
+        match self.set_mask {
+            Some(mask) => (tag & mask) as usize,
+            None => (tag % self.sets) as usize,
+        }
     }
 
     /// Records a bypass of `tag`. The bypass itself counts as a
     /// fill-attempt for aging purposes: in the counterfactual stay being
     /// tracked, the entry would have been allocated, and subsequent
     /// fill-attempts to its set would have been real fills displacing it.
+    #[inline]
     pub fn note_bypass(&mut self, tag: u64) {
         self.predictions += 1;
         let set = self.set_of(tag);
@@ -75,11 +84,13 @@ impl GhostTracker {
 
     /// Records a fill (allocation) into the set `tag` maps to, aging that
     /// set's ghosts.
+    #[inline]
     pub fn note_fill(&mut self, tag: u64) {
         let set = self.set_of(tag);
         self.age(set);
     }
 
+    #[inline]
     fn age(&mut self, set: usize) {
         dpc_types::invariant!(set < self.fills.len(), "ghost set {set} out of range");
         self.fills[set] += 1;
@@ -100,6 +111,7 @@ impl GhostTracker {
     /// misprediction and removes the ghost.
     ///
     /// Returns `true` if the lookup matched a ghost.
+    #[inline]
     pub fn note_lookup(&mut self, tag: u64) -> bool {
         let set = self.set_of(tag);
         if let Some(pos) = self.ghosts[set].iter().position(|g| g.tag == tag) {

@@ -156,27 +156,33 @@ impl ShipLlc {
 }
 
 impl LlcPolicy for ShipLlc {
+    #[inline]
     fn policy_name(&self) -> &'static str {
         "SHiP-LLC"
     }
 
+    #[inline]
     fn accuracy_report(&self) -> Option<AccuracyReport> {
         Some(self.core.report())
     }
 
+    #[inline]
     fn on_lookup(&mut self, block: BlockAddr, _hit: bool) {
         self.core.on_lookup(block.raw());
     }
 
+    #[inline]
     fn on_fill(&mut self, block: BlockAddr, pc: Pc) -> BlockFillDecision {
         let (priority, state) = self.core.on_fill(block.raw(), pc);
         BlockFillDecision::Allocate { priority, state }
     }
 
+    #[inline]
     fn on_hit(&mut self, _block: BlockAddr, state: &mut u32) {
         self.core.on_hit(state);
     }
 
+    #[inline]
     fn on_evict(&mut self, evicted: EvictedBlock) {
         self.core.on_evict(evicted.block.raw(), evicted.state, evicted.life.hits);
     }
@@ -209,27 +215,33 @@ impl ShipTlb {
 }
 
 impl LltPolicy for ShipTlb {
+    #[inline]
     fn policy_name(&self) -> &'static str {
         "SHiP-TLB"
     }
 
+    #[inline]
     fn accuracy_report(&self) -> Option<AccuracyReport> {
         Some(self.core.report())
     }
 
+    #[inline]
     fn on_lookup(&mut self, vpn: Vpn, _hit: bool) {
         self.core.on_lookup(vpn.raw());
     }
 
+    #[inline]
     fn on_fill(&mut self, vpn: Vpn, _pfn: Pfn, pc: Pc) -> PageFillDecision {
         let (priority, state) = self.core.on_fill(vpn.raw(), pc);
         PageFillDecision::Allocate { priority, state }
     }
 
+    #[inline]
     fn on_hit(&mut self, _vpn: Vpn, state: &mut u32) {
         self.core.on_hit(state);
     }
 
+    #[inline]
     fn on_evict(&mut self, evicted: EvictedPage) {
         self.core.on_evict(evicted.vpn.raw(), evicted.state, evicted.life.hits);
     }

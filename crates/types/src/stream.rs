@@ -155,6 +155,54 @@ impl EventStream {
         Some(event)
     }
 
+    /// Decodes up to `max_events` events at `cursor` into `batch`
+    /// (clearing it first), stopping early when the stream ends or when
+    /// the next event would exceed a budget of `max_mem` *memory* events.
+    /// Returns the number of memory events decoded; the cursor is left on
+    /// the first event not decoded.
+    ///
+    /// The budget gate is checked *before* each event, exactly like a
+    /// simulator loop of the form `while mem_ops < budget { next() }`:
+    /// compute events between in-budget memory events are decoded, but
+    /// nothing after the budget-th memory event is — so chunked replay of
+    /// a warm-up/measure split is bit-identical to event-at-a-time
+    /// replay.
+    pub fn decode_chunk(
+        &self,
+        cursor: &mut StreamCursor,
+        batch: &mut EventBatch,
+        max_events: usize,
+        max_mem: u64,
+    ) -> u64 {
+        batch.events.clear();
+        let mut mem_taken = 0u64;
+        while batch.events.len() < max_events && mem_taken < max_mem {
+            let Some(&tag) = self.tags.get(cursor.index) else { break };
+            let event = if tag == TAG_COMPUTE {
+                let Some(&ops) = self.ops.get(cursor.compute) else { break };
+                cursor.compute += 1;
+                Event::Compute { ops }
+            } else {
+                let Some(&pc) = self.pcs.get(cursor.mem) else { break };
+                let Some(&vaddr) = self.vaddrs.get(cursor.mem) else { break };
+                cursor.mem += 1;
+                mem_taken += 1;
+                let (kind, dependent) = match tag {
+                    TAG_LOAD => (AccessKind::Read, false),
+                    TAG_LOAD_DEP => (AccessKind::Read, true),
+                    TAG_STORE => (AccessKind::Write, false),
+                    // The constructors only ever store tags 0..=4; anything
+                    // else would have been rejected by `read_from`.
+                    _ => (AccessKind::Write, true),
+                };
+                Event::Mem { pc: Pc::new(pc), vaddr: VirtAddr::new(vaddr), kind, dependent }
+            };
+            batch.events.push(event);
+            cursor.index += 1;
+        }
+        mem_taken
+    }
+
     /// Iterates the stream from the beginning (borrowing, zero-copy).
     pub fn iter(&self) -> StreamIter<'_> {
         StreamIter { stream: self, cursor: StreamCursor::default() }
@@ -305,6 +353,44 @@ impl StreamCursor {
     /// Number of memory events already replayed.
     pub fn mem_position(&self) -> usize {
         self.mem
+    }
+}
+
+/// Reusable scratch buffer for [`EventStream::decode_chunk`]: a decoded
+/// slice of the stream that a replay loop consumes in one pass.
+///
+/// The buffer is cleared and refilled by each `decode_chunk` call but
+/// keeps its capacity, so a replay that decodes in fixed-size chunks
+/// performs exactly one allocation over its whole lifetime.
+#[derive(Clone, Debug, Default)]
+pub struct EventBatch {
+    events: Vec<Event>,
+}
+
+impl EventBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty batch with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventBatch { events: Vec::with_capacity(capacity) }
+    }
+
+    /// The decoded events, in stream order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of decoded events currently in the batch.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the batch holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
     }
 }
 
@@ -508,6 +594,62 @@ mod tests {
         while stream.next_from(&mut cursor).is_some() {}
         assert_eq!(cursor.position(), stream.len());
         assert_eq!(stream.next_from(&mut cursor), None, "exhausted cursor stays exhausted");
+    }
+
+    #[test]
+    fn decode_chunk_matches_event_at_a_time_replay() {
+        let stream: EventStream = sample_events().into_iter().collect();
+        // Chunked decode at every chunk size must reproduce the exact
+        // event sequence of the one-at-a-time cursor.
+        let expected: Vec<Event> = stream.iter().collect();
+        for chunk in 1..=stream.len() + 1 {
+            let mut cursor = StreamCursor::default();
+            let mut batch = EventBatch::with_capacity(chunk);
+            let mut decoded = Vec::new();
+            let mut mem_total = 0;
+            loop {
+                mem_total += stream.decode_chunk(&mut cursor, &mut batch, chunk, u64::MAX);
+                if batch.is_empty() {
+                    break;
+                }
+                decoded.extend_from_slice(batch.events());
+            }
+            assert_eq!(decoded, expected, "chunk size {chunk}");
+            assert_eq!(mem_total, stream.mem_events() as u64);
+            assert_eq!(cursor.position(), stream.len());
+        }
+    }
+
+    #[test]
+    fn decode_chunk_respects_mem_budget_like_a_run_loop() {
+        // mem, compute, mem, compute, mem, compute (ends on a compute).
+        let stream: EventStream = vec![
+            Event::load(Pc::new(1), VirtAddr::new(0x1000)),
+            Event::Compute { ops: 1 },
+            Event::load(Pc::new(2), VirtAddr::new(0x2000)),
+            Event::Compute { ops: 2 },
+            Event::load(Pc::new(3), VirtAddr::new(0x3000)),
+            Event::Compute { ops: 3 },
+        ]
+        .into_iter()
+        .collect();
+        let mut cursor = StreamCursor::default();
+        let mut batch = EventBatch::new();
+        // Budget of 2 memory events: the trailing compute between mem #2
+        // and mem #3 must NOT be decoded (the budget gate runs before
+        // every event, exactly like `while mem_ops < budget`).
+        let mem = stream.decode_chunk(&mut cursor, &mut batch, 256, 2);
+        assert_eq!(mem, 2);
+        assert_eq!(batch.len(), 3, "mem, compute, mem — stops before the next compute");
+        assert_eq!(cursor.mem_position(), 2);
+        // Resuming with the remaining budget picks up the compute first.
+        let mem = stream.decode_chunk(&mut cursor, &mut batch, 256, 1);
+        assert_eq!(mem, 1);
+        assert_eq!(batch.events()[0], Event::Compute { ops: 2 });
+        assert_eq!(batch.len(), 2, "compute then mem #3; trailing compute left");
+        // Zero budget decodes nothing at all.
+        let mem = stream.decode_chunk(&mut cursor, &mut batch, 256, 0);
+        assert_eq!((mem, batch.len()), (0, 0));
     }
 
     #[test]

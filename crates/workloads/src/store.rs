@@ -160,6 +160,14 @@ impl EventCursor {
     pub fn position(&self) -> usize {
         self.cursor.position()
     }
+
+    /// Splits the cursor into the shared stream and the mutable replay
+    /// position, for batched replay (`System::run_stream` decodes the
+    /// stream in chunks while advancing the position). The borrows are
+    /// disjoint, so the stream can be read while the position moves.
+    pub fn replay_parts(&mut self) -> (&EventStream, &mut StreamCursor) {
+        (&self.events, &mut self.cursor)
+    }
 }
 
 impl Workload for EventCursor {
@@ -281,6 +289,24 @@ mod tests {
         // Cloned cursors fork the position, not the stream.
         let clone = cursor.clone();
         assert!(Arc::ptr_eq(cursor.stream(), clone.stream()));
+    }
+
+    #[test]
+    fn replay_parts_share_the_cursor_with_next_event() {
+        use dpc_types::stream::EventBatch;
+        let store = TraceStore::new();
+        let builds = Arc::new(AtomicUsize::new(0));
+        let (events, _) = store.get_or_capture("w", 8, || counting_workload(&builds));
+        let mut cursor = EventCursor::new("w", events);
+        // Decode half in a batch, then keep replaying event-at-a-time:
+        // the split parts advance the same position.
+        let (stream, pos) = cursor.replay_parts();
+        let mut batch = EventBatch::new();
+        let mem = stream.decode_chunk(pos, &mut batch, 4, u64::MAX);
+        assert_eq!(mem, 4);
+        assert_eq!(cursor.position(), 4);
+        let rest: Vec<_> = std::iter::from_fn(|| cursor.next_event()).collect();
+        assert_eq!(rest.len(), 4);
     }
 
     #[test]

@@ -1,19 +1,23 @@
 //! `cargo xtask bench-report` — benchmark-regression tracking.
 //!
 //! Collects the `median.point_estimate` from every
-//! `target/criterion/simulator/*/new/estimates.json` left behind by
-//! `cargo bench --bench simulator` and writes them, together with the
-//! commit sha and commit date, to `BENCH_simulator.json` at the
-//! workspace root. The checked-in copy of that file is the regression
-//! baseline: `bench-report --check` re-collects the current estimates
-//! and fails if any bench shared with the baseline got more than 15%
-//! slower (median vs median).
+//! `target/criterion/<group>/*/new/estimates.json` left behind by
+//! `cargo bench --bench simulator` and `cargo bench --bench
+//! predictor_phases`, and writes them, together with the commit sha and
+//! commit date, to `BENCH_simulator.json` at the workspace root. The
+//! checked-in copy of that file is the regression baseline:
+//! `bench-report --check` re-collects the current estimates and fails
+//! if any bench shared with the baseline got more than 15% slower
+//! (median vs median).
 //!
-//! Only the `simulator` group gates: the `structures` micro-benches
-//! isolate *where* a regression lives but their one-shot samples are too
-//! noisy to act as a tripwire. Like the lint pass, everything here is
-//! hand-rolled (no serde) so the workspace stays dependency-free on an
-//! offline toolchain.
+//! Two groups gate: `simulator` (end-to-end throughput of the
+//! monomorphized event loop) and `predictor_phases` (pHIST/bHIST
+//! lookup, shadow-table hit, and PFQ probe micro-phases, which localise
+//! a simulator regression to the predictor structure that caused it).
+//! The `structures` micro-benches stay ungated: their one-shot samples
+//! are too noisy to act as a tripwire. Like the lint pass, everything
+//! here is hand-rolled (no serde) so the workspace stays
+//! dependency-free on an offline toolchain.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -23,8 +27,12 @@ use std::process::Command;
 /// baseline median by more than this fraction.
 pub const REGRESSION_TOLERANCE: f64 = 0.15;
 
-/// The criterion group whose estimates are reported and gated.
-pub const GROUP: &str = "simulator";
+/// The criterion groups whose estimates are reported and gated, with
+/// the bench invocation that produces each one.
+pub const GROUPS: &[(&str, &str)] = &[
+    ("simulator", "cargo bench --bench simulator"),
+    ("predictor_phases", "cargo bench --bench predictor_phases"),
+];
 
 /// Report file name at the workspace root.
 pub const REPORT_FILE: &str = "BENCH_simulator.json";
@@ -32,31 +40,34 @@ pub const REPORT_FILE: &str = "BENCH_simulator.json";
 /// Collected medians, bench id → nanoseconds.
 pub type Medians = BTreeMap<String, f64>;
 
-/// Walk `target/criterion/simulator/*/new/estimates.json` under `root`
-/// and return the median point estimate for each bench id.
+/// Walk `target/criterion/<group>/*/new/estimates.json` under `root`
+/// for every gated group and return the median point estimate for each
+/// bench id. Every group must be present: a missing directory means its
+/// bench never ran, and silently skipping it would let the CI gate pass
+/// without comparing that group at all.
 pub fn collect_medians(root: &Path) -> Result<Medians, String> {
-    let group_dir = root.join("target").join("criterion").join(GROUP);
-    let entries = std::fs::read_dir(&group_dir).map_err(|err| {
-        format!(
-            "cannot read {}: {err}\n(run `cargo bench --bench simulator` first)",
-            group_dir.display()
-        )
-    })?;
     let mut medians = Medians::new();
-    for entry in entries {
-        let entry = entry.map_err(|err| err.to_string())?;
-        let estimates = entry.path().join("new").join("estimates.json");
-        let Ok(text) = std::fs::read_to_string(&estimates) else { continue };
-        let median = extract_median(&text)
-            .ok_or_else(|| format!("no median.point_estimate in {}", estimates.display()))?;
-        let bench = entry.file_name().to_string_lossy().into_owned();
-        medians.insert(format!("{GROUP}/{bench}"), median);
-    }
-    if medians.is_empty() {
-        return Err(format!(
-            "no estimates under {} — run `cargo bench --bench simulator` first",
-            group_dir.display()
-        ));
+    for &(group, bench_cmd) in GROUPS {
+        let group_dir = root.join("target").join("criterion").join(group);
+        let entries = std::fs::read_dir(&group_dir).map_err(|err| {
+            format!("cannot read {}: {err}\n(run `{bench_cmd}` first)", group_dir.display())
+        })?;
+        let before = medians.len();
+        for entry in entries {
+            let entry = entry.map_err(|err| err.to_string())?;
+            let estimates = entry.path().join("new").join("estimates.json");
+            let Ok(text) = std::fs::read_to_string(&estimates) else { continue };
+            let median = extract_median(&text)
+                .ok_or_else(|| format!("no median.point_estimate in {}", estimates.display()))?;
+            let bench = entry.file_name().to_string_lossy().into_owned();
+            medians.insert(format!("{group}/{bench}"), median);
+        }
+        if medians.len() == before {
+            return Err(format!(
+                "no estimates under {} — run `{bench_cmd}` first",
+                group_dir.display()
+            ));
+        }
     }
     Ok(medians)
 }
@@ -240,8 +251,29 @@ mod tests {
         let mut medians = Medians::new();
         medians.insert("simulator/canneal_baseline".to_owned(), 4_811_000.0);
         medians.insert("simulator/bfs_dppred_cbpred".to_owned(), 1_640_500.5);
+        medians.insert("predictor_phases/phist_lookup".to_owned(), 31_250.0);
         let text = render(&medians, "abc1234", "2026-08-06T00:00:00+00:00");
         assert_eq!(parse_report(&text), medians);
+    }
+
+    #[test]
+    fn collect_requires_every_gated_group() {
+        // A tree with only the first group populated must fail loudly:
+        // a missing group means its bench never ran, and the CI gate
+        // would otherwise silently stop comparing it.
+        let root =
+            std::env::temp_dir().join(format!("dpc-bench-report-test-{}", std::process::id()));
+        let (first_group, _) = GROUPS[0];
+        let bench_dir =
+            root.join("target").join("criterion").join(first_group).join("some_bench").join("new");
+        std::fs::create_dir_all(&bench_dir).unwrap();
+        std::fs::write(bench_dir.join("estimates.json"), r#"{"median":{"point_estimate":1.0}}"#)
+            .unwrap();
+        let err = collect_medians(&root).unwrap_err();
+        let (second_group, second_cmd) = GROUPS[1];
+        assert!(err.contains(second_group), "error should name the missing group: {err}");
+        assert!(err.contains(second_cmd), "error should say how to produce it: {err}");
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -1,10 +1,11 @@
-//! The three `dpc-lint` rule families.
+//! The four `dpc-lint` rule families.
 //!
 //! | family        | rules                                                      |
 //! |---------------|------------------------------------------------------------|
 //! | `determinism` | `wall-clock`, `unseeded-rng`, `hash-iteration`             |
 //! | `budget`      | `structure-size`, `counter-width`                          |
 //! | `hot-path`    | `unwrap`, `panic`, `index`                                 |
+//! | `dispatch`    | `boxed-policy`                                             |
 //!
 //! Every rule is deny-by-default; the only escape hatch is an inline
 //! `// dpc-lint: allow(<rule>) -- <reason>` comment on the offending line
@@ -12,6 +13,7 @@
 
 pub mod budget;
 pub mod determinism;
+pub mod dispatch;
 pub mod hot_path;
 
 use crate::source::SourceFile;
@@ -40,10 +42,11 @@ pub const ALL_RULES: &[&str] = &[
     hot_path::UNWRAP,
     hot_path::PANIC,
     hot_path::INDEX,
+    dispatch::BOXED_POLICY,
 ];
 
 /// Rule-family prefixes accepted in allow markers.
-pub const FAMILIES: &[&str] = &["determinism", "budget", "hot-path"];
+pub const FAMILIES: &[&str] = &["determinism", "budget", "hot-path", "dispatch"];
 
 /// Runs every rule over one file.
 pub fn check_file(file: &SourceFile) -> Vec<Violation> {
@@ -51,6 +54,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     determinism::check(file, &mut violations);
     budget::check(file, &mut violations);
     hot_path::check(file, &mut violations);
+    dispatch::check(file, &mut violations);
     violations
 }
 

@@ -1,0 +1,69 @@
+//! Equivalence proof for the policy-dispatch refactor (parallel to
+//! `soa_equivalence.rs` for the SoA refactor): the monomorphized
+//! [`dpc::run_workload`] path and the boxed `dyn`-fallback
+//! [`dpc::run_workload_dyn`] path must produce **identical** simulator
+//! statistics and predictor accuracy reports — the typed dispatcher may
+//! only change how fast the answer is computed, never the answer.
+//!
+//! Coverage: every `TlbPolicySel` and every `LlcPolicySel` variant
+//! appears in at least one of the selector pairs below, and each pair
+//! runs over all 14 paper workload generators with a warm-up/measure
+//! split, so the comparison exercises TLB and LLC hook sites, bypass
+//! paths, shadow/PFQ probes, and `reset_stats` under both dispatchers.
+
+use dpc::{run_workload, run_workload_dyn, LlcPolicySel, RunConfig, TlbPolicySel};
+use dpc_predictors::DpPredConfig;
+use dpc_types::SystemConfig;
+use dpc_workloads::{Scale, WorkloadFactory, WORKLOAD_NAMES};
+
+/// Small budgets keep the full matrix (9 pairs × 14 workloads × 2
+/// dispatchers) in test-suite time while still crossing several
+/// `EVENT_CHUNK` boundaries and landing the warm-up split mid-chunk.
+const WARMUP: u64 = 200;
+const MEASURE: u64 = 2000;
+
+fn selector_pairs() -> Vec<(TlbPolicySel, LlcPolicySel)> {
+    let system = SystemConfig::paper_baseline();
+    vec![
+        // The paper matrix's corners and headline configuration…
+        (TlbPolicySel::Baseline, LlcPolicySel::Baseline),
+        (TlbPolicySel::DpPred, LlcPolicySel::CbPred),
+        // …its ablations…
+        (TlbPolicySel::DpPredNoShadow, LlcPolicySel::CbPredNoPfq),
+        (
+            TlbPolicySel::DpPredCustom(DpPredConfig::for_tlb(&system.l2_tlb)),
+            LlcPolicySel::CbPredPfq(32),
+        ),
+        (TlbPolicySel::DuelingDpPred, LlcPolicySel::CbPred),
+        // …the related-work comparison points…
+        (TlbPolicySel::ShipTlb, LlcPolicySel::ShipLlc),
+        (TlbPolicySel::AipTlb, LlcPolicySel::AipLlc),
+        // …and one-sided configurations (only one hook side active).
+        (TlbPolicySel::DpPred, LlcPolicySel::Baseline),
+        (TlbPolicySel::Baseline, LlcPolicySel::CbPred),
+    ]
+}
+
+#[test]
+fn monomorphized_dispatch_matches_dyn_fallback_everywhere() {
+    let factory = WorkloadFactory::new(Scale::Tiny, 42);
+    for (tlb, llc) in selector_pairs() {
+        let config = RunConfig::baseline(WARMUP, MEASURE).with_policies(tlb, llc);
+        for workload in WORKLOAD_NAMES {
+            let typed = run_workload(&factory, workload, &config);
+            let fallback = run_workload_dyn(&factory, workload, &config);
+            assert_eq!(
+                typed.stats, fallback.stats,
+                "SimStats diverged for {workload} under {tlb:?}+{llc:?}"
+            );
+            assert_eq!(
+                typed.llt_accuracy, fallback.llt_accuracy,
+                "LLT accuracy diverged for {workload} under {tlb:?}+{llc:?}"
+            );
+            assert_eq!(
+                typed.llc_accuracy, fallback.llc_accuracy,
+                "LLC accuracy diverged for {workload} under {tlb:?}+{llc:?}"
+            );
+        }
+    }
+}
