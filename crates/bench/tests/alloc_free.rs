@@ -128,3 +128,41 @@ fn warm_event_loop_never_allocates() {
     .expect("dpPred+cbPred config is valid");
     assert_event_loop_allocation_free("dppred_cbpred", dppred_cbpred, &stream);
 }
+
+/// The chunked replay front-end (`run_stream`) must uphold the same
+/// contract: its decode batch is owned by the `System` and reused across
+/// calls, so a warm campaign replay — SIMD prescan, per-chunk batch
+/// refills, set prefetches and all — performs zero heap allocations.
+/// This is the path `paper all` drives for every simulation, with or
+/// without AVX2 (the batch reuse is mode-independent).
+#[test]
+fn warm_run_stream_never_allocates() {
+    let factory = WorkloadFactory::new(Scale::Tiny, 42);
+    let mut workload = factory.build("canneal").expect("canneal workload exists");
+    let stream = EventStream::capture_mem_ops(workload.as_mut(), MEM_OPS);
+    let config = SystemConfig::paper_baseline();
+
+    let mut sys = System::with_typed_policies(
+        config,
+        DpPred::paper_default(),
+        CbPred::paper_default(&config.llc),
+    )
+    .expect("dpPred+cbPred config is valid");
+    sys.set_sample_interval(1 << 60);
+
+    let replay_chunked = |sys: &mut System<DpPred, CbPred>| {
+        let mut cursor = dpc_types::StreamCursor::default();
+        sys.run_stream(&stream, &mut cursor, MEM_OPS);
+    };
+    // Two warm-up passes, as above: the first maps pages and sizes the
+    // structures (including the hoisted decode batch), the second covers
+    // growth triggered by steady-state evictions.
+    replay_chunked(&mut sys);
+    replay_chunked(&mut sys);
+    let during = allocations_during(|| replay_chunked(&mut sys));
+    assert_eq!(
+        during, 0,
+        "run_stream: {during} heap allocations in {MEM_OPS} warm mem-ops; \
+         the chunked decode front-end must reuse its event batch"
+    );
+}

@@ -57,6 +57,7 @@ pub mod page_table;
 pub mod policy;
 pub mod pwc;
 pub mod set_assoc;
+pub mod simd;
 pub mod soa;
 pub mod stats;
 pub mod system;

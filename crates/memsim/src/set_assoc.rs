@@ -224,6 +224,23 @@ impl<P> SetAssoc<P> {
         Some((way, &self.cols.payloads[idx]))
     }
 
+    /// Hints the hardware prefetcher at the tag column and validity word
+    /// of the set `addr` maps to, ahead of a future [`lookup`](Self::lookup)
+    /// for the same address. Pure scheduling hint: no clock, recency, or
+    /// any other architectural state changes, so issuing it for addresses
+    /// that are never looked up (or skipping it entirely) is
+    /// behavior-neutral. No-op when the runtime SIMD gate is off.
+    #[inline]
+    pub fn prefetch_set(&self, addr: u64) {
+        let set = self.set_of(addr);
+        let base = set * self.ways;
+        // `wrapping_add` keeps the pointer arithmetic safe even though
+        // `set < sets` already holds by construction; the prefetch
+        // instruction itself tolerates any address.
+        crate::simd::prefetch_read(self.cols.tags.as_ptr().wrapping_add(base));
+        crate::simd::prefetch_read(self.cols.valid.as_ptr().wrapping_add(set));
+    }
+
     /// Probes for `tag` without advancing any clock or updating recency
     /// (used by inclusion checks and tests).
     #[inline]
@@ -452,6 +469,21 @@ mod tests {
 
     fn sa(sets: usize, ways: usize, kind: ReplacementKind) -> SetAssoc<u32> {
         SetAssoc::new(sets, ways, kind)
+    }
+
+    #[test]
+    fn prefetch_set_is_state_free() {
+        // Hints must not perturb any observable state, for any address
+        // (set_of masks the index, so out-of-range addresses are fine).
+        let mut s = sa(4, 2, ReplacementKind::Lru);
+        s.fill(5, 5, 99, InsertPriority::Normal);
+        let seq = s.seq();
+        for addr in [0, 5, u64::MAX] {
+            s.prefetch_set(addr);
+        }
+        assert_eq!(s.seq(), seq);
+        let way = s.lookup(5, 5).expect("filled tag still resident");
+        assert_eq!(*s.payload(5, way), 99);
     }
 
     #[test]

@@ -87,22 +87,15 @@ impl<P> SoaColumns<P> {
     /// iff way `w` is valid and holds `tag`; `trailing_zeros` recovers
     /// the first match.
     ///
-    /// The paper-baseline associativities (4-way L1 TLB, 8-way L1D/L2/LLT,
-    /// 16-way LLC) are dispatched to fixed-width comparisons so the
-    /// compiler sees a compile-time trip count and can fully unroll and
-    /// vectorize; any other geometry takes the generic loop.
+    /// The compare itself is [`crate::simd::match_mask`]: 256-bit AVX2
+    /// tag compares (four ways per vector) when the runtime SIMD gate is
+    /// on, fixed-width unrolled scalar comparisons otherwise — both
+    /// producing the identical way bitmask.
     #[inline]
     pub(crate) fn match_mask(&self, set: usize, base: usize, tag: u64) -> u64 {
         invariant!(set < self.valid.len(), "caller masks the set index into range");
         invariant!(base + self.ways <= self.tags.len(), "base = set * ways stays inside the tags");
-        let tags = &self.tags[base..base + self.ways];
-        let mask = match self.ways {
-            4 => fixed_match::<4>(tags, tag),
-            8 => fixed_match::<8>(tags, tag),
-            16 => fixed_match::<16>(tags, tag),
-            _ => generic_match(tags, tag),
-        };
-        mask & self.valid[set]
+        crate::simd::match_mask(&self.tags[base..base + self.ways], tag) & self.valid[set]
     }
 
     /// Iterates over all valid lines in storage order.
@@ -121,33 +114,6 @@ impl<P> SoaColumns<P> {
     pub(crate) fn valid_count(&self) -> usize {
         self.valid.iter().map(|m| m.count_ones() as usize).sum()
     }
-}
-
-/// Tag compare with a compile-time way count: converting the slice to a
-/// fixed-size array reference lets the compiler unroll the loop with no
-/// per-iteration bounds checks. Falls back to [`generic_match`] if the
-/// slice length does not match `N` (cannot happen for callers that slice
-/// `ways` elements, but keeps the function total without panicking).
-#[inline]
-fn fixed_match<const N: usize>(tags: &[u64], tag: u64) -> u64 {
-    let Ok(tags) = <&[u64; N]>::try_from(tags) else {
-        return generic_match(tags, tag);
-    };
-    let mut mask = 0u64;
-    for (way, &t) in tags.iter().enumerate() {
-        mask |= u64::from(t == tag) << way;
-    }
-    mask
-}
-
-/// Tag compare for arbitrary associativity.
-#[inline]
-fn generic_match(tags: &[u64], tag: u64) -> u64 {
-    let mut mask = 0u64;
-    for (way, &t) in tags.iter().enumerate() {
-        mask |= u64::from(t == tag) << way;
-    }
-    mask
 }
 
 /// A read-only view of one valid line, yielded by

@@ -14,8 +14,9 @@
 //! * a 2-entry **shadow table** holding the VPN and translation of recently
 //!   bypassed pages. It serves as a victim buffer (a shadow hit returns the
 //!   translation without a page walk) and as negative feedback: a shadow
-//!   hit means the bypass was wrong, so the pHIST *column* for that VPN
-//!   hash is flushed.
+//!   hit means the bypass was wrong, so every pHIST entry for that VPN
+//!   hash is flushed (one contiguous row under the VPN-major layout,
+//!   batch-cleared by the `simd` kernels).
 //!
 //! Accuracy/coverage (paper Table VI) is measured with a
 //! [`GhostTracker`] — since bypassed pages have
@@ -155,7 +156,13 @@ impl DpPred {
 
     #[inline]
     fn index(&self, pc_hash: u32, vpn_hash: u32) -> usize {
-        let idx = ((pc_hash << self.config.vpn_bits) | vpn_hash) as usize;
+        // VPN-major layout: `vpn_hash` selects a row of 2^pc_bits
+        // counters, `pc_hash` the column within it. A bijective
+        // relabeling of the 2-D table (the paper specifies the index
+        // function only as h6(PC) × h4(VPN)), chosen so the
+        // negative-feedback flush of a VPN hash clears one contiguous
+        // row instead of 2^pc_bits strided entries.
+        let idx = ((vpn_hash << self.config.pc_bits) | pc_hash) as usize;
         invariant!(idx < self.phist.len(), "pHIST index {idx} out of range");
         idx
     }
@@ -163,7 +170,8 @@ impl DpPred {
     /// Flushes the pHIST entries corresponding to a VPN hash — the
     /// negative-feedback action on a shadow hit (paper Fig. 6a). With
     /// PC-only indexing the single entry for the stored PC hash is cleared
-    /// instead.
+    /// instead. Under the VPN-major layout of [`Self::index`] the flush is
+    /// one contiguous row, batch-cleared by [`crate::simd::clear_counters`].
     #[inline]
     fn negative_feedback(&mut self, vpn_hash: u32, pc_hash: u32) {
         self.negative_feedback_events += 1;
@@ -176,10 +184,13 @@ impl DpPred {
             self.phist[pc_hash as usize].clear();
             return;
         }
-        for pc in 0..(1u32 << self.config.pc_bits) {
-            let idx = self.index(pc, vpn_hash);
-            self.phist[idx].clear();
-        }
+        let row = 1usize << self.config.pc_bits;
+        let start = (vpn_hash as usize) << self.config.pc_bits;
+        invariant!(
+            start + row <= self.phist.len(),
+            "pHIST row for vpn_hash {vpn_hash} exceeds the table"
+        );
+        crate::simd::clear_counters(&mut self.phist[start..start + row]);
     }
 }
 
@@ -346,6 +357,33 @@ mod tests {
         assert!(matches!(pred.on_fill(vpn, Pfn::new(7), pc), PageFillDecision::Allocate { .. }));
         // The shadow entry was consumed.
         assert_eq!(pred.shadow_lookup(vpn), None);
+    }
+
+    #[test]
+    fn negative_feedback_spares_other_vpn_rows() {
+        use dpc_types::hash::hash_vpn;
+        let mut pred = DpPred::paper_default();
+        let pc = Pc::new(0x400123);
+        let pc_hash = hash_pc(pc, 6);
+        let vpn_a = Vpn::new(0x99);
+        // A second VPN whose 4-bit hash differs (a different pHIST row).
+        let vpn_b = (1u64..)
+            .map(Vpn::new)
+            .find(|v| hash_vpn(*v, 4) != hash_vpn(vpn_a, 4))
+            .expect("some VPN hashes differently");
+        for _ in 0..7 {
+            pred.on_fill(vpn_a, Pfn::new(7), pc);
+            doa_evict(&mut pred, vpn_a, pc_hash);
+            pred.on_fill(vpn_b, Pfn::new(8), pc);
+            doa_evict(&mut pred, vpn_b, pc_hash);
+        }
+        assert_eq!(pred.on_fill(vpn_a, Pfn::new(7), pc), PageFillDecision::Bypass);
+        pred.on_bypass(vpn_a, Pfn::new(7));
+        // Shadow hit on A flushes exactly A's row...
+        assert_eq!(pred.shadow_lookup(vpn_a), Some(Pfn::new(7)));
+        assert!(matches!(pred.on_fill(vpn_a, Pfn::new(7), pc), PageFillDecision::Allocate { .. }));
+        // ...while B's fully-trained row keeps predicting.
+        assert_eq!(pred.on_fill(vpn_b, Pfn::new(8), pc), PageFillDecision::Bypass);
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //!   observe, so its fate is tracked in a shadow structure).
 //! * [`storage`] — the storage-overhead model reproducing the byte budgets
 //!   of paper Sections V-D and VI-D.
+//! * [`simd`] — runtime-dispatched vector kernels (with scalar twins) for
+//!   the history tables, e.g. dpPred's negative-feedback row flush.
 //!
 //! All predictors implement the [`LltPolicy`](dpc_memsim::LltPolicy) /
 //! [`LlcPolicy`](dpc_memsim::LlcPolicy) hook traits and plug into
@@ -52,6 +54,7 @@ pub mod dueling;
 pub mod ghost;
 pub mod oracle;
 pub mod ship;
+pub mod simd;
 pub mod storage;
 
 pub use aip::{AipLlc, AipTlb};

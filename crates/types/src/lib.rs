@@ -10,6 +10,8 @@
 //! * [`hash`] — the folded-XOR hash family the paper uses to index its
 //!   history tables;
 //! * [`counter`] — saturating confidence counters ([`SatCounter`]);
+//! * [`simd`] — runtime-dispatched vector kernels (with scalar twins)
+//!   shared by the event-replay hot path;
 //! * [`config`] — the full simulated-machine configuration with builders
 //!   mirroring Table I of the paper.
 //!
@@ -33,6 +35,7 @@ pub mod config;
 pub mod counter;
 pub mod hash;
 mod invariant;
+pub mod simd;
 pub mod stream;
 pub mod workload;
 

@@ -174,6 +174,82 @@ impl EventStream {
         max_events: usize,
         max_mem: u64,
     ) -> u64 {
+        if crate::simd::enabled() {
+            self.decode_chunk_prescan(cursor, batch, max_events, max_mem)
+        } else {
+            self.decode_chunk_serial(cursor, batch, max_events, max_mem)
+        }
+    }
+
+    /// [`decode_chunk`](Self::decode_chunk) with a vectorized tag
+    /// prescan: [`crate::simd::classify_tags`] finds the chunk boundary
+    /// (window end or memory budget) column-wise, then the payload
+    /// columns are decoded through pre-sliced windows with no per-event
+    /// end-of-array checks. Selected when [`crate::simd::enabled`];
+    /// bit-identical to the serial decoder (asserted by the differential
+    /// tests below and by the pinned golden output).
+    fn decode_chunk_prescan(
+        &self,
+        cursor: &mut StreamCursor,
+        batch: &mut EventBatch,
+        max_events: usize,
+        max_mem: u64,
+    ) -> u64 {
+        batch.events.clear();
+        let Some(tags) = self.tags.get(cursor.index..) else { return 0 };
+        let window = tags.len().min(max_events);
+        let (take, mem_take) = crate::simd::classify_tags(&tags[..window], TAG_COMPUTE, max_mem);
+        let compute_take = take - mem_take as usize;
+        // The struct invariant (mem tags ⇔ pcs/vaddrs entries, compute
+        // tags ⇔ ops entries) guarantees these windows exist; `get`
+        // keeps the decoder total and falls back to the per-event
+        // checked loop rather than panicking if it were ever violated.
+        let (Some(pcs), Some(vaddrs), Some(ops)) = (
+            self.pcs.get(cursor.mem..cursor.mem + mem_take as usize),
+            self.vaddrs.get(cursor.mem..cursor.mem + mem_take as usize),
+            self.ops.get(cursor.compute..cursor.compute + compute_take),
+        ) else {
+            return self.decode_chunk_serial(cursor, batch, max_events, max_mem);
+        };
+        let mut mem = 0usize;
+        let mut compute = 0usize;
+        for &tag in &tags[..take] {
+            let event = if tag == TAG_COMPUTE {
+                let ops = ops[compute];
+                compute += 1;
+                Event::Compute { ops }
+            } else {
+                let pc = Pc::new(pcs[mem]);
+                let vaddr = VirtAddr::new(vaddrs[mem]);
+                mem += 1;
+                let (kind, dependent) = match tag {
+                    TAG_LOAD => (AccessKind::Read, false),
+                    TAG_LOAD_DEP => (AccessKind::Read, true),
+                    TAG_STORE => (AccessKind::Write, false),
+                    // The constructors only ever store tags 0..=4; anything
+                    // else would have been rejected by `read_from`.
+                    _ => (AccessKind::Write, true),
+                };
+                Event::Mem { pc, vaddr, kind, dependent }
+            };
+            batch.events.push(event);
+        }
+        cursor.index += take;
+        cursor.mem += mem;
+        cursor.compute += compute;
+        mem_take
+    }
+
+    /// The event-at-a-time reference decoder behind
+    /// [`decode_chunk`](Self::decode_chunk) — the `DPC_SIMD=off` path,
+    /// and the semantics [`Self::decode_chunk_prescan`] must match.
+    fn decode_chunk_serial(
+        &self,
+        cursor: &mut StreamCursor,
+        batch: &mut EventBatch,
+        max_events: usize,
+        max_mem: u64,
+    ) -> u64 {
         batch.events.clear();
         let mut mem_taken = 0u64;
         while batch.events.len() < max_events && mem_taken < max_mem {
@@ -650,6 +726,99 @@ mod tests {
         // Zero budget decodes nothing at all.
         let mem = stream.decode_chunk(&mut cursor, &mut batch, 256, 0);
         assert_eq!((mem, batch.len()), (0, 0));
+    }
+
+    /// Deterministic LCG-driven stream for the prescan/serial
+    /// differential sweep: mixes all five tags with uneven frequencies.
+    fn random_stream(events: usize, seed: u64) -> EventStream {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            state >> 33
+        };
+        (0..events)
+            .map(|_| match next() % 8 {
+                0..=2 => Event::load(Pc::new(next()), VirtAddr::new(next())),
+                3 => Event::store(Pc::new(next()), VirtAddr::new(next())),
+                4 => Event::load_dependent(Pc::new(next()), VirtAddr::new(next())),
+                5 => Event::Mem {
+                    pc: Pc::new(next()),
+                    vaddr: VirtAddr::new(next()),
+                    kind: AccessKind::Write,
+                    dependent: true,
+                },
+                _ => Event::Compute { ops: next() as u32 },
+            })
+            .collect()
+    }
+
+    /// Runs both decoders over the same stream with the same chunk size
+    /// and per-call budgets, asserting every observable (batch contents,
+    /// returned mem count, cursor) matches call for call.
+    fn assert_decoders_agree(stream: &EventStream, chunk: usize, budgets: &[u64]) {
+        let mut serial_cursor = StreamCursor::default();
+        let mut prescan_cursor = StreamCursor::default();
+        let mut serial_batch = EventBatch::new();
+        let mut prescan_batch = EventBatch::new();
+        let mut budget_iter = budgets.iter().cycle();
+        loop {
+            let budget = *budget_iter.next().expect("cycle is infinite");
+            let want =
+                stream.decode_chunk_serial(&mut serial_cursor, &mut serial_batch, chunk, budget);
+            let got =
+                stream.decode_chunk_prescan(&mut prescan_cursor, &mut prescan_batch, chunk, budget);
+            assert_eq!(got, want, "mem count at {serial_cursor:?} (chunk {chunk})");
+            assert_eq!(
+                prescan_batch.events(),
+                serial_batch.events(),
+                "batch at {serial_cursor:?} (chunk {chunk})"
+            );
+            assert_eq!(prescan_cursor, serial_cursor, "cursor (chunk {chunk})");
+            if serial_batch.is_empty() && budget > 0 {
+                break;
+            }
+        }
+        assert_eq!(serial_cursor.position(), stream.len());
+    }
+
+    #[test]
+    fn prescan_decoder_matches_serial_exhaustively_on_sample() {
+        let stream: EventStream = sample_events().into_iter().collect();
+        for chunk in 1..=stream.len() + 1 {
+            for budget in 1..=5u64 {
+                assert_decoders_agree(&stream, chunk, &[budget]);
+            }
+        }
+    }
+
+    #[test]
+    fn prescan_decoder_matches_serial_on_random_streams() {
+        for (seed, events) in [(1u64, 31), (2, 32), (3, 33), (4, 257), (5, 1000)] {
+            let stream = random_stream(events, seed);
+            for chunk in [1, 7, 32, 256, events + 1] {
+                assert_decoders_agree(&stream, chunk, &[u64::MAX]);
+                assert_decoders_agree(&stream, chunk, &[1, 3, 17, 2]);
+            }
+        }
+    }
+
+    #[test]
+    fn prescan_decoder_handles_degenerate_inputs() {
+        let empty = EventStream::new();
+        let mut cursor = StreamCursor::default();
+        let mut batch = EventBatch::new();
+        assert_eq!(empty.decode_chunk_prescan(&mut cursor, &mut batch, 256, u64::MAX), 0);
+        assert!(batch.is_empty());
+        // All-compute stream: budget never binds, window does.
+        let computes: EventStream = (0..100).map(|ops| Event::Compute { ops }).collect();
+        assert_decoders_agree(&computes, 16, &[1]);
+        // Zero budget decodes nothing on either path.
+        let stream = random_stream(64, 9);
+        let mut cursor = StreamCursor::default();
+        assert_eq!(stream.decode_chunk_prescan(&mut cursor, &mut batch, 256, 0), 0);
+        assert_eq!((batch.len(), cursor.position()), (0, 0));
     }
 
     #[test]

@@ -10,10 +10,12 @@
 //! if any bench shared with the baseline got more than 15% slower
 //! (median vs median).
 //!
-//! Two groups gate: `simulator` (end-to-end throughput of the
-//! monomorphized event loop) and `predictor_phases` (pHIST/bHIST
-//! lookup, shadow-table hit, and PFQ probe micro-phases, which localise
-//! a simulator regression to the predictor structure that caused it).
+//! Three groups gate: `simulator` (end-to-end throughput of the
+//! monomorphized event loop), `predictor_phases` (pHIST/bHIST lookup,
+//! shadow-table hit, and PFQ probe micro-phases, which localise a
+//! simulator regression to the predictor structure that caused it), and
+//! `simd_phases` (the vectorized kernels and their scalar twins, so a
+//! regression in either the AVX2 or the `DPC_SIMD=off` path trips CI).
 //! The `structures` micro-benches stay ungated: their one-shot samples
 //! are too noisy to act as a tripwire. Like the lint pass, everything
 //! here is hand-rolled (no serde) so the workspace stays
@@ -32,6 +34,7 @@ pub const REGRESSION_TOLERANCE: f64 = 0.15;
 pub const GROUPS: &[(&str, &str)] = &[
     ("simulator", "cargo bench --bench simulator"),
     ("predictor_phases", "cargo bench --bench predictor_phases"),
+    ("simd_phases", "cargo bench --bench simd_phases"),
 ];
 
 /// Report file name at the workspace root.

@@ -1,7 +1,7 @@
 //! `dpc-lint`: the workspace static-analysis pass behind `cargo xtask
 //! lint`.
 //!
-//! Three deny-by-default rule families protect the invariants the paper
+//! Five deny-by-default rule families protect the invariants the paper
 //! reproduction depends on:
 //!
 //! * **determinism** — no wall clocks outside the campaign engine's
@@ -13,7 +13,13 @@
 //!   `SatCounter::new` literal widths stay in `1..=8`;
 //! * **hot-path** — no `unwrap`/`expect`/`panic!`-family/unproven slice
 //!   indexing in non-test code under `crates/memsim` and
-//!   `crates/predictors`.
+//!   `crates/predictors`;
+//! * **dispatch** — no `dyn LltPolicy`/`dyn LlcPolicy` trait objects in
+//!   `crates/memsim`/`crates/core` outside the designated fallback
+//!   modules;
+//! * **simd** — `unsafe` and `core::arch` confined to the dedicated
+//!   `simd.rs` modules of the hot-path crates, every `unsafe` block
+//!   there carrying a `// SAFETY:` justification.
 //!
 //! The only escape hatch is an inline comment on the offending line or
 //! the line above it:

@@ -6,9 +6,10 @@
 //!   exits nonzero and prints `rule file:line message` for every
 //!   violation.
 //! * `lint --list` — list every rule with its one-line description.
-//! * `bench-report` — collect the `cargo bench --bench simulator` and
-//!   `cargo bench --bench predictor_phases` medians from
-//!   `target/criterion` into `BENCH_simulator.json`.
+//! * `bench-report` — collect the `cargo bench --bench simulator`,
+//!   `cargo bench --bench predictor_phases`, and `cargo bench --bench
+//!   simd_phases` medians from `target/criterion` into
+//!   `BENCH_simulator.json`.
 //! * `bench-report --check` — compare the current medians against the
 //!   checked-in `BENCH_simulator.json`; exits nonzero if any shared
 //!   bench is >15% slower.
@@ -43,6 +44,10 @@ const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
     ("hot-path::panic", "no panic!/unreachable!/todo!/unimplemented!/get_unchecked there"),
     ("hot-path::index", "slice indexing needs visible bounds reasoning in the function"),
     ("dispatch::boxed-policy", "no dyn LltPolicy/LlcPolicy in memsim/core outside fallback.rs"),
+    (
+        "simd::confined-unsafe",
+        "unsafe/core::arch only in simd.rs modules, with // SAFETY: comments",
+    ),
 ];
 
 fn lint(args: &[String]) -> ExitCode {

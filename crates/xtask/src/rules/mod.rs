@@ -1,4 +1,4 @@
-//! The four `dpc-lint` rule families.
+//! The five `dpc-lint` rule families.
 //!
 //! | family        | rules                                                      |
 //! |---------------|------------------------------------------------------------|
@@ -6,6 +6,7 @@
 //! | `budget`      | `structure-size`, `counter-width`                          |
 //! | `hot-path`    | `unwrap`, `panic`, `index`                                 |
 //! | `dispatch`    | `boxed-policy`                                             |
+//! | `simd`        | `confined-unsafe`                                          |
 //!
 //! Every rule is deny-by-default; the only escape hatch is an inline
 //! `// dpc-lint: allow(<rule>) -- <reason>` comment on the offending line
@@ -15,6 +16,7 @@ pub mod budget;
 pub mod determinism;
 pub mod dispatch;
 pub mod hot_path;
+pub mod simd;
 
 use crate::source::SourceFile;
 use std::path::PathBuf;
@@ -43,10 +45,11 @@ pub const ALL_RULES: &[&str] = &[
     hot_path::PANIC,
     hot_path::INDEX,
     dispatch::BOXED_POLICY,
+    simd::CONFINED_UNSAFE,
 ];
 
 /// Rule-family prefixes accepted in allow markers.
-pub const FAMILIES: &[&str] = &["determinism", "budget", "hot-path", "dispatch"];
+pub const FAMILIES: &[&str] = &["determinism", "budget", "hot-path", "dispatch", "simd"];
 
 /// Runs every rule over one file.
 pub fn check_file(file: &SourceFile) -> Vec<Violation> {
@@ -55,6 +58,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     budget::check(file, &mut violations);
     hot_path::check(file, &mut violations);
     dispatch::check(file, &mut violations);
+    simd::check(file, &mut violations);
     violations
 }
 

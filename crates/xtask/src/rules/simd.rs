@@ -1,0 +1,187 @@
+//! `simd` family: keep vector code auditable.
+//!
+//! The workspace denies `unsafe_code` globally; the SIMD kernels are the
+//! one sanctioned exception, and they are only auditable if they stay in
+//! one place per crate. This family confines `unsafe` and `core::arch`
+//! to the dedicated `simd.rs` modules of the hot-path crates
+//! (`crates/types/src/simd.rs`, `crates/memsim/src/simd.rs`,
+//! `crates/predictors/src/simd.rs`), and inside those modules requires
+//! every `unsafe` block to carry a `// SAFETY:` justification within a
+//! few lines above it.
+
+use super::{push, Violation};
+use crate::source::SourceFile;
+
+/// `unsafe` / `core::arch` outside a dedicated `simd.rs` module, or an
+/// `unsafe` block inside one without a nearby `// SAFETY:` comment.
+pub const CONFINED_UNSAFE: &str = "simd::confined-unsafe";
+
+/// Crate source trees the family applies to: everything the event-loop
+/// hot path runs through.
+const SIMD_SCOPES: &[&str] = &["crates/types/src/", "crates/memsim/src/", "crates/predictors/src/"];
+
+/// The designated home of vector kernels within each scoped crate.
+const SIMD_SUFFIX: &str = "/simd.rs";
+
+/// How many raw source lines above an `unsafe` block may hold its
+/// `// SAFETY:` comment (multi-line justifications are common).
+const SAFETY_WINDOW: usize = 6;
+
+pub fn in_scope(rel: &str) -> bool {
+    SIMD_SCOPES.iter().any(|scope| rel.starts_with(scope))
+}
+
+pub fn check(file: &SourceFile, violations: &mut Vec<Violation>) {
+    if !in_scope(&file.rel) {
+        return;
+    }
+    if file.rel.ends_with(SIMD_SUFFIX) {
+        check_safety_comments(file, violations);
+        return;
+    }
+    for token in ["unsafe", "core::arch"] {
+        for offset in file.token_offsets(token) {
+            if file.in_test_code(offset) {
+                continue;
+            }
+            push(
+                violations,
+                file,
+                CONFINED_UNSAFE,
+                offset,
+                format!(
+                    "`{token}` outside the dedicated simd module: vector kernels and their \
+                     unsafe code belong in this crate's `src/simd.rs` behind a safe dispatch \
+                     wrapper, so every unsafe line in the hot-path crates sits in one \
+                     auditable place"
+                ),
+            );
+        }
+    }
+}
+
+/// Inside a `simd.rs` module: every non-test `unsafe` *block* must have
+/// a `// SAFETY:` comment on its own line or within [`SAFETY_WINDOW`]
+/// lines above. `unsafe fn` declarations are exempt — their obligations
+/// are discharged at the call sites, which are blocks.
+fn check_safety_comments(file: &SourceFile, violations: &mut Vec<Violation>) {
+    let raw_lines: Vec<&str> = file.raw.lines().collect();
+    for offset in file.token_offsets("unsafe") {
+        if file.in_test_code(offset) || !is_block(&file.scrubbed, offset) {
+            continue;
+        }
+        let line = file.line_of(offset); // 1-based
+        let from = line.saturating_sub(SAFETY_WINDOW + 1);
+        let documented =
+            raw_lines[from..line.min(raw_lines.len())].iter().any(|l| l.contains("SAFETY:"));
+        if !documented {
+            push(
+                violations,
+                file,
+                CONFINED_UNSAFE,
+                offset,
+                format!(
+                    "`unsafe` block without a `// SAFETY:` comment within {SAFETY_WINDOW} \
+                     lines: state the invariant that makes the block sound"
+                ),
+            );
+        }
+    }
+}
+
+/// Whether the `unsafe` token at `offset` opens a block (`unsafe {`)
+/// rather than declaring an `unsafe fn`/`unsafe impl`.
+fn is_block(scrubbed: &str, offset: usize) -> bool {
+    scrubbed[offset + "unsafe".len()..].trim_start().starts_with('{')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from(rel), rel.to_owned(), src.to_owned())
+    }
+
+    fn rules(file: &SourceFile) -> Vec<&'static str> {
+        let mut violations = Vec::new();
+        check(file, &mut violations);
+        violations.into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn unsafe_outside_simd_module_flagged() {
+        for rel in [
+            "crates/types/src/stream.rs",
+            "crates/memsim/src/soa.rs",
+            "crates/predictors/src/dppred.rs",
+        ] {
+            let f = file(rel, "fn f() { unsafe { bad() } }\n");
+            assert_eq!(rules(&f), vec![CONFINED_UNSAFE], "{rel}");
+        }
+    }
+
+    #[test]
+    fn core_arch_outside_simd_module_flagged() {
+        let f = file("crates/memsim/src/system.rs", "use core::arch::x86_64::_mm_prefetch;\n");
+        assert_eq!(rules(&f), vec![CONFINED_UNSAFE]);
+    }
+
+    #[test]
+    fn documented_block_in_simd_module_clean() {
+        let f = file(
+            "crates/memsim/src/simd.rs",
+            "fn f() {\n    // SAFETY: slice is 32 bytes by construction.\n    unsafe { load() }\n}\n",
+        );
+        assert_eq!(rules(&f), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn undocumented_block_in_simd_module_flagged() {
+        let f = file("crates/types/src/simd.rs", "fn f() {\n    unsafe { load() }\n}\n");
+        assert_eq!(rules(&f), vec![CONFINED_UNSAFE]);
+    }
+
+    #[test]
+    fn safety_comment_must_be_nearby() {
+        let filler = "    x();\n".repeat(SAFETY_WINDOW + 1);
+        let src =
+            format!("fn f() {{\n    // SAFETY: far away.\n{filler}    unsafe {{ load() }}\n}}\n");
+        let f = file("crates/types/src/simd.rs", &src);
+        assert_eq!(rules(&f), vec![CONFINED_UNSAFE]);
+    }
+
+    #[test]
+    fn unsafe_fn_declarations_exempt_inside_simd_module() {
+        let f = file(
+            "crates/memsim/src/simd.rs",
+            "#[target_feature(enable = \"avx2\")]\nunsafe fn kernel(x: &[u64]) -> u64 { 0 }\n",
+        );
+        assert_eq!(rules(&f), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn out_of_scope_crates_and_tests_exempt() {
+        let f = file("crates/bench/src/lib.rs", "fn f() { unsafe { bad() } }\n");
+        assert_eq!(rules(&f), Vec::<&str>::new());
+        let f = file(
+            "crates/memsim/src/soa.rs",
+            "#[cfg(test)]\nmod tests {\n    fn f() { unsafe { fine_in_tests() } }\n}\n",
+        );
+        assert_eq!(rules(&f), Vec::<&str>::new());
+        let f = file(
+            "crates/types/src/simd.rs",
+            "#[cfg(test)]\nmod tests {\n    fn f() { unsafe { kernel() } }\n}\n",
+        );
+        assert_eq!(rules(&f), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn words_containing_unsafe_not_flagged() {
+        // `unsafe_code` (the lint name in attributes) has a trailing word
+        // character, so the word-boundary token scan must skip it.
+        let f = file("crates/types/src/stream.rs", "#![allow(unsafe_code)]\n");
+        assert_eq!(rules(&f), Vec::<&str>::new());
+    }
+}
