@@ -1,0 +1,395 @@
+//! Vendored, dependency-free micro-benchmark runner exposing the subset
+//! of the `criterion` 0.5 API this workspace uses, for fully offline
+//! builds.
+//!
+//! Output contract: for every `<group>/<bench>` the runner writes
+//! `target/criterion/<group>/<bench>/new/estimates.json` containing
+//! `mean`/`median`/`std_dev` objects with `point_estimate` fields in
+//! nanoseconds — the exact shape `cargo xtask bench-report` parses for
+//! the >15% regression gate.
+//!
+//! Measurement model: per sample the routine runs in a calibrated batch
+//! (total batch time ≥ ~2 ms, at least 9 iterations) and the sample
+//! value is the *minimum* per-iteration time across 9 timed sub-batches
+//! — min-of-9 rejects scheduler-steal noise on shared CI runners, which
+//! matters more here than criterion's full bootstrap analysis. The
+//! reported median is the median over `sample_size` such samples.
+//!
+//! CLI: `--test` (from `cargo bench -- --test`) runs every routine once
+//! as a smoke check without timing or writing estimates; the `--bench`
+//! flag cargo always appends is accepted and ignored, as are filter
+//! substrings (benches not matching a filter are skipped).
+
+use std::hint;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Re-export point for `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup; the stub times each iteration
+/// individually, so all variants behave like `PerIteration`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation; accepted and ignored (the regression gate
+/// compares raw medians).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver, constructed by `criterion_group!`.
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+    criterion_dir: PathBuf,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments cargo passes to a
+    /// `harness = false` bench binary.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "-t" => test_mode = true,
+                // Cargo always appends `--bench`; other flags that real
+                // criterion accepts are irrelevant to the stub.
+                s if s.starts_with('-') => {}
+                s => filters.push(s.to_owned()),
+            }
+        }
+        Criterion { test_mode, filters, criterion_dir: criterion_dir() }
+    }
+
+    /// Starts a named benchmark group (the only entry point the
+    /// workspace benches use).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, group: name.to_owned(), sample_size: 100 }
+    }
+
+    /// Ungrouped bench; stored under a group named after the bench id,
+    /// mirroring criterion's directory layout. Generic over the id like
+    /// real criterion's `impl Into<BenchmarkId>` (benches pass both
+    /// `&str` and `format!` strings).
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let id = id.as_ref();
+        let mut group = self.benchmark_group(id);
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    fn matches_filter(&self, group: &str, id: &str) -> bool {
+        if self.filters.is_empty() {
+            return true;
+        }
+        let full = format!("{group}/{id}");
+        self.filters.iter().any(|f| full.contains(f.as_str()))
+    }
+}
+
+/// Locates `target/criterion` like real criterion: `CARGO_TARGET_DIR`
+/// if set, else the nearest ancestor `target` directory of the bench
+/// crate's manifest.
+fn criterion_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir).join("criterion");
+    }
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".to_owned());
+    let mut dir = PathBuf::from(manifest);
+    loop {
+        let candidate = dir.join("target");
+        if candidate.is_dir() {
+            return candidate.join("criterion");
+        }
+        if !dir.pop() {
+            return PathBuf::from("target").join("criterion");
+        }
+    }
+}
+
+/// A named group of benches sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Generic over the id like real criterion's `impl Into<BenchmarkId>`
+    /// (benches pass both `&str` and `format!` strings).
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.as_ref();
+        if !self.criterion.matches_filter(&self.group, id) {
+            return self;
+        }
+        if self.criterion.test_mode {
+            // Smoke mode: run the routine once, no timing, no report.
+            let mut bencher = Bencher { mode: Mode::Smoke, samples: Vec::new() };
+            f(&mut bencher);
+            println!("Testing {}/{id} ... ok", self.group);
+            return self;
+        }
+        let mut bencher =
+            Bencher { mode: Mode::Measure { sample_size: self.sample_size }, samples: Vec::new() };
+        f(&mut bencher);
+        let report = Estimates::from_samples(&bencher.samples);
+        println!(
+            "{}/{id}: median {:.1} ns/iter (mean {:.1} ns, {} samples)",
+            self.group,
+            report.median,
+            report.mean,
+            bencher.samples.len()
+        );
+        report.write(&self.criterion.criterion_dir, &self.group, id);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Smoke,
+    Measure { sample_size: usize },
+}
+
+/// Per-bench measurement state handed to the closure.
+pub struct Bencher {
+    mode: Mode,
+    /// ns-per-iteration samples.
+    samples: Vec<f64>,
+}
+
+/// Number of timed sub-batches per sample; the sample keeps the
+/// minimum, rejecting scheduler-steal outliers.
+const SUB_BATCHES: u32 = 9;
+/// Calibration floor per timed sub-batch.
+const MIN_BATCH_NANOS: u128 = 2_000_000;
+
+impl Bencher {
+    /// Times `routine` with no per-iteration setup.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let sample_size = match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+                return;
+            }
+            Mode::Measure { sample_size } => sample_size,
+        };
+        // Calibrate how many iterations a sub-batch needs to cross the
+        // timing floor (quantization noise dominates below it).
+        let mut iters_per_batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos();
+            if elapsed >= MIN_BATCH_NANOS || iters_per_batch >= 1 << 20 {
+                break;
+            }
+            iters_per_batch *= 2;
+        }
+        for _ in 0..sample_size {
+            let mut best = f64::INFINITY;
+            for _ in 0..SUB_BATCHES {
+                let start = Instant::now();
+                for _ in 0..iters_per_batch {
+                    black_box(routine());
+                }
+                let ns = start.elapsed().as_nanos() as f64 / iters_per_batch as f64;
+                best = best.min(ns);
+            }
+            self.samples.push(best);
+        }
+    }
+
+    /// Times `routine` with a fresh untimed `setup` product per call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let sample_size = match self.mode {
+            Mode::Smoke => {
+                black_box(routine(setup()));
+                return;
+            }
+            Mode::Measure { sample_size } => sample_size,
+        };
+        for _ in 0..sample_size {
+            let mut best = f64::INFINITY;
+            for _ in 0..SUB_BATCHES {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                best = best.min(start.elapsed().as_nanos() as f64);
+            }
+            self.samples.push(best);
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`], passing the input by `&mut`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let sample_size = match self.mode {
+            Mode::Smoke => {
+                black_box(routine(&mut setup()));
+                return;
+            }
+            Mode::Measure { sample_size } => sample_size,
+        };
+        for _ in 0..sample_size {
+            let mut best = f64::INFINITY;
+            for _ in 0..SUB_BATCHES {
+                let mut input = setup();
+                let start = Instant::now();
+                black_box(routine(&mut input));
+                best = best.min(start.elapsed().as_nanos() as f64);
+            }
+            self.samples.push(best);
+        }
+    }
+}
+
+struct Estimates {
+    mean: f64,
+    median: f64,
+    std_dev: f64,
+}
+
+impl Estimates {
+    fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Estimates { mean: 0.0, median: 0.0, std_dev: 0.0 };
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        let median = if sorted.len() % 2 == 0 {
+            f64::midpoint(sorted[mid - 1], sorted[mid])
+        } else {
+            sorted[mid]
+        };
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+        Estimates { mean, median, std_dev: var.sqrt() }
+    }
+
+    /// Writes `new/estimates.json` in the layout `bench-report` parses.
+    fn write(&self, criterion_dir: &std::path::Path, group: &str, id: &str) {
+        let dir = criterion_dir.join(sanitize(group)).join(sanitize(id)).join("new");
+        if let Err(err) = std::fs::create_dir_all(&dir) {
+            eprintln!("criterion stub: cannot create {}: {err}", dir.display());
+            return;
+        }
+        let json = format!(
+            "{{\"mean\":{{\"point_estimate\":{:.1}}},\
+             \"median\":{{\"point_estimate\":{:.1}}},\
+             \"std_dev\":{{\"point_estimate\":{:.1}}}}}\n",
+            self.mean, self.median, self.std_dev
+        );
+        let path = dir.join("estimates.json");
+        if let Err(err) = std::fs::write(&path, json) {
+            eprintln!("criterion stub: cannot write {}: {err}", path.display());
+        }
+    }
+}
+
+/// Criterion's directory-name sanitization for bench ids.
+fn sanitize(id: &str) -> String {
+    id.chars().map(|c| if c == '/' || c == ' ' || c == '\\' { '_' } else { c }).collect()
+}
+
+/// Declares a bench group entry point running each target function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_median_is_robust() {
+        let est = Estimates::from_samples(&[1.0, 2.0, 100.0]);
+        assert_eq!(est.median, 2.0);
+        let est = Estimates::from_samples(&[1.0, 2.0, 3.0, 100.0]);
+        assert_eq!(est.median, 2.5);
+    }
+
+    #[test]
+    fn written_estimates_parse_like_bench_report() {
+        // Reimplements bench_report::extract_median's string scan to
+        // pin the output shape without a crate dependency cycle.
+        let est = Estimates { mean: 4.0, median: 3.5, std_dev: 0.5 };
+        let dir = std::env::temp_dir().join(format!("dpc-criterion-stub-{}", std::process::id()));
+        est.write(&dir, "simulator", "demo");
+        let text = std::fs::read_to_string(
+            dir.join("simulator").join("demo").join("new").join("estimates.json"),
+        )
+        .unwrap();
+        let median_at = text.find("\"median\"").unwrap();
+        let tail = &text[median_at..];
+        let key_at = tail.find("\"point_estimate\"").unwrap();
+        let after = &tail[key_at + "\"point_estimate\"".len()..];
+        let colon = after.find(':').unwrap();
+        let value = after[colon + 1..].trim_start().split([',', '}']).next().unwrap().trim();
+        assert_eq!(value.parse::<f64>().unwrap(), 3.5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sanitize_replaces_separators() {
+        assert_eq!(sanitize("a/b c"), "a_b_c");
+    }
+}

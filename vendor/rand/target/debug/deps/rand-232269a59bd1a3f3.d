@@ -1,0 +1,5 @@
+/root/repo/vendor/rand/target/debug/deps/rand-232269a59bd1a3f3.d: src/lib.rs
+
+/root/repo/vendor/rand/target/debug/deps/rand-232269a59bd1a3f3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/rand/target/debug/deps/rand-b1fe5722e3a2cdfd.d: src/lib.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-b1fe5722e3a2cdfd.rlib: src/lib.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-b1fe5722e3a2cdfd.rmeta: src/lib.rs
+
+src/lib.rs:

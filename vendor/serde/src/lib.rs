@@ -1,0 +1,20 @@
+//! Vendored, dependency-free stub of the `serde` API surface this
+//! workspace uses, for fully offline builds.
+//!
+//! The workspace only *declares* `#[derive(Serialize, Deserialize)]` on
+//! a handful of plain-data types (addresses, counters, configs, stats);
+//! all JSON actually written or read at runtime is hand-rolled (see
+//! `bench_report.rs`: "everything here is hand-rolled (no serde) so the
+//! workspace stays dependency-free on an offline toolchain"). The stub
+//! therefore provides marker traits and no-op derive macros: enough for
+//! the derives to compile, with no runtime serialization machinery.
+
+/// Marker stand-in for `serde::Serialize`. No workspace code takes a
+/// `T: Serialize` bound, so no methods are needed.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
