@@ -183,6 +183,7 @@ impl Default for PageTable {
 }
 
 fn new_node() -> Node {
+    // dpc-lint: allow(hot-path::alloc) -- demand-mapping allocates one PT node per first touch; steady-state replay stays allocation-free (proved by the counting-allocator test)
     Box::new([0u64; NODE_ENTRIES])
 }
 

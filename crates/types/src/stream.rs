@@ -199,6 +199,7 @@ impl EventStream {
         let Some(tags) = self.tags.get(cursor.index..) else { return 0 };
         let window = tags.len().min(max_events);
         let (take, mem_take) = crate::simd::classify_tags(&tags[..window], TAG_COMPUTE, max_mem);
+        debug_assert!(take <= window);
         let compute_take = take - mem_take as usize;
         // The struct invariant (mem tags ⇔ pcs/vaddrs entries, compute
         // tags ⇔ ops entries) guarantees these windows exist; `get`
@@ -215,10 +216,12 @@ impl EventStream {
         let mut compute = 0usize;
         for &tag in &tags[..take] {
             let event = if tag == TAG_COMPUTE {
+                debug_assert!(compute < ops.len());
                 let ops = ops[compute];
                 compute += 1;
                 Event::Compute { ops }
             } else {
+                debug_assert!(mem < pcs.len());
                 let pc = Pc::new(pcs[mem]);
                 let vaddr = VirtAddr::new(vaddrs[mem]);
                 mem += 1;

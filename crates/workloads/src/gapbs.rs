@@ -207,6 +207,7 @@ impl Sssp {
         self.queue.clear();
         self.qpos = 0;
         let src = self.rng.gen_range(0..self.graph.vertices());
+        debug_assert!(src < self.graph.vertices());
         self.dist[src as usize] = 0;
         self.queued[src as usize] = self.round;
         self.queue.push(src);
@@ -219,6 +220,7 @@ impl Algorithm for Sssp {
             self.restart();
         }
         let u = self.queue[self.qpos];
+        debug_assert!(u < self.graph.vertices());
         // The worklist can outgrow n (requeues); it lives in a circular
         // buffer of n slots.
         em.load(S_AUX2, self.queue_array.at(self.qpos as u64 % self.queue_array.len()));
@@ -230,6 +232,7 @@ impl Algorithm for Sssp {
         let (dist, queued, queue, round) =
             (&mut self.dist, &mut self.queued, &mut self.queue, self.round);
         scan_neighbors(em, &self.graph, &self.layout.clone(), u, |em, e, v| {
+            debug_assert!((v as usize) < dist.len());
             em.load(S_AUX, weights.at(e));
             em.load_dependent(S_PROP_V, dist_array.at(u64::from(v)));
             let cand = du.saturating_add(weight_of(e));
@@ -315,6 +318,7 @@ impl Betweenness {
         self.phase = BcPhase::Forward;
         self.round += 1;
         let src = self.rng.gen_range(0..self.graph.vertices());
+        debug_assert!(src < self.graph.vertices());
         self.dist[src as usize] = 0;
         self.sigma[src as usize] = 1;
         self.queue.push(src);
@@ -331,6 +335,7 @@ impl Algorithm for Betweenness {
                     return;
                 }
                 let u = self.queue[self.qpos];
+                debug_assert!(u < self.graph.vertices());
                 em.load(S_AUX2, self.queue_array.at(self.qpos as u64));
                 self.qpos += 1;
                 let du = self.dist[u as usize];
@@ -339,6 +344,7 @@ impl Algorithm for Betweenness {
                     (self.dist_array, self.sigma_array, self.queue_array);
                 let (dist, sigma, queue) = (&mut self.dist, &mut self.sigma, &mut self.queue);
                 scan_neighbors(em, &self.graph, &self.layout.clone(), u, |em, _e, v| {
+                    debug_assert!((v as usize) < dist.len());
                     em.load_dependent(S_PROP_V, dist_array.at(u64::from(v)));
                     if dist[v as usize] < 0 {
                         dist[v as usize] = du + 1;
@@ -361,6 +367,7 @@ impl Algorithm for Betweenness {
                 }
                 self.qpos -= 1;
                 let w = self.queue[self.qpos];
+                debug_assert!(w < self.graph.vertices());
                 em.load(S_AUX2, self.queue_array.at(self.qpos as u64));
                 em.load(S_AUX, self.delta_array.at(u64::from(w)));
                 let dw = self.dist[w as usize];

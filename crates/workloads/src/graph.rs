@@ -130,12 +130,15 @@ impl CsrGraph {
     /// Index range of vertex `u`'s adjacency in the target array.
     #[inline]
     pub fn neighbors_range(&self, u: u32) -> (u64, u64) {
-        (self.offsets[u as usize], self.offsets[u as usize + 1])
+        debug_assert!(u < self.vertices());
+        let u = u as usize;
+        (self.offsets[u], self.offsets[u + 1])
     }
 
     /// The `i`-th entry of the flat target array.
     #[inline]
     pub fn target(&self, i: u64) -> u32 {
+        debug_assert!(i < self.edges());
         self.targets[i as usize]
     }
 

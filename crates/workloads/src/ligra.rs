@@ -66,6 +66,7 @@ impl Bfs {
         self.queue.clear();
         self.qpos = 0;
         let src = self.rng.gen_range(0..self.graph.vertices());
+        debug_assert!(src < self.graph.vertices());
         self.visited[src as usize] = self.round;
         self.queue.push(src);
     }
@@ -85,6 +86,7 @@ impl Algorithm for Bfs {
         for e in lo..hi {
             em.load(S_TGT, self.layout.targets.at(e));
             let v = self.graph.target(e);
+            debug_assert!(v < self.graph.vertices());
             em.load_dependent(S_PROP_V, self.parent_array.at(u64::from(v)));
             if self.visited[v as usize] != self.round {
                 self.visited[v as usize] = self.round;
@@ -309,6 +311,7 @@ impl Algorithm for KCore {
                 for x in v..end {
                     em.load(S_QUEUE, self.order_array.at(u64::from(x)));
                     let candidate = self.order[x as usize];
+                    debug_assert!(candidate < n);
                     em.load(S_PROP_U, self.deg_array.at(u64::from(candidate)));
                     if !self.removed[candidate as usize] && self.deg[candidate as usize] <= self.k {
                         self.queue.push(candidate);
@@ -329,6 +332,7 @@ impl Algorithm for KCore {
                     return;
                 }
                 let u = self.queue[self.qpos];
+                debug_assert!(u < self.graph.vertices());
                 self.qpos += 1;
                 if self.removed[u as usize] {
                     return;
@@ -341,6 +345,7 @@ impl Algorithm for KCore {
                 for e in lo..hi {
                     em.load(S_TGT, self.layout.targets.at(e));
                     let v = self.graph.target(e);
+                    debug_assert!(v < self.graph.vertices());
                     em.load_dependent(S_PROP_V, self.deg_array.at(u64::from(v)));
                     if !self.removed[v as usize] {
                         self.deg[v as usize] -= 1;
@@ -414,6 +419,7 @@ impl Mis {
 impl Algorithm for Mis {
     fn step(&mut self, em: &mut Emitter) {
         let u = self.u;
+        debug_assert!(u < self.graph.vertices());
         em.load(S_PROP_U, self.state_array.at(u64::from(u)));
         if self.state[u as usize] == MisState::Undecided {
             em.load(S_PROP_U, self.prio_array.at(u64::from(u)));
@@ -425,6 +431,7 @@ impl Algorithm for Mis {
             for e in lo..hi {
                 em.load(S_TGT, self.layout.targets.at(e));
                 let v = self.graph.target(e);
+                debug_assert!(v < self.graph.vertices());
                 em.load_dependent(S_PROP_V, self.state_array.at(u64::from(v)));
                 if self.state[v as usize] == MisState::Undecided {
                     em.load_dependent(S_PROP_V, self.prio_array.at(u64::from(v)));

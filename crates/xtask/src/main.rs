@@ -2,18 +2,28 @@
 //!
 //! Subcommands:
 //!
-//! * `lint` — run the `dpc-lint` static-analysis pass over the workspace;
-//!   exits nonzero and prints `rule file:line message` for every
-//!   violation.
+//! * `lint` — run the `dpc-lint` static-analysis pass (line rules plus
+//!   call-graph hot-path reachability) over the workspace.
 //! * `lint --list` — list every rule with its one-line description.
-//! * `bench-report` — collect the `cargo bench --bench simulator`,
-//!   `cargo bench --bench predictor_phases`, and `cargo bench --bench
-//!   simd_phases` medians from `target/criterion` into
-//!   `BENCH_simulator.json`.
-//! * `bench-report --check` — compare the current medians against the
-//!   checked-in `BENCH_simulator.json`; exits nonzero if any shared
-//!   bench is >15% slower.
+//! * `lint --strict` — promote unused allow markers and stale baseline
+//!   entries from warnings to errors (the CI configuration).
+//! * `lint --format text|json|sarif` — diagnostic output format; SARIF
+//!   2.1.0 is what GitHub code scanning ingests.
+//! * `lint --output <path>` — write the formatted diagnostics to a file
+//!   (a human summary still goes to stdout).
+//! * `lint --baseline <path>` — tolerate findings fingerprinted in the
+//!   baseline file (default: `lint-baseline.json` at the workspace root
+//!   when present).
+//! * `lint --write-baseline` — write the current findings' fingerprints
+//!   to the baseline file and exit 0.
+//! * `bench-report [--check]` — collect/gate criterion medians (see
+//!   [`xtask::bench_report`]).
+//!
+//! **Exit codes** (CI depends on the distinction): `0` clean, `1` rule
+//! violations (a dirty tree), `2` I/O or parse failure (a broken linter
+//! invocation — unreadable workspace, malformed baseline, bad flags).
 
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -26,7 +36,11 @@ fn main() -> ExitCode {
             ExitCode::from(xtask::bench_report::run(&workspace_root(), check))
         }
         _ => {
-            eprintln!("usage: cargo xtask lint [--list]");
+            eprintln!(
+                "usage: cargo xtask lint [--list] [--strict] [--format text|json|sarif]\n\
+                 \x20                       [--output <path>] [--baseline <path>] \
+                 [--write-baseline]"
+            );
             eprintln!("       cargo xtask bench-report [--check]");
             eprintln!("       (cargo run --package xtask -- <cmd>, without the alias)");
             ExitCode::from(2)
@@ -34,25 +48,76 @@ fn main() -> ExitCode {
     }
 }
 
-const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
-    ("determinism::wall-clock", "no Instant/SystemTime outside crates/core/src/campaign.rs"),
-    ("determinism::unseeded-rng", "no thread_rng/from_entropy/rand::random; seed_from_u64 only"),
-    ("determinism::hash-iteration", "no HashMap/HashSet iteration; BTree* or sort first"),
-    ("budget::structure-size", "paper budgets pinned (pHIST/bHIST/PFQ/shadow/RRPV width/Table I)"),
-    ("budget::counter-width", "SatCounter::new literal widths within 1..=8"),
-    ("hot-path::unwrap", "no unwrap/expect in non-test memsim/predictors code"),
-    ("hot-path::panic", "no panic!/unreachable!/todo!/unimplemented!/get_unchecked there"),
-    ("hot-path::index", "slice indexing needs visible bounds reasoning in the function"),
-    ("dispatch::boxed-policy", "no dyn LltPolicy/LlcPolicy in memsim/core outside fallback.rs"),
-    (
-        "simd::confined-unsafe",
-        "unsafe/core::arch only in simd.rs modules, with // SAFETY: comments",
-    ),
-];
+/// Parsed `lint` flags.
+struct LintOptions {
+    list: bool,
+    strict: bool,
+    format: Format,
+    output: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+/// Default baseline file name at the workspace root.
+const BASELINE_FILE: &str = "lint-baseline.json";
+
+fn parse_lint_args(args: &[String]) -> Result<LintOptions, String> {
+    let mut opts = LintOptions {
+        list: false,
+        strict: false,
+        format: Format::Text,
+        output: None,
+        baseline: None,
+        write_baseline: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => opts.list = true,
+            "--strict" => opts.strict = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--format" => {
+                opts.format = match it.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        return Err(format!(
+                            "--format takes text|json|sarif, got {}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                };
+            }
+            "--output" => {
+                opts.output = Some(it.next().ok_or("--output needs a path")?.into());
+            }
+            "--baseline" => {
+                opts.baseline = Some(it.next().ok_or("--baseline needs a path")?.into());
+            }
+            other => return Err(format!("unknown lint flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
 
 fn lint(args: &[String]) -> ExitCode {
-    if args.iter().any(|a| a == "--list") {
-        for (rule, description) in RULE_DESCRIPTIONS {
+    let opts = match parse_lint_args(args) {
+        Ok(opts) => opts,
+        Err(err) => {
+            eprintln!("dpc-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list {
+        for (rule, description) in xtask::rules::DESCRIPTIONS {
             println!("{rule:<30} {description}");
         }
         return ExitCode::SUCCESS;
@@ -67,50 +132,114 @@ fn lint(args: &[String]) -> ExitCode {
         }
     };
 
-    for violation in &report.violations {
+    // Load the baseline: an explicitly named file must exist and parse;
+    // the default one is optional but must parse when present.
+    let baseline_path = opts.baseline.clone().unwrap_or_else(|| root.join(BASELINE_FILE));
+    let baseline: BTreeSet<String> = if opts.write_baseline {
+        BTreeSet::new()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match xtask::output::parse_baseline(&text) {
+                Ok(set) => set,
+                Err(err) => {
+                    eprintln!("dpc-lint: {}: {err}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(err) if opts.baseline.is_some() => {
+                eprintln!("dpc-lint: cannot read {}: {err}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+            Err(_) => BTreeSet::new(),
+        }
+    };
+
+    let set = xtask::output::collect(&report, opts.strict, &baseline);
+
+    if opts.write_baseline {
+        let text = xtask::output::render_baseline(&set);
+        if let Err(err) = std::fs::write(&baseline_path, &text) {
+            eprintln!("dpc-lint: cannot write {}: {err}", baseline_path.display());
+            return ExitCode::from(2);
+        }
         println!(
-            "error[{}]: {}\n  --> {}:{}",
-            violation.rule,
-            violation.message,
-            display_rel(&root, &violation.path),
-            violation.line
+            "dpc-lint: wrote {} ({} fingerprint(s))",
+            baseline_path.display(),
+            set.count(xtask::output::Level::Error)
         );
-    }
-    for (path, line, rules) in &report.missing_reasons {
-        println!(
-            "error[allow-marker]: allow({rules}) needs `-- <reason>` (or names an unknown rule)\n  \
-             --> {}:{line}",
-            display_rel(&root, path)
-        );
-    }
-    for (path, line, rules) in &report.unused_allows {
-        println!(
-            "warning[allow-marker]: allow({rules}) suppressed nothing; remove it\n  --> {}:{line}",
-            display_rel(&root, path)
-        );
+        return ExitCode::SUCCESS;
     }
 
-    let problems = report.violations.len() + report.missing_reasons.len();
-    if problems == 0 {
-        println!(
-            "dpc-lint: clean — {} files, {} rules, {} unused allow marker(s)",
-            report.files_scanned,
-            RULE_DESCRIPTIONS.len(),
-            report.unused_allows.len()
-        );
+    let rendered = match opts.format {
+        Format::Text => render_text(&set),
+        Format::Json => xtask::output::render_json(&set),
+        Format::Sarif => xtask::output::render_sarif(&set),
+    };
+    match &opts.output {
+        Some(path) => {
+            if let Err(err) = std::fs::write(path, &rendered) {
+                eprintln!("dpc-lint: cannot write {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        None => print!("{rendered}"),
+    }
+
+    // The human summary always reaches stdout, even when the formatted
+    // diagnostics went to a file.
+    let errors = set.count(xtask::output::Level::Error);
+    let warnings = set.count(xtask::output::Level::Warning);
+    if opts.output.is_some() || opts.format != Format::Text {
+        summary_line(&report, errors, warnings, opts.strict);
+    }
+    if errors == 0 {
+        if opts.format == Format::Text && opts.output.is_none() {
+            summary_line(&report, errors, warnings, opts.strict);
+        }
         ExitCode::SUCCESS
     } else {
-        println!("dpc-lint: {problems} violation(s) in {} files scanned", report.files_scanned);
         ExitCode::FAILURE
     }
+}
+
+fn summary_line(report: &xtask::LintReport, errors: usize, warnings: usize, strict: bool) {
+    let mode = if strict { ", strict" } else { "" };
+    if errors == 0 {
+        println!(
+            "dpc-lint: clean — {} files, {} rules, {}/{} hot-reachable fns, {} warning(s){mode}",
+            report.files_scanned,
+            xtask::rules::ALL_RULES.len(),
+            report.reachable_fns,
+            report.total_fns,
+            warnings,
+        );
+    } else {
+        println!(
+            "dpc-lint: {errors} error(s), {warnings} warning(s) in {} files scanned \
+             ({}/{} hot-reachable fns{mode})",
+            report.files_scanned, report.reachable_fns, report.total_fns,
+        );
+    }
+}
+
+/// Plain-text rendering: `level[rule]: message` + `--> file:line`.
+fn render_text(set: &xtask::output::DiagnosticSet) -> String {
+    let mut out = String::new();
+    for d in &set.diagnostics {
+        if d.rel.is_empty() {
+            out.push_str(&format!("{}[{}]: {}\n", d.level, d.rule, d.message));
+        } else {
+            out.push_str(&format!(
+                "{}[{}]: {}\n  --> {}:{}\n",
+                d.level, d.rule, d.message, d.rel, d.line
+            ));
+        }
+    }
+    out
 }
 
 /// The workspace root: two levels above this crate's manifest.
 fn workspace_root() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest.parent().and_then(std::path::Path::parent).map_or(manifest.clone(), PathBuf::from)
-}
-
-fn display_rel(root: &std::path::Path, path: &std::path::Path) -> String {
-    path.strip_prefix(root).unwrap_or(path).display().to_string()
 }

@@ -1,15 +1,26 @@
-//! `hot-path` family: panic-free simulation kernels.
+//! `hot-path` family: panic-free, allocation-free simulation kernels.
 //!
-//! `crates/memsim` and `crates/predictors` execute once per simulated
-//! memory operation — hundreds of millions of times per campaign — and a
-//! panic there takes down a whole worker pool mid-campaign. Non-test code
-//! in those crates must not `unwrap`/`expect`, must not reach
-//! `panic!`-family macros, and may only index slices when the enclosing
-//! function shows visible bounds reasoning (a mask, a bounded loop, an
-//! assert/`invariant!`, or a comparison against the bound).
+//! Two scopes compose:
+//!
+//! * **crate scope** — all non-test code in `crates/memsim` and
+//!   `crates/predictors` (executed once per simulated memory operation)
+//!   must not `unwrap`/`expect`, must not reach `panic!`-family macros,
+//!   and may only index slices when the enclosing function shows visible
+//!   bounds reasoning;
+//! * **reachability scope** — every function the call graph
+//!   ([`crate::graph`]) proves reachable from the replay roots
+//!   (`System::run_stream`/`step`, `SetAssoc::locate`/`fill`, the
+//!   `LltPolicy`/`LlcPolicy` hook surface, `EventStream::decode_chunk`)
+//!   is held to the same rules *wherever it lives*, plus the
+//!   [`ALLOC`] rule: no heap construction (`Vec`/`Box`/`format!`/
+//!   `to_vec`/`to_owned`-style heap clones) on the warm path, the static
+//!   complement of the counting-allocator proof in
+//!   `tests/alloc_free.rs`.
 
 use super::{push, Violation};
+use crate::graph::HotSpan;
 use crate::source::{is_ident_byte, SourceFile};
+use std::ops::Range;
 
 /// No `.unwrap()` / `.expect(` in non-test hot-path code.
 pub const UNWRAP: &str = "hot-path::unwrap";
@@ -23,29 +34,79 @@ pub const PANIC: &str = "hot-path::panic";
 /// function.
 pub const INDEX: &str = "hot-path::index";
 
-/// Crate source trees the family applies to.
+/// No heap construction in code reachable from the replay roots.
+pub const ALLOC: &str = "hot-path::alloc";
+
+/// Crate source trees the panic/index rules apply to wholesale.
 const HOT_PATH_SCOPES: &[&str] = &["crates/memsim/src/", "crates/predictors/src/"];
 
 const PANIC_TOKENS: &[&str] =
     &["panic!(", "unreachable!(", "todo!(", "unimplemented!(", "get_unchecked"];
 
+/// Heap-constructing expressions forbidden in hot-reachable code. The
+/// list is textual and deliberately explicit: `collect` only counts when
+/// its turbofish names an allocating container, and `clone` is covered
+/// via the owning conversions (`to_vec`/`to_owned`/`to_string`) — a bare
+/// `.clone()` may be a `Copy`-like register copy the pass cannot type.
+const ALLOC_TOKENS: &[&str] = &[
+    "Vec::new(",
+    "Vec::with_capacity(",
+    "vec![",
+    "Box::new(",
+    "Box::from(",
+    "Rc::new(",
+    "Arc::new(",
+    "format!(",
+    "String::new(",
+    "String::with_capacity(",
+    "String::from(",
+    ".to_vec(",
+    ".to_owned(",
+    ".to_string(",
+    ".into_vec(",
+    "HashMap::new(",
+    "HashSet::new(",
+    "BTreeMap::new(",
+    "BTreeSet::new(",
+    "VecDeque::new(",
+    ".collect::<Vec",
+    ".collect::<String",
+    ".collect::<Box",
+];
+
 pub fn in_scope(rel: &str) -> bool {
     HOT_PATH_SCOPES.iter().any(|scope| rel.starts_with(scope))
 }
 
-pub fn check(file: &SourceFile, violations: &mut Vec<Violation>) {
-    if !in_scope(&file.rel) {
-        return;
+pub fn check(file: &SourceFile, hot: &[HotSpan], violations: &mut Vec<Violation>) {
+    let crate_scoped = in_scope(&file.rel);
+    if crate_scoped {
+        check_unwrap(file, 0..file.scrubbed.len(), "", violations);
+        check_panics(file, 0..file.scrubbed.len(), "", violations);
+        check_indexing(file, 0..file.scrubbed.len(), "", violations);
     }
-    check_unwrap(file, violations);
-    check_panics(file, violations);
-    check_indexing(file, violations);
+    for span in hot {
+        let context = format!(" — hot-path-reachable via {}", span.via);
+        if !crate_scoped {
+            // The crate sweep already covered these bodies; outside it,
+            // reachability extends the panic/index rules to this span.
+            check_unwrap(file, span.body.clone(), &context, violations);
+            check_panics(file, span.body.clone(), &context, violations);
+            check_indexing(file, span.body.clone(), &context, violations);
+        }
+        check_alloc(file, span.body.clone(), &context, violations);
+    }
 }
 
-fn check_unwrap(file: &SourceFile, violations: &mut Vec<Violation>) {
+fn check_unwrap(
+    file: &SourceFile,
+    range: Range<usize>,
+    context: &str,
+    violations: &mut Vec<Violation>,
+) {
     for token in [".unwrap()", ".expect("] {
         for offset in file.token_offsets(token) {
-            if file.in_test_code(offset) {
+            if !range.contains(&offset) || file.in_test_code(offset) {
                 continue;
             }
             push(
@@ -55,20 +116,50 @@ fn check_unwrap(file: &SourceFile, violations: &mut Vec<Violation>) {
                 offset,
                 format!(
                     "`{token}` in hot-path code: return an error or restructure so the \
-                     failure case is impossible by construction",
+                     failure case is impossible by construction{context}",
                 ),
             );
         }
     }
 }
 
-fn check_panics(file: &SourceFile, violations: &mut Vec<Violation>) {
+fn check_panics(
+    file: &SourceFile,
+    range: Range<usize>,
+    context: &str,
+    violations: &mut Vec<Violation>,
+) {
     for token in PANIC_TOKENS {
         for offset in file.token_offsets(token) {
-            if file.in_test_code(offset) {
+            if !range.contains(&offset) || file.in_test_code(offset) {
                 continue;
             }
-            push(violations, file, PANIC, offset, format!("`{token}` in hot-path code"));
+            push(violations, file, PANIC, offset, format!("`{token}` in hot-path code{context}"));
+        }
+    }
+}
+
+fn check_alloc(
+    file: &SourceFile,
+    range: Range<usize>,
+    context: &str,
+    violations: &mut Vec<Violation>,
+) {
+    for token in ALLOC_TOKENS {
+        for offset in file.token_offsets(token) {
+            if !range.contains(&offset) || file.in_test_code(offset) {
+                continue;
+            }
+            push(
+                violations,
+                file,
+                ALLOC,
+                offset,
+                format!(
+                    "`{token}` allocates in hot-reachable code: hoist the allocation to \
+                     construction/reset time and reuse the buffer{context}"
+                ),
+            );
         }
     }
 }
@@ -84,10 +175,15 @@ fn check_panics(file: &SourceFile, violations: &mut Vec<Violation>) {
 ///   `invariant!`) or compares it against a bound (`x <`, `x >=`);
 /// * it is a `for`-loop variable (bounded by its range) or comes from
 ///   `.enumerate()` / `.len()`.
-fn check_indexing(file: &SourceFile, violations: &mut Vec<Violation>) {
+fn check_indexing(
+    file: &SourceFile,
+    range: Range<usize>,
+    context: &str,
+    violations: &mut Vec<Violation>,
+) {
     let bytes = file.scrubbed.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
+    let mut i = range.start;
+    while i < range.end {
         if bytes[i] != b'[' {
             i += 1;
             continue;
@@ -121,7 +217,7 @@ fn check_indexing(file: &SourceFile, violations: &mut Vec<Violation>) {
             open,
             format!(
                 "slice index `{content}` has no visible bounds reasoning in this function \
-                 (mask it, bound it with an assert/`invariant!`, or use `.get`)"
+                 (mask it, bound it with an assert/`invariant!`, or use `.get`){context}"
             ),
         );
     }
@@ -290,7 +386,22 @@ mod tests {
     fn run(rel: &str, src: &str) -> Vec<Violation> {
         let file = SourceFile::from_str(rel, src);
         let mut v = Vec::new();
-        check(&file, &mut v);
+        check(&file, &[], &mut v);
+        v
+    }
+
+    /// Runs the checks with one hot span covering `fn_name`'s body.
+    fn run_hot(rel: &str, src: &str, fn_name: &str) -> Vec<Violation> {
+        let file = SourceFile::from_str(rel, src);
+        let at = src.find(&format!("fn {fn_name}")).expect("fn present");
+        let body_open = src[at..].find('{').expect("body") + at;
+        let span = HotSpan {
+            body: body_open..src.len(),
+            fn_name: fn_name.to_owned(),
+            via: format!("System::step → {fn_name}"),
+        };
+        let mut v = Vec::new();
+        check(&file, &[span], &mut v);
         v
     }
 
@@ -312,9 +423,70 @@ mod tests {
     }
 
     #[test]
-    fn unwrap_outside_scope_ignored() {
+    fn unwrap_outside_scope_ignored_without_reachability() {
         let v = run("crates/core/src/runner.rs", "fn f(x: Option<u32>) { x.unwrap(); }\n");
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn unwrap_outside_scope_flagged_when_hot() {
+        let v = run_hot(
+            "crates/core/src/runner.rs",
+            "fn helper(x: Option<u32>) { x.unwrap(); }\n",
+            "helper",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, UNWRAP);
+        assert!(v[0].message.contains("hot-path-reachable via System::step"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn panic_outside_scope_flagged_when_hot() {
+        let v = run_hot(
+            "crates/types/src/stream.rs",
+            "fn decode(x: u32) { if x > 3 { panic!(\"bad tag\"); } }\n",
+            "decode",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, PANIC);
+    }
+
+    #[test]
+    fn alloc_in_hot_span_flagged() {
+        let v = run_hot(
+            "crates/memsim/src/walker.rs",
+            "fn walk(&mut self) { let scratch = Vec::with_capacity(4); }\n",
+            "walk",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, ALLOC);
+        assert!(v[0].message.contains("Vec::with_capacity("));
+    }
+
+    #[test]
+    fn alloc_outside_hot_span_ignored() {
+        // Constructors allocate by design; without a hot span the alloc
+        // rule stays silent even inside the hot crates.
+        let v = run(
+            "crates/memsim/src/walker.rs",
+            "fn new() -> Self { Self { nodes: Vec::with_capacity(4) } }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn alloc_variants_flagged() {
+        for (snippet, token) in [
+            ("let s = format!(\"{x}\");", "format!("),
+            ("let b = Box::new(x);", "Box::new("),
+            ("let v = slice.to_vec();", ".to_vec("),
+            ("let o = name.to_owned();", ".to_owned("),
+            ("let c: Vec<u32> = it.collect::<Vec<u32>>();", ".collect::<Vec"),
+        ] {
+            let src = format!("fn hotfn(x: u32) {{ {snippet} }}\n");
+            let v = run_hot("crates/core/src/report.rs", &src, "hotfn");
+            assert!(v.iter().any(|v| v.rule == ALLOC), "{token} not flagged: {v:?}");
+        }
     }
 
     #[test]
@@ -340,10 +512,33 @@ mod tests {
     }
 
     #[test]
+    fn no_double_report_in_crate_scope_with_hot_span() {
+        // A hot span inside memsim must not duplicate the crate sweep's
+        // unwrap/panic findings (only the alloc rule adds there).
+        let v = run_hot(
+            "crates/memsim/src/cache.rs",
+            "fn helper(x: Option<u32>) { x.unwrap(); }\n",
+            "helper",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
     fn unproven_index_flagged() {
         let v = run(
             "crates/predictors/src/dppred.rs",
             "fn f(&mut self, wild: usize) { self.phist[wild].clear(); }\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, INDEX);
+    }
+
+    #[test]
+    fn unproven_index_in_hot_span_flagged_outside_scope() {
+        let v = run_hot(
+            "crates/types/src/stream.rs",
+            "fn decode(&self, wild: usize) -> u64 { self.tags[wild] }\n",
+            "decode",
         );
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, INDEX);

@@ -1,0 +1,16 @@
+//@ rel: crates/types/src/stream.rs
+impl EventStream {
+    pub fn decode_chunk(&self) {
+        scratch();
+    }
+}
+
+fn scratch() {
+    let v: Vec<u8> = Vec::new();
+    let _ = v;
+}
+
+pub fn builder() -> Vec<u8> {
+    // Construction-time allocation off the hot path: not flagged.
+    Vec::with_capacity(64)
+}

@@ -1,0 +1,13 @@
+//@ rel: crates/memsim/src/cache.rs
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // dpc-lint: allow(hot-path::unwrap) -- exercised exhaustively by the fuzz harness
+    x.unwrap()
+}
+
+pub fn reasonless(y: Option<u32>) -> u32 {
+    // dpc-lint: allow(hot-path::unwrap)
+    y.unwrap()
+}
+
+// dpc-lint: allow(determinism::wall-clock) -- stale marker, suppresses nothing
+pub fn quiet() {}

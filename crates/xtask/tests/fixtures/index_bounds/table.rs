@@ -1,0 +1,19 @@
+//@ rel: crates/predictors/src/table.rs
+pub struct Table {
+    slots: Vec<u8>,
+}
+
+impl Table {
+    pub fn unproven(&self, n: usize) -> u8 {
+        self.slots[n]
+    }
+
+    pub fn proven(&self, n: usize) -> u8 {
+        debug_assert!(n < self.slots.len());
+        self.slots[n]
+    }
+
+    pub fn masked(&self, n: usize) -> u8 {
+        self.slots[n % self.slots.len()]
+    }
+}

@@ -1,0 +1,6 @@
+//@ rel: crates/memsim/src/system.rs
+impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
+    pub fn step(&mut self) {
+        helper_mid(self.counter);
+    }
+}

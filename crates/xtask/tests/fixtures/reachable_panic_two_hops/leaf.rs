@@ -1,0 +1,11 @@
+//@ rel: crates/workloads/src/leaf.rs
+pub fn helper_leaf(x: u32) {
+    if x > 3 {
+        panic!("boom");
+    }
+}
+
+pub fn unreachable_sibling(x: u32) -> u32 {
+    // Not on any hot path: the same macro here must NOT be flagged.
+    if x > 9 { unreachable!() } else { x }
+}

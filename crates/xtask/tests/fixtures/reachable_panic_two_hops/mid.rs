@@ -1,0 +1,4 @@
+//@ rel: crates/core/src/mid.rs
+pub fn helper_mid(x: u32) {
+    helper_leaf(x);
+}

@@ -1,0 +1,10 @@
+//@ rel: crates/predictors/src/mypolicy.rs
+pub struct MyPolicy {
+    table: Vec<u8>,
+}
+
+impl LltPolicy for MyPolicy {
+    fn on_fill(&mut self, set: usize) {
+        shared_update(set);
+    }
+}
