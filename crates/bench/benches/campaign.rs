@@ -15,6 +15,7 @@ fn tiny_options() -> ExperimentOptions {
         seed: 42,
         warmup_mem_ops: 1_000,
         measure_mem_ops: 10_000,
+        page_policy: dpc_types::AllocPolicy::Base4K,
     }
 }
 

@@ -7,6 +7,7 @@
 //! paper --csv out/          # also write each table as CSV
 //! paper --timing t.json     # dump campaign timing as JSON
 //! paper all --quick         # Tiny scale, small budgets (CI smoke runs)
+//! paper all --page-size=2m  # whole campaign on 2 MB huge pages
 //! ```
 //!
 //! Experiments run through the plan/execute campaign engine: the
@@ -16,10 +17,11 @@
 //! memo. Results are bit-identical for any worker count.
 //!
 //! Environment knobs: `DPC_SCALE` (`tiny`/`small`/`paper`), `DPC_WARMUP`,
-//! `DPC_MEASURE`, `DPC_SEED`, `DPC_THREADS` (worker threads for the
-//! campaign executor; default = available parallelism), and
-//! `DPC_TRACE_STORE` (`off` disables the shared trace store, forcing live
-//! generation per run). `--quick` overrides scale and budgets to a
+//! `DPC_MEASURE`, `DPC_SEED`, `DPC_PAGE_SIZE` (`4k`/`2m`/`1g`; the
+//! `--page-size` flag wins over the environment), `DPC_THREADS` (worker
+//! threads for the campaign executor; default = available parallelism),
+//! and `DPC_TRACE_STORE` (`off` disables the shared trace store, forcing
+//! live generation per run). `--quick` overrides scale and budgets to a
 //! seconds-long smoke configuration (Tiny scale, 2K warm-up, 20K
 //! measured) regardless of the environment.
 
@@ -96,9 +98,8 @@ fn run_one(ctx: &mut ExperimentContext, id: &str) -> Option<Output> {
 }
 
 /// Diagnostic dump: raw baseline + dpPred/cbPred counters per workload.
-fn probe(names: &[&str]) {
+fn probe(names: &[&str], options: dpc::prelude::ExperimentOptions) {
     use dpc::prelude::*;
-    let options = ExperimentOptions::from_env();
     let mut ctx = ExperimentContext::new(options);
     let base = options.base_run();
     for name in names {
@@ -150,26 +151,36 @@ fn main() {
         }
         return;
     }
-    if args.first().map(String::as_str) == Some("probe") {
-        let names: Vec<&str> = if args.len() > 1 {
-            args[1..].iter().map(String::as_str).collect()
-        } else {
-            dpc::prelude::WORKLOAD_NAMES.to_vec()
-        };
-        probe(&names);
-        return;
-    }
     // Optional `--csv <dir>`: also write each experiment as CSV.
     // Optional `--timing <file>`: dump campaign timing stats as JSON.
     // Optional `--quick`: Tiny-scale smoke configuration for CI.
+    // Optional `--page-size <4k|2m|1g>`: run the campaign on huge pages.
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut timing_path: Option<std::path::PathBuf> = None;
     let mut quick = false;
+    let mut page_size: Option<dpc::prelude::PageSize> = None;
+    let mut parse_page_size = |value: &str| match value.parse() {
+        Ok(size) => page_size = Some(size),
+        Err(e) => {
+            eprintln!("--page-size: {e}");
+            std::process::exit(2);
+        }
+    };
     let mut positional: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg == "--quick" {
             quick = true;
+        } else if let Some(value) = arg.strip_prefix("--page-size=") {
+            parse_page_size(value);
+        } else if arg == "--page-size" {
+            match iter.next() {
+                Some(value) => parse_page_size(value),
+                None => {
+                    eprintln!("--page-size requires a size argument (4k/2m/1g)");
+                    std::process::exit(2);
+                }
+            }
         } else if arg == "--csv" {
             match iter.next() {
                 Some(dir) => csv_dir = Some(dir.into()),
@@ -190,6 +201,19 @@ fn main() {
             positional.push(arg.as_str());
         }
     }
+    if positional.first().copied() == Some("probe") {
+        let mut options = ExperimentOptions::from_env();
+        if let Some(size) = page_size {
+            options.page_policy = dpc::prelude::AllocPolicy::uniform(size);
+        }
+        let names: Vec<&str> = if positional.len() > 1 {
+            positional[1..].to_vec()
+        } else {
+            dpc::prelude::WORKLOAD_NAMES.to_vec()
+        };
+        probe(&names, options);
+        return;
+    }
     let requested: Vec<&str> = if positional.is_empty() || positional.contains(&"all") {
         EXPERIMENTS.to_vec()
     } else {
@@ -208,10 +232,18 @@ fn main() {
         options.warmup_mem_ops = 2_000;
         options.measure_mem_ops = 20_000;
     }
+    if let Some(size) = page_size {
+        options.page_policy = dpc::prelude::AllocPolicy::uniform(size);
+    }
     let threads = campaign::default_threads();
     eprintln!(
-        "# scale={:?} warmup={} measure={} seed={} threads={}",
-        options.scale, options.warmup_mem_ops, options.measure_mem_ops, options.seed, threads
+        "# scale={:?} warmup={} measure={} seed={} threads={} page={}",
+        options.scale,
+        options.warmup_mem_ops,
+        options.measure_mem_ops,
+        options.seed,
+        threads,
+        options.page_policy
     );
     let start = Instant::now(); // dpc-lint: allow(determinism::wall-clock) -- stderr timing only
 

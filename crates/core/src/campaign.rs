@@ -76,6 +76,9 @@ pub struct RunTiming {
     pub tlb_policy: String,
     /// LLC-side policy selector (Debug rendering).
     pub llc_policy: String,
+    /// Page-size policy label of the machine ("4k", "2m", "1g",
+    /// "promote2m").
+    pub page: String,
     /// What the simulation was for.
     pub kind: SimKind,
     /// Total wall time of the run (stream generation + simulation).
@@ -188,7 +191,9 @@ impl CampaignStats {
     /// revisions (`paper --timing <file>`).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": 2,");
+        // Schema history: 2 added the gen/sim wall split; 3 added the
+        // per-run "page" field (the machine's page-size policy label).
+        let _ = writeln!(out, "  \"schema\": 3,");
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
         let _ = writeln!(out, "  \"wall_secs\": {:.6},", self.wall.as_secs_f64());
         let _ = writeln!(out, "  \"distinct_runs\": {},", self.distinct_runs);
@@ -212,12 +217,14 @@ impl CampaignStats {
             let _ = write!(
                 out,
                 "    {{\"workload\": {}, \"kind\": \"{}\", \"tlb\": {}, \"llc\": {}, \
+                 \"page\": {}, \
                  \"wall_secs\": {:.6}, \"gen_secs\": {:.6}, \"sim_secs\": {:.6}, \
                  \"mem_ops\": {}, \"mem_ops_per_sec\": {:.1}}}",
                 json_string(&t.workload),
                 t.kind.as_str(),
                 json_string(&t.tlb_policy),
                 json_string(&t.llc_policy),
+                json_string(&t.page),
                 t.wall.as_secs_f64(),
                 t.gen_wall.as_secs_f64(),
                 t.sim_wall().as_secs_f64(),
@@ -279,6 +286,7 @@ fn timing(key: &RunKey, kind: SimKind, wall: Duration, gen_wall: Duration) -> Ru
         workload: key.0.clone(),
         tlb_policy: format!("{:?}", key.1.tlb_policy),
         llc_policy: format!("{:?}", key.1.llc_policy),
+        page: key.1.system.page_policy.label().to_owned(),
         kind,
         wall,
         gen_wall,
@@ -455,6 +463,7 @@ mod tests {
             seed: 42,
             warmup_mem_ops: 500,
             measure_mem_ops: 5_000,
+            page_policy: dpc_types::AllocPolicy::Base4K,
         }
     }
 
@@ -513,6 +522,7 @@ mod tests {
                 workload: "cg.B".into(),
                 tlb_policy: "DpPred".into(),
                 llc_policy: "Baseline".into(),
+                page: "2m".into(),
                 kind: SimKind::Plain,
                 wall: Duration::from_millis(750),
                 gen_wall: Duration::from_millis(250),
@@ -521,9 +531,11 @@ mod tests {
             worker_busy: vec![Duration::from_millis(750), Duration::from_millis(600)],
         };
         let json = stats.to_json();
+        assert!(json.contains("\"schema\": 3"));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"workload\": \"cg.B\""));
         assert!(json.contains("\"kind\": \"plain\""));
+        assert!(json.contains("\"page\": \"2m\""));
         assert!(json.contains("\"gen_secs\": 0.250000"));
         assert!(json.contains("\"sim_secs\": 0.500000"));
         assert!(json.contains("\"total_gen_secs\": 0.250000"));

@@ -77,6 +77,16 @@ pub fn dispatch<A: PolicyApply>(
     }
 }
 
+/// cbPred's base configuration for `system`: the paper defaults with the
+/// PFQ matching grain set to the page policy's prediction unit. Must stay
+/// identical to its twin in [`crate::fallback`].
+fn cbpred_config(system: &SystemConfig) -> CbPredConfig {
+    CbPredConfig {
+        pfn_unit_shift: system.page_policy.prediction_unit_shift(),
+        ..CbPredConfig::paper_default(&system.llc)
+    }
+}
+
 /// Inner level of the double match: the LLT policy is already concrete;
 /// pick the LLC policy type and run the action.
 fn with_llc<A: PolicyApply, L: LltPolicy>(
@@ -87,14 +97,13 @@ fn with_llc<A: PolicyApply, L: LltPolicy>(
 ) -> A::Out {
     match llc {
         LlcPolicySel::Baseline => action.apply(llt, NullBlockPolicy),
-        LlcPolicySel::CbPred => action.apply(llt, CbPred::paper_default(&system.llc)),
-        LlcPolicySel::CbPredNoPfq => action.apply(llt, CbPred::without_pfq(&system.llc)),
+        LlcPolicySel::CbPred => action.apply(llt, CbPred::new(cbpred_config(system))),
+        LlcPolicySel::CbPredNoPfq => {
+            action.apply(llt, CbPred::new(CbPredConfig { use_pfq: false, ..cbpred_config(system) }))
+        }
         LlcPolicySel::CbPredPfq(entries) => action.apply(
             llt,
-            CbPred::new(CbPredConfig {
-                pfq_entries: entries,
-                ..CbPredConfig::paper_default(&system.llc)
-            }),
+            CbPred::new(CbPredConfig { pfq_entries: entries, ..cbpred_config(system) }),
         ),
         LlcPolicySel::ShipLlc => action.apply(llt, ShipLlc::for_cache(&system.llc)),
         LlcPolicySel::AipLlc => action.apply(llt, AipLlc::paper_default()),

@@ -13,7 +13,7 @@ use crate::runner::{
 use dpc_memsim::SimStats;
 use dpc_predictors::storage;
 use dpc_predictors::{DpPredConfig, LookupTrace};
-use dpc_types::{ReplacementKind, SystemConfig, TlbFillPolicy};
+use dpc_types::{AllocPolicy, ReplacementKind, SystemConfig, TlbFillPolicy};
 use dpc_workloads::{Scale, WorkloadFactory, WORKLOAD_NAMES};
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
@@ -30,6 +30,11 @@ pub struct ExperimentOptions {
     pub warmup_mem_ops: u64,
     /// Measured memory operations per run.
     pub measure_mem_ops: u64,
+    /// Page-size policy applied to every machine in the campaign
+    /// (baseline and predictor runs alike, so comparisons stay
+    /// like-for-like). [`AllocPolicy::Base4K`] reproduces the paper's
+    /// byte-identical output.
+    pub page_policy: AllocPolicy,
 }
 
 impl ExperimentOptions {
@@ -41,11 +46,13 @@ impl ExperimentOptions {
             seed: 42,
             warmup_mem_ops: 200_000,
             measure_mem_ops: 1_000_000,
+            page_policy: AllocPolicy::Base4K,
         }
     }
 
     /// Reads overrides from the environment: `DPC_SCALE`
-    /// (`tiny`/`small`/`paper`), `DPC_WARMUP`, `DPC_MEASURE`, `DPC_SEED`.
+    /// (`tiny`/`small`/`paper`), `DPC_WARMUP`, `DPC_MEASURE`, `DPC_SEED`,
+    /// `DPC_PAGE_SIZE` (`4k`/`2m`/`1g`).
     pub fn from_env() -> Self {
         let mut opts = Self::quick();
         if let Ok(s) = std::env::var("DPC_SCALE") {
@@ -70,12 +77,37 @@ impl ExperimentOptions {
                 opts.seed = n;
             }
         }
+        if let Ok(v) = std::env::var("DPC_PAGE_SIZE") {
+            if let Ok(size) = v.parse() {
+                opts.page_policy = AllocPolicy::uniform(size);
+            }
+        }
         opts
+    }
+
+    /// The baseline machine of this campaign: the paper machine under the
+    /// campaign's page policy. Every experiment derives its machine
+    /// variants from this (never from a bare
+    /// [`SystemConfig::paper_baseline`]) so sensitivity sweeps inherit the
+    /// page-size axis.
+    pub fn base_system(&self) -> SystemConfig {
+        SystemConfig::paper_baseline().with_page_policy(self.page_policy)
     }
 
     /// The run configuration implied by these options (baseline machine).
     pub fn base_run(&self) -> RunConfig {
         RunConfig::baseline(self.warmup_mem_ops, self.measure_mem_ops)
+            .with_system(self.base_system())
+    }
+
+    /// `title`, tagged with the page-size axis when it is not the paper
+    /// default — so reports from different campaigns are unambiguous.
+    pub fn titled(&self, title: &str) -> String {
+        if self.page_policy.is_default() {
+            title.to_owned()
+        } else {
+            format!("{title} [page={}]", self.page_policy)
+        }
     }
 }
 
@@ -288,7 +320,7 @@ fn reduction_pct(base: f64, new: f64) -> f64 {
 pub fn fig1_llt_deadness(ctx: &mut ExperimentContext) -> ExpTable {
     let config = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Fig. 1: % of LLT entries dead / DOA at any time (sampled residents)",
+        ctx.options.titled("Fig. 1: % of LLT entries dead / DOA at any time (sampled residents)"),
         vec!["dead %".into(), "DOA %".into()],
         Summary::Mean,
         1,
@@ -305,7 +337,7 @@ pub fn fig1_llt_deadness(ctx: &mut ExperimentContext) -> ExpTable {
 pub fn fig2_llt_eviction_classes(ctx: &mut ExperimentContext) -> ExpTable {
     let config = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Fig. 2: classification of LLT entries at eviction (% of evictions)",
+        ctx.options.titled("Fig. 2: classification of LLT entries at eviction (% of evictions)"),
         vec!["dead %".into(), "DOA %".into(), "mostly-dead %".into()],
         Summary::Mean,
         1,
@@ -329,7 +361,7 @@ pub fn fig2_llt_eviction_classes(ctx: &mut ExperimentContext) -> ExpTable {
 pub fn fig3_llc_deadness(ctx: &mut ExperimentContext) -> ExpTable {
     let config = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Fig. 3: % of LLC blocks dead / DOA at any time (sampled residents)",
+        ctx.options.titled("Fig. 3: % of LLC blocks dead / DOA at any time (sampled residents)"),
         vec!["dead %".into(), "DOA %".into()],
         Summary::Mean,
         1,
@@ -346,7 +378,7 @@ pub fn fig3_llc_deadness(ctx: &mut ExperimentContext) -> ExpTable {
 pub fn fig4_llc_eviction_classes(ctx: &mut ExperimentContext) -> ExpTable {
     let config = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Fig. 4: classification of LLC blocks at eviction (% of evictions)",
+        ctx.options.titled("Fig. 4: classification of LLC blocks at eviction (% of evictions)"),
         vec!["dead %".into(), "DOA %".into(), "mostly-dead %".into()],
         Summary::Mean,
         1,
@@ -370,7 +402,7 @@ pub fn fig4_llc_eviction_classes(ctx: &mut ExperimentContext) -> ExpTable {
 pub fn table3_doa_correlation(ctx: &mut ExperimentContext) -> ExpTable {
     let config = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Table III: % of LLC DOA blocks that map onto a DOA page in the LLT",
+        ctx.options.titled("Table III: % of LLC DOA blocks that map onto a DOA page in the LLT"),
         vec!["LLC blocks %".into()],
         Summary::Mean,
         2,
@@ -386,17 +418,17 @@ pub fn table3_doa_correlation(ctx: &mut ExperimentContext) -> ExpTable {
 // Dead page predictor (Fig. 9, Table IV).
 // ---------------------------------------------------------------------
 
-fn iso_storage_system() -> SystemConfig {
+fn iso_storage_system(options: &ExperimentOptions) -> SystemConfig {
     // dpPred adds ~11% storage to the 11.75 KB LLT; the nearest whole-way
     // growth is 8 → 9 ways (1152 entries).
-    SystemConfig::paper_baseline().with_l2_tlb_ways(9)
+    options.base_system().with_l2_tlb_ways(9)
 }
 
 /// Fig. 9: normalized IPC for the TLB dead-page predictors.
 pub fn fig9_tlb_predictor_ipc(ctx: &mut ExperimentContext) -> ExpTable {
     let base = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Fig. 9: normalized IPC for TLB dead page predictors (vs baseline)",
+        ctx.options.titled("Fig. 9: normalized IPC for TLB dead page predictors (vs baseline)"),
         vec!["AIP-TLB".into(), "SHiP-TLB".into(), "dpPred".into(), "Iso-storage".into()],
         Summary::Geomean,
         3,
@@ -406,7 +438,7 @@ pub fn fig9_tlb_predictor_ipc(ctx: &mut ExperimentContext) -> ExpTable {
         let aip = ctx.run(name, base.with_policies(TlbPolicySel::AipTlb, LlcPolicySel::Baseline));
         let ship = ctx.run(name, base.with_policies(TlbPolicySel::ShipTlb, LlcPolicySel::Baseline));
         let dp = ctx.run(name, base.with_policies(TlbPolicySel::DpPred, LlcPolicySel::Baseline));
-        let iso = ctx.run(name, base.with_system(iso_storage_system()));
+        let iso = ctx.run(name, base.with_system(iso_storage_system(&ctx.options)));
         table.push(
             name,
             vec![
@@ -424,7 +456,7 @@ pub fn fig9_tlb_predictor_ipc(ctx: &mut ExperimentContext) -> ExpTable {
 pub fn table4_llt_mpki(ctx: &mut ExperimentContext) -> ExpTable {
     let base = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Table IV: LLT MPKI reduction (%)",
+        ctx.options.titled("Table IV: LLT MPKI reduction (%)"),
         vec![
             "AIP-TLB".into(),
             "SHiP-TLB".into(),
@@ -440,7 +472,7 @@ pub fn table4_llt_mpki(ctx: &mut ExperimentContext) -> ExpTable {
         let aip = ctx.run(name, base.with_policies(TlbPolicySel::AipTlb, LlcPolicySel::Baseline));
         let ship = ctx.run(name, base.with_policies(TlbPolicySel::ShipTlb, LlcPolicySel::Baseline));
         let dp = ctx.run(name, base.with_policies(TlbPolicySel::DpPred, LlcPolicySel::Baseline));
-        let iso = ctx.run(name, base.with_system(iso_storage_system()));
+        let iso = ctx.run(name, base.with_system(iso_storage_system(&ctx.options)));
         let oracle = ctx.run_oracle(name, base);
         table.push(
             name,
@@ -465,7 +497,7 @@ pub fn table4_llt_mpki(ctx: &mut ExperimentContext) -> ExpTable {
 pub fn fig10_llc_predictor_ipc(ctx: &mut ExperimentContext) -> ExpTable {
     let base = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Fig. 10: normalized IPC for LLC / combined predictors (vs baseline)",
+        ctx.options.titled("Fig. 10: normalized IPC for LLC / combined predictors (vs baseline)"),
         vec![
             "AIP-LLC".into(),
             "SHiP-LLC".into(),
@@ -501,7 +533,7 @@ pub fn fig10_llc_predictor_ipc(ctx: &mut ExperimentContext) -> ExpTable {
 pub fn table5_llc_mpki(ctx: &mut ExperimentContext) -> ExpTable {
     let base = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Table V: LLC MPKI reduction (%)",
+        ctx.options.titled("Table V: LLC MPKI reduction (%)"),
         vec!["AIP-LLC".into(), "SHiP-LLC".into(), "cbPred".into()],
         Summary::Mean,
         2,
@@ -531,7 +563,7 @@ pub fn table5_llc_mpki(ctx: &mut ExperimentContext) -> ExpTable {
 pub fn table6_dp_accuracy(ctx: &mut ExperimentContext) -> ExpTable {
     let base = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Table VI: accuracy / coverage of dead page predictors (%)",
+        ctx.options.titled("Table VI: accuracy / coverage of dead page predictors (%)"),
         vec![
             "dpPred Acc".into(),
             "dpPred Cov".into(),
@@ -570,7 +602,7 @@ pub fn table6_dp_accuracy(ctx: &mut ExperimentContext) -> ExpTable {
 pub fn table7_cb_accuracy(ctx: &mut ExperimentContext) -> ExpTable {
     let base = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Table VII: accuracy / coverage of dead block predictors (%)",
+        ctx.options.titled("Table VII: accuracy / coverage of dead block predictors (%)"),
         vec![
             "cbPred Acc".into(),
             "cbPred Cov".into(),
@@ -614,7 +646,7 @@ pub fn table7_cb_accuracy(ctx: &mut ExperimentContext) -> ExpTable {
 pub fn fig11a_llt_size(ctx: &mut ExperimentContext) -> ExpTable {
     let base = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Fig. 11a: dpPred normalized IPC vs LLT size",
+        ctx.options.titled("Fig. 11a: dpPred normalized IPC vs LLT size"),
         vec!["512 entries".into(), "1024 entries".into(), "1536 entries".into()],
         Summary::Geomean,
         3,
@@ -623,7 +655,7 @@ pub fn fig11a_llt_size(ctx: &mut ExperimentContext) -> ExpTable {
     for name in WORKLOAD_NAMES {
         let mut values = Vec::new();
         for entries in sizes {
-            let system = SystemConfig::paper_baseline().with_l2_tlb_entries(entries);
+            let system = ctx.options.base_system().with_l2_tlb_entries(entries);
             let baseline = ctx.run(name, base.with_system(system)).stats.ipc();
             let dp = ctx.run(
                 name,
@@ -641,7 +673,7 @@ pub fn fig11a_llt_size(ctx: &mut ExperimentContext) -> ExpTable {
 pub fn fig11b_phist_config(ctx: &mut ExperimentContext) -> ExpTable {
     let base = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Fig. 11b: dpPred normalized IPC vs pHIST configuration",
+        ctx.options.titled("Fig. 11b: dpPred normalized IPC vs pHIST configuration"),
         vec!["6b PC + 5b VPN".into(), "6b PC + 4b VPN".into(), "10b PC".into()],
         Summary::Geomean,
         3,
@@ -667,7 +699,7 @@ pub fn fig11b_phist_config(ctx: &mut ExperimentContext) -> ExpTable {
 pub fn fig11c_shadow_size(ctx: &mut ExperimentContext) -> ExpTable {
     let base = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Fig. 11c: dpPred normalized IPC vs shadow table size",
+        ctx.options.titled("Fig. 11c: dpPred normalized IPC vs shadow table size"),
         vec!["2-entry shadow".into(), "4-entry shadow".into()],
         Summary::Geomean,
         3,
@@ -692,7 +724,7 @@ pub fn fig11c_shadow_size(ctx: &mut ExperimentContext) -> ExpTable {
 pub fn fig11d_pfq_size(ctx: &mut ExperimentContext) -> ExpTable {
     let base = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Fig. 11d: dpPred+cbPred normalized IPC vs PFQ size",
+        ctx.options.titled("Fig. 11d: dpPred+cbPred normalized IPC vs PFQ size"),
         vec!["8-entry PFQ".into(), "64-entry PFQ".into()],
         Summary::Geomean,
         3,
@@ -715,7 +747,7 @@ pub fn fig11d_pfq_size(ctx: &mut ExperimentContext) -> ExpTable {
 pub fn fig11e_llc_size(ctx: &mut ExperimentContext) -> ExpTable {
     let base = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Fig. 11e: dpPred+cbPred normalized IPC vs LLC size",
+        ctx.options.titled("Fig. 11e: dpPred+cbPred normalized IPC vs LLC size"),
         vec!["2 MB/core".into(), "3 MB/core".into()],
         Summary::Geomean,
         3,
@@ -723,7 +755,7 @@ pub fn fig11e_llc_size(ctx: &mut ExperimentContext) -> ExpTable {
     for name in WORKLOAD_NAMES {
         let mut values = Vec::new();
         for bytes in [2u64 << 20, 3 << 20] {
-            let system = SystemConfig::paper_baseline().with_llc_bytes(bytes);
+            let system = ctx.options.base_system().with_llc_bytes(bytes);
             let baseline = ctx.run(name, base.with_system(system)).stats.ipc();
             let r = ctx.run(
                 name,
@@ -741,7 +773,7 @@ pub fn fig11e_llc_size(ctx: &mut ExperimentContext) -> ExpTable {
 pub fn fig11f_srrip(ctx: &mut ExperimentContext) -> ExpTable {
     let base = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Fig. 11f: predictors under SRRIP (normalized to LRU baseline)",
+        ctx.options.titled("Fig. 11f: predictors under SRRIP (normalized to LRU baseline)"),
         vec![
             "SRRIP LLT".into(),
             "SRRIP dpPred".into(),
@@ -751,7 +783,7 @@ pub fn fig11f_srrip(ctx: &mut ExperimentContext) -> ExpTable {
         Summary::Geomean,
         3,
     );
-    let srrip_llt = SystemConfig::paper_baseline().with_l2_tlb_replacement(ReplacementKind::Srrip);
+    let srrip_llt = ctx.options.base_system().with_l2_tlb_replacement(ReplacementKind::Srrip);
     let srrip_both = srrip_llt.with_llc_replacement(ReplacementKind::Srrip);
     for name in WORKLOAD_NAMES {
         let baseline = ctx.run(name, base).stats.ipc();
@@ -788,12 +820,12 @@ pub fn fig11f_srrip(ctx: &mut ExperimentContext) -> ExpTable {
 pub fn ablation_fill_policy(ctx: &mut ExperimentContext) -> ExpTable {
     let base = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Ablation: walk-fill placement (normalized IPC vs fill-both baseline)",
+        ctx.options.titled("Ablation: walk-fill placement (normalized IPC vs fill-both baseline)"),
         vec!["fill-both".into(), "L1-then-victim".into()],
         Summary::Geomean,
         3,
     );
-    let victim = SystemConfig::paper_baseline().with_tlb_fill(TlbFillPolicy::L1ThenVictim);
+    let victim = ctx.options.base_system().with_tlb_fill(TlbFillPolicy::L1ThenVictim);
     for name in WORKLOAD_NAMES {
         let baseline = ctx.run(name, base).stats.ipc();
         let alt = ctx.run(name, base.with_system(victim)).stats.ipc();
@@ -807,7 +839,7 @@ pub fn ablation_fill_policy(ctx: &mut ExperimentContext) -> ExpTable {
 pub fn ablation_threshold(ctx: &mut ExperimentContext) -> ExpTable {
     let base = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Ablation: dpPred prediction threshold (normalized IPC)",
+        ctx.options.titled("Ablation: dpPred prediction threshold (normalized IPC)"),
         vec!["threshold 3".into(), "threshold 5".into(), "threshold 6 (paper)".into()],
         Summary::Geomean,
         3,
@@ -834,7 +866,7 @@ pub fn ablation_threshold(ctx: &mut ExperimentContext) -> ExpTable {
 pub fn ablation_dueling(ctx: &mut ExperimentContext) -> ExpTable {
     let base = ctx.options.base_run();
     let mut table = ExpTable::new(
-        "Ablation: set-dueling bypass control (LLT MPKI reduction %)",
+        ctx.options.titled("Ablation: set-dueling bypass control (LLT MPKI reduction %)"),
         vec!["dpPred".into(), "dueling dpPred".into()],
         Summary::Mean,
         1,
@@ -946,6 +978,7 @@ mod tests {
             seed: 42,
             warmup_mem_ops: 500,
             measure_mem_ops: 10_000,
+            page_policy: dpc_types::AllocPolicy::Base4K,
         })
     }
 

@@ -37,17 +37,28 @@ pub fn build_tlb_policy(sel: TlbPolicySel, system: &SystemConfig) -> DynLltPolic
     }
 }
 
+/// cbPred's base configuration for `system`: the paper defaults with the
+/// PFQ matching grain set to the page policy's prediction unit. Must stay
+/// identical to its twin in [`crate::dispatch`].
+fn cbpred_config(system: &SystemConfig) -> CbPredConfig {
+    CbPredConfig {
+        pfn_unit_shift: system.page_policy.prediction_unit_shift(),
+        ..CbPredConfig::paper_default(&system.llc)
+    }
+}
+
 /// Builds the boxed LLC policy named by `sel`, constructed exactly like
 /// the typed policies of [`crate::dispatch::dispatch`].
 pub fn build_llc_policy(sel: LlcPolicySel, system: &SystemConfig) -> DynLlcPolicy {
     match sel {
         LlcPolicySel::Baseline => Box::new(NullBlockPolicy),
-        LlcPolicySel::CbPred => Box::new(CbPred::paper_default(&system.llc)),
-        LlcPolicySel::CbPredNoPfq => Box::new(CbPred::without_pfq(&system.llc)),
-        LlcPolicySel::CbPredPfq(entries) => Box::new(CbPred::new(CbPredConfig {
-            pfq_entries: entries,
-            ..CbPredConfig::paper_default(&system.llc)
-        })),
+        LlcPolicySel::CbPred => Box::new(CbPred::new(cbpred_config(system))),
+        LlcPolicySel::CbPredNoPfq => {
+            Box::new(CbPred::new(CbPredConfig { use_pfq: false, ..cbpred_config(system) }))
+        }
+        LlcPolicySel::CbPredPfq(entries) => {
+            Box::new(CbPred::new(CbPredConfig { pfq_entries: entries, ..cbpred_config(system) }))
+        }
         LlcPolicySel::ShipLlc => Box::new(ShipLlc::for_cache(&system.llc)),
         LlcPolicySel::AipLlc => Box::new(AipLlc::paper_default()),
     }

@@ -78,7 +78,9 @@ pub mod prelude {
     };
     pub use dpc_memsim::{LlcPolicy, LltPolicy, NullBlockPolicy, NullPagePolicy, SimStats, System};
     pub use dpc_predictors::{AipLlc, AipTlb, CbPred, DpPred, OracleBypass, ShipLlc, ShipTlb};
-    pub use dpc_types::{AccessKind, Event, EventStream, Pc, SystemConfig, VirtAddr, Workload};
+    pub use dpc_types::{
+        AccessKind, AllocPolicy, Event, EventStream, PageSize, Pc, SystemConfig, VirtAddr, Workload,
+    };
     pub use dpc_workloads::{
         CaptureReport, EventCursor, EventSource, Scale, TraceStore, WorkloadFactory, WORKLOAD_NAMES,
     };

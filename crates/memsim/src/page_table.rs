@@ -3,7 +3,7 @@
 //! The paper (Section III): *"we allocate a four-level radix tree data
 //! structure as the page table. The page table contents are cached on the
 //! processor caches as in the real hardware."* [`PageTable::translate`]
-//! returns the physical addresses of the four page-table entries a hardware
+//! returns the physical addresses of the page-table entries a hardware
 //! walker would read, so the walker can send those loads through the data
 //! caches.
 //!
@@ -11,49 +11,137 @@
 //! Physical frames come from a [`FrameAllocator`] that scatters allocations
 //! over the frame space with a bijective multiplier, emulating the
 //! fragmented VA→PA mappings of a long-running system.
+//!
+//! The mapping grain is set by the [`AllocPolicy`]:
+//!
+//! * [`AllocPolicy::Base4K`] — every leaf is a 4 KB PTE (the paper's
+//!   configuration, byte-identical to the pre-page-size code);
+//! * [`AllocPolicy::Uniform`] — every mapping is a PDE (2 MB) or PDPTE
+//!   (1 GB) leaf covering a physically contiguous, aligned frame region,
+//!   so walks terminate one or two levels early;
+//! * [`AllocPolicy::Promote2M`] — reservation-based promotion in the style
+//!   of FreeBSD's superpage support: the first touch in a 2 MB-aligned
+//!   virtual region reserves a contiguous 2 MB frame range and carves
+//!   4 KB pages out of it; once enough distinct base pages have been
+//!   touched, the PDE is flipped to a huge mapping. Because the 4 KB
+//!   frames were carved from the reservation, the promoted mapping
+//!   translates every address exactly as before — stale 4 KB TLB entries
+//!   stay coherent and promotion simply shortens future walks.
 
 use dpc_types::hash::FastBuildHasher;
-use dpc_types::{Pfn, PhysAddr, Vpn};
+use dpc_types::{AllocPolicy, PageSize, Pfn, PhysAddr, Vpn};
 use std::collections::HashMap;
 
 /// Entries per page-table node (512 × 8 B = one 4 KiB page).
 pub const NODE_ENTRIES: usize = 512;
 
+/// Slot bit 0: the entry maps something.
+const SLOT_PRESENT: u64 = 1;
+/// Slot bit 1: the entry is a huge leaf (PDE/PDPTE mapping), not a
+/// pointer to a child node.
+const SLOT_HUGE: u64 = 2;
+
+#[inline]
+const fn encode_slot(pfn: Pfn, huge: bool) -> u64 {
+    (pfn.raw() << 2) | SLOT_PRESENT | if huge { SLOT_HUGE } else { 0 }
+}
+
+#[inline]
+const fn slot_pfn(slot: u64) -> Pfn {
+    Pfn::new(slot >> 2)
+}
+
+#[inline]
+const fn slot_is_huge(slot: u64) -> bool {
+    slot & SLOT_HUGE != 0
+}
+
 /// Allocates unique physical frames.
 ///
-/// Frame numbers are produced by a bijective affine map over a 2^34-frame
+/// Frame numbers are produced by a bijective affine map over the frame
 /// space so that consecutively-allocated pages do not occupy consecutive
-/// frames.
+/// frames. In *partitioned* mode (any huge-page policy) the space is
+/// split by high bits: singleton 4 KB frames keep bit 33 clear, while
+/// aligned, physically contiguous 2 MB / 1 GB regions live above it, so
+/// regions can be handed out without colliding with scattered singletons.
 #[derive(Clone, Debug)]
 pub struct FrameAllocator {
     next: u64,
+    next_2m: u64,
+    next_1g: u64,
+    partitioned: bool,
 }
 
 /// The frame space is 2^34 frames (64 TiB of simulated physical memory);
-/// the multiplier is odd, hence invertible modulo 2^34.
+/// the multiplier is odd, hence invertible modulo every power of two.
 const FRAME_SPACE_BITS: u32 = 34;
 const FRAME_MULT: u64 = 0x9E37_79B9_7F4A_7C15 | 1;
+/// Partitioned mode: singletons scatter below bit 33.
+const SINGLETON_BITS: u32 = 33;
+/// Partitioned mode: 2 MB regions (512 frames, 9 offset bits) scatter
+/// their base over 23 bits at `1 << 33`.
+const REGION_2M_BITS: u32 = 23;
+/// Partitioned mode: 1 GB regions (2^18 frames) scatter their base over
+/// 14 bits at `(1 << 33) | (1 << 32)`.
+const REGION_1G_BITS: u32 = 14;
 
 impl FrameAllocator {
-    /// Creates an allocator.
+    /// Creates an allocator in the legacy single-grain mode: the exact
+    /// allocation sequence of the paper's 4 KB configuration.
     pub fn new() -> Self {
-        FrameAllocator { next: 1 }
+        FrameAllocator { next: 1, next_2m: 1, next_1g: 1, partitioned: false }
     }
 
-    /// Allocates a fresh, never-before-returned frame.
+    /// Creates an allocator whose frame space is partitioned between
+    /// scattered singleton frames and aligned huge regions.
+    pub fn partitioned() -> Self {
+        FrameAllocator { next: 1, next_2m: 1, next_1g: 1, partitioned: true }
+    }
+
+    /// Allocates a fresh, never-before-returned 4 KB frame.
     ///
     /// # Panics
     ///
-    /// Panics if the 2^34-frame space is exhausted (far beyond any
-    /// simulated footprint).
+    /// Panics if the frame space is exhausted (far beyond any simulated
+    /// footprint).
     pub fn alloc(&mut self) -> Pfn {
-        assert!(self.next < (1 << FRAME_SPACE_BITS), "physical frame space exhausted");
-        let scattered = self.next.wrapping_mul(FRAME_MULT) & ((1 << FRAME_SPACE_BITS) - 1);
+        let bits = if self.partitioned { SINGLETON_BITS } else { FRAME_SPACE_BITS };
+        assert!(self.next < (1 << bits), "physical frame space exhausted");
+        let scattered = self.next.wrapping_mul(FRAME_MULT) & ((1 << bits) - 1);
         self.next += 1;
         Pfn::new(scattered)
     }
 
-    /// Number of frames handed out so far.
+    /// Allocates an aligned, physically contiguous region of 4 KB frames
+    /// spanning one page of `size`, returning its base frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocator is not partitioned, if `size` is 4 KB
+    /// (use [`FrameAllocator::alloc`]), or if the region space is
+    /// exhausted.
+    pub fn alloc_region(&mut self, size: PageSize) -> Pfn {
+        assert!(self.partitioned, "huge regions require a partitioned allocator");
+        let base = match size {
+            // dpc-lint: allow(hot-path::panic) -- API-misuse guard; translate_uniform/translate_promote only request huge regions
+            PageSize::Size4K => panic!("4 KB frames come from alloc(), not alloc_region()"),
+            PageSize::Size2M => {
+                assert!(self.next_2m < (1 << REGION_2M_BITS), "2 MB region space exhausted");
+                let scattered = self.next_2m.wrapping_mul(FRAME_MULT) & ((1 << REGION_2M_BITS) - 1);
+                self.next_2m += 1;
+                (1 << 33) | (scattered << PageSize::Size2M.unit_shift())
+            }
+            PageSize::Size1G => {
+                assert!(self.next_1g < (1 << REGION_1G_BITS), "1 GB region space exhausted");
+                let scattered = self.next_1g.wrapping_mul(FRAME_MULT) & ((1 << REGION_1G_BITS) - 1);
+                self.next_1g += 1;
+                (1 << 33) | (1 << 32) | (scattered << PageSize::Size1G.unit_shift())
+            }
+        };
+        Pfn::new(base)
+    }
+
+    /// Number of singleton frames handed out so far.
     pub fn allocated(&self) -> u64 {
         self.next - 1
     }
@@ -66,43 +154,72 @@ impl Default for FrameAllocator {
 }
 
 /// The path a hardware page walk takes through the radix tree, from the
-/// root (level 3, PML4) to the leaf (level 0, PT).
+/// root (level 3, PML4) down to the mapping's terminal level (0 = PTE
+/// for 4 KB pages, 1 = PDE for 2 MB, 2 = PDPTE for 1 GB).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WalkPath {
     /// Physical frame of the node visited at each level, indexed by level
-    /// (3 = root).
+    /// (3 = root). Levels below the terminal level of a huge mapping are
+    /// not visited and hold `Pfn(0)`.
     pub node_pfns: [Pfn; 4],
     /// Physical address of the page-table *entry* read at each level — the
-    /// loads a hardware walker issues into the cache hierarchy.
+    /// loads a hardware walker issues into the cache hierarchy. Levels
+    /// below the terminal level hold `PhysAddr(0)` and must not be read.
     pub pte_addrs: [PhysAddr; 4],
-    /// The translation result.
+    /// The translation result at the 4 KB grain (huge mappings return
+    /// `region base + frame offset`, so callers can compose physical
+    /// addresses without knowing the size).
     pub pfn: Pfn,
+    /// The size of the mapping this walk resolved.
+    pub size: PageSize,
     /// Whether this walk demand-allocated the data page (first touch).
     pub newly_mapped: bool,
 }
 
-/// One radix node: 512 slots holding child/leaf PFN + 1 (0 = not present).
+/// One radix node: 512 slots of `(pfn << 2) | present | huge` (0 = not
+/// present).
 type Node = Box<[u64; NODE_ENTRIES]>;
+
+/// A reserved 2 MB frame region under [`AllocPolicy::Promote2M`].
+#[derive(Clone, Copy, Debug)]
+struct ReservedRegion {
+    /// Base frame of the physically contiguous 512-frame reservation.
+    base: Pfn,
+    /// Distinct 4 KB pages of the region touched so far.
+    touched: u32,
+    /// Whether the PDE has been flipped to a huge mapping.
+    promoted: bool,
+}
 
 /// The four-level radix page table.
 #[derive(Debug)]
 pub struct PageTable {
     root: Pfn,
-    // Keyed by scattered frame numbers and probed four times per walk;
-    // the fast hasher keeps those probes off the SipHash tax.
+    // Keyed by scattered frame numbers and probed up to four times per
+    // walk; the fast hasher keeps those probes off the SipHash tax.
     nodes: HashMap<Pfn, Node, FastBuildHasher>,
     frames: FrameAllocator,
     mapped_pages: u64,
+    policy: AllocPolicy,
+    /// 2 MB reservations keyed by `vpn >> 9` (Promote2M only).
+    reservations: HashMap<u64, ReservedRegion, FastBuildHasher>,
 }
 
 impl PageTable {
-    /// Creates an empty page table (root node allocated).
+    /// Creates an empty 4 KB-grain page table (root node allocated) —
+    /// the paper's configuration.
     pub fn new() -> Self {
-        let mut frames = FrameAllocator::new();
+        Self::with_policy(AllocPolicy::Base4K)
+    }
+
+    /// Creates an empty page table mapping pages per `policy`.
+    pub fn with_policy(policy: AllocPolicy) -> Self {
+        let mut frames =
+            if policy.is_default() { FrameAllocator::new() } else { FrameAllocator::partitioned() };
         let root = frames.alloc();
         let mut nodes = HashMap::default();
         nodes.insert(root, new_node());
-        PageTable { root, nodes, frames, mapped_pages: 0 }
+        PageTable { root, nodes, frames, mapped_pages: 0, policy, reservations: HashMap::default() }
     }
 
     /// Physical frame of the root (PML4) node.
@@ -110,7 +227,14 @@ impl PageTable {
         self.root
     }
 
-    /// Number of data pages mapped so far.
+    /// The allocation policy mappings follow.
+    pub fn policy(&self) -> AllocPolicy {
+        self.policy
+    }
+
+    /// Number of mappings created so far, each counted at its own grain
+    /// (one 2 MB or 1 GB mapping counts once; under promotion, the 4 KB
+    /// first touches keep their counts).
     pub fn mapped_pages(&self) -> u64 {
         self.mapped_pages
     }
@@ -121,9 +245,50 @@ impl PageTable {
         self.nodes.len() as u64
     }
 
-    /// Translates `vpn`, demand-mapping it on first touch, and reports the
-    /// full walk path.
+    /// The size at which `vpn` is (or would be) mapped, without mapping
+    /// it. Read-only: used to key size-tagged TLB structures before a
+    /// walk resolves.
+    pub fn probe_size(&self, vpn: Vpn) -> PageSize {
+        match self.policy {
+            AllocPolicy::Base4K | AllocPolicy::Uniform(PageSize::Size4K) => PageSize::Size4K,
+            AllocPolicy::Uniform(size) => size,
+            AllocPolicy::Promote2M { .. } => {
+                let mut node_pfn = self.root;
+                for level in [3u32, 2u32] {
+                    let Some(node) = self.nodes.get(&node_pfn) else {
+                        return PageSize::Size4K;
+                    };
+                    let slot = node[vpn.radix_index(level)];
+                    if slot == 0 {
+                        return PageSize::Size4K;
+                    }
+                    node_pfn = slot_pfn(slot);
+                }
+                let pd_index = vpn.radix_index(1);
+                match self.nodes.get(&node_pfn) {
+                    Some(node) if slot_is_huge(node[pd_index]) => PageSize::Size2M,
+                    _ => PageSize::Size4K,
+                }
+            }
+        }
+    }
+
+    /// Translates `vpn` (4 KB grain), demand-mapping it on first touch,
+    /// and reports the full walk path.
     pub fn translate(&mut self, vpn: Vpn) -> WalkPath {
+        match self.policy {
+            AllocPolicy::Base4K | AllocPolicy::Uniform(PageSize::Size4K) => {
+                self.translate_base(vpn)
+            }
+            AllocPolicy::Uniform(size) => self.translate_uniform(vpn, size),
+            AllocPolicy::Promote2M { threshold } => self.translate_promote(vpn, threshold),
+        }
+    }
+
+    /// The paper's 4 KB walk, kept as its own loop so the default policy
+    /// performs the exact allocator-call and node-access sequence of the
+    /// pre-page-size code (the golden outputs pin this).
+    fn translate_base(&mut self, vpn: Vpn) -> WalkPath {
         let mut node_pfns = [Pfn::new(0); 4];
         let mut pte_addrs = [PhysAddr::new(0); 4];
         let mut newly_mapped = false;
@@ -142,11 +307,11 @@ impl PageTable {
                 // fields, but the node borrow must be re-established).
                 // dpc-lint: allow(hot-path::unwrap) -- re-borrow of the node fetched two lines up; alloc cannot remove map entries
                 self.nodes.get_mut(&node_pfn).expect("interior node must exist")[index] =
-                    child.raw() + 1;
+                    encode_slot(child, false);
                 self.nodes.insert(child, new_node());
                 child
             } else {
-                Pfn::new(slot - 1)
+                slot_pfn(slot)
             };
             node_pfn = child;
         }
@@ -158,14 +323,139 @@ impl PageTable {
         let node = self.nodes.get_mut(&node_pfn).expect("leaf node must exist");
         let pfn = if node[index] == 0 {
             let frame = self.frames.alloc();
-            node[index] = frame.raw() + 1;
+            node[index] = encode_slot(frame, false);
             self.mapped_pages += 1;
             newly_mapped = true;
             frame
         } else {
-            Pfn::new(node[index] - 1)
+            slot_pfn(node[index])
         };
-        WalkPath { node_pfns, pte_addrs, pfn, newly_mapped }
+        WalkPath { node_pfns, pte_addrs, pfn, size: PageSize::Size4K, newly_mapped }
+    }
+
+    /// Uniform huge mapping: the walk terminates at `size`'s PDE/PDPTE,
+    /// which maps a whole aligned frame region on first touch.
+    fn translate_uniform(&mut self, vpn: Vpn, size: PageSize) -> WalkPath {
+        let terminal = size.terminal_level();
+        let mut node_pfns = [Pfn::new(0); 4];
+        let mut pte_addrs = [PhysAddr::new(0); 4];
+        let mut node_pfn = self.root;
+        dpc_types::invariant!(terminal < 4, "terminal level indexes the 4-level walk arrays");
+        for level in (terminal + 1..=3).rev() {
+            let index = vpn.radix_index(level as u32);
+            node_pfns[level] = node_pfn;
+            pte_addrs[level] = pte_addr(node_pfn, index);
+            node_pfn = self.child_or_alloc(node_pfn, index);
+        }
+        let index = vpn.radix_index(terminal as u32);
+        node_pfns[terminal] = node_pfn;
+        pte_addrs[terminal] = pte_addr(node_pfn, index);
+        // dpc-lint: allow(hot-path::unwrap) -- the loop above inserted this node before naming it as the child
+        let node = self.nodes.get_mut(&node_pfn).expect("terminal node must exist");
+        let slot = node[index];
+        let (base, newly_mapped) = if slot == 0 {
+            let base = self.frames.alloc_region(size);
+            // dpc-lint: allow(hot-path::unwrap) -- re-borrow of the node fetched above; alloc_region cannot remove map entries
+            self.nodes.get_mut(&node_pfn).expect("terminal node must exist")[index] =
+                encode_slot(base, true);
+            self.mapped_pages += 1;
+            (base, true)
+        } else {
+            (slot_pfn(slot), false)
+        };
+        let pfn = Pfn::new(base.raw() + size.frame_offset(vpn));
+        WalkPath { node_pfns, pte_addrs, pfn, size, newly_mapped }
+    }
+
+    /// Reservation-based promotion: 4 KB pages carved out of per-region
+    /// 2 MB reservations, with the PDE flipped huge once `threshold`
+    /// distinct base pages have been touched.
+    fn translate_promote(&mut self, vpn: Vpn, threshold: u32) -> WalkPath {
+        let mut node_pfns = [Pfn::new(0); 4];
+        let mut pte_addrs = [PhysAddr::new(0); 4];
+        let mut node_pfn = self.root;
+        for level in (2..=3).rev() {
+            let index = vpn.radix_index(level as u32);
+            node_pfns[level] = node_pfn;
+            pte_addrs[level] = pte_addr(node_pfn, index);
+            node_pfn = self.child_or_alloc(node_pfn, index);
+        }
+        // Level 1 (PD): either a huge leaf or a pointer to the PT.
+        let pd_pfn = node_pfn;
+        let pd_index = vpn.radix_index(1);
+        node_pfns[1] = pd_pfn;
+        pte_addrs[1] = pte_addr(pd_pfn, pd_index);
+        // dpc-lint: allow(hot-path::unwrap) -- the loop above inserted this node before naming it as the child
+        let pd_slot = self.nodes.get_mut(&pd_pfn).expect("PD node must exist")[pd_index];
+        if slot_is_huge(pd_slot) {
+            let base = slot_pfn(pd_slot);
+            let pfn = Pfn::new(base.raw() + PageSize::Size2M.frame_offset(vpn));
+            return WalkPath {
+                node_pfns,
+                pte_addrs,
+                pfn,
+                size: PageSize::Size2M,
+                newly_mapped: false,
+            };
+        }
+        let pt_pfn =
+            if pd_slot == 0 { self.child_or_alloc(pd_pfn, pd_index) } else { slot_pfn(pd_slot) };
+        // Level 0: 4 KB leaf, frames carved from the region reservation.
+        let index = vpn.radix_index(0);
+        node_pfns[0] = pt_pfn;
+        pte_addrs[0] = pte_addr(pt_pfn, index);
+        // dpc-lint: allow(hot-path::unwrap) -- child_or_alloc inserted this node before returning it
+        let slot = self.nodes.get_mut(&pt_pfn).expect("leaf node must exist")[index];
+        let (pfn, newly_mapped) = if slot == 0 {
+            let region = vpn.raw() >> PageSize::Size2M.unit_shift();
+            let (frames, reservations) = (&mut self.frames, &mut self.reservations);
+            let resv = reservations.entry(region).or_insert_with(|| ReservedRegion {
+                base: frames.alloc_region(PageSize::Size2M),
+                touched: 0,
+                promoted: false,
+            });
+            let frame = Pfn::new(resv.base.raw() + PageSize::Size2M.frame_offset(vpn));
+            resv.touched += 1;
+            let promote = resv.touched >= threshold && !resv.promoted;
+            if promote {
+                resv.promoted = true;
+            }
+            let base = resv.base;
+            // dpc-lint: allow(hot-path::unwrap) -- re-borrow of the leaf node fetched above; reservation bookkeeping cannot remove map entries
+            self.nodes.get_mut(&pt_pfn).expect("leaf node must exist")[index] =
+                encode_slot(frame, false);
+            if promote {
+                // Flip the PDE to a huge leaf over the same frames; the
+                // abandoned PT node stays allocated (as on real systems
+                // until the OS reclaims it). Visible from the next walk.
+                // dpc-lint: allow(hot-path::unwrap) -- pd_pfn was fetched from the map a few lines up
+                self.nodes.get_mut(&pd_pfn).expect("PD node must exist")[pd_index] =
+                    encode_slot(base, true);
+            }
+            self.mapped_pages += 1;
+            (frame, true)
+        } else {
+            (slot_pfn(slot), false)
+        };
+        WalkPath { node_pfns, pte_addrs, pfn, size: PageSize::Size4K, newly_mapped }
+    }
+
+    /// Follows (or demand-allocates) the child node under `index` of the
+    /// interior node at `node_pfn`.
+    fn child_or_alloc(&mut self, node_pfn: Pfn, index: usize) -> Pfn {
+        dpc_types::invariant!(index < NODE_ENTRIES, "radix indices are 9-bit");
+        // dpc-lint: allow(hot-path::unwrap) -- callers only pass node frames already inserted into the map
+        let slot = self.nodes.get_mut(&node_pfn).expect("interior node must exist")[index];
+        if slot == 0 {
+            let child = self.frames.alloc();
+            // dpc-lint: allow(hot-path::unwrap) -- re-borrow of the node fetched two lines up; alloc cannot remove map entries
+            self.nodes.get_mut(&node_pfn).expect("interior node must exist")[index] =
+                encode_slot(child, false);
+            self.nodes.insert(child, new_node());
+            child
+        } else {
+            slot_pfn(slot)
+        }
     }
 
     /// Returns the node frame a walk starting at `level` for `vpn` would
@@ -208,11 +498,43 @@ mod tests {
     }
 
     #[test]
+    fn partitioned_regions_are_aligned_and_disjoint() {
+        let mut alloc = FrameAllocator::partitioned();
+        let mut claimed: Vec<(u64, u64)> = Vec::new(); // [start, end) frame ranges
+        for _ in 0..500 {
+            let f = alloc.alloc();
+            assert_eq!(f.raw() >> 33, 0, "singletons stay below bit 33");
+            claimed.push((f.raw(), f.raw() + 1));
+        }
+        for _ in 0..200 {
+            let base = alloc.alloc_region(PageSize::Size2M);
+            assert_eq!(base.raw() % 512, 0, "2 MB regions are 512-frame aligned");
+            claimed.push((base.raw(), base.raw() + 512));
+        }
+        for _ in 0..50 {
+            let base = alloc.alloc_region(PageSize::Size1G);
+            assert_eq!(base.raw() % (512 * 512), 0, "1 GB regions are 2^18-frame aligned");
+            claimed.push((base.raw(), base.raw() + 512 * 512));
+        }
+        claimed.sort_unstable();
+        for pair in claimed.windows(2) {
+            assert!(pair[0].1 <= pair[1].0, "frame ranges overlap: {pair:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partitioned")]
+    fn legacy_allocator_rejects_regions() {
+        FrameAllocator::new().alloc_region(PageSize::Size2M);
+    }
+
+    #[test]
     fn translation_is_stable() {
         let mut pt = PageTable::new();
         let vpn = Vpn::new(0x12_3456);
         let first = pt.translate(vpn);
         assert!(first.newly_mapped);
+        assert_eq!(first.size, PageSize::Size4K);
         let second = pt.translate(vpn);
         assert!(!second.newly_mapped);
         assert_eq!(first.pfn, second.pfn);
@@ -273,5 +595,116 @@ mod tests {
         pt.translate(Vpn::new(42));
         assert_eq!(pt.root(), root);
         assert_eq!(pt.translate(Vpn::new(42)).node_pfns[3], root);
+    }
+
+    #[test]
+    fn uniform_2m_walks_terminate_at_the_pde() {
+        let mut pt = PageTable::with_policy(AllocPolicy::Uniform(PageSize::Size2M));
+        let vpn = Vpn::new(0x12_3456);
+        let walk = pt.translate(vpn);
+        assert_eq!(walk.size, PageSize::Size2M);
+        assert!(walk.newly_mapped);
+        assert_eq!(walk.node_pfns[0], Pfn::new(0), "no PT node below a PDE mapping");
+        for level in 1..4 {
+            assert_eq!(walk.pte_addrs[level].pfn(), walk.node_pfns[level]);
+        }
+        // The whole 2 MB region shares one mapping over contiguous frames.
+        let sibling = pt.translate(Vpn::new(vpn.raw() ^ 0x1ff));
+        assert!(!sibling.newly_mapped);
+        assert_eq!(pt.mapped_pages(), 1);
+        assert_eq!(
+            walk.pfn.raw().wrapping_sub(PageSize::Size2M.frame_offset(vpn)),
+            sibling.pfn.raw() - PageSize::Size2M.frame_offset(Vpn::new(vpn.raw() ^ 0x1ff)),
+            "both pages translate into the same region"
+        );
+        assert_eq!(pt.probe_size(vpn), PageSize::Size2M);
+    }
+
+    #[test]
+    fn uniform_1g_walks_terminate_at_the_pdpte() {
+        let mut pt = PageTable::with_policy(AllocPolicy::Uniform(PageSize::Size1G));
+        let vpn = Vpn::new(0x12_3456);
+        let walk = pt.translate(vpn);
+        assert_eq!(walk.size, PageSize::Size1G);
+        assert_eq!(walk.node_pfns[0], Pfn::new(0));
+        assert_eq!(walk.node_pfns[1], Pfn::new(0));
+        assert_eq!(walk.pfn.raw() % (512 * 512), PageSize::Size1G.frame_offset(vpn));
+        // 1 GB apart → distinct regions; within → shared.
+        assert!(pt.translate(Vpn::new(vpn.raw() + (1 << 18))).newly_mapped);
+        assert!(!pt.translate(Vpn::new(vpn.raw() + 1)).newly_mapped);
+        assert_eq!(pt.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn huge_translations_are_stable_and_offset_correct() {
+        for policy in
+            [AllocPolicy::Uniform(PageSize::Size2M), AllocPolicy::Uniform(PageSize::Size1G)]
+        {
+            let mut pt = PageTable::with_policy(policy);
+            let vpn = Vpn::new(0xABCDE);
+            let a = pt.translate(vpn);
+            let b = pt.translate(vpn);
+            assert_eq!(a.pfn, b.pfn);
+            assert_eq!(a.pte_addrs, b.pte_addrs);
+            let size = a.size;
+            assert_eq!(
+                size.frame_offset(Vpn::new(a.pfn.raw())),
+                size.frame_offset(vpn),
+                "VA and PA agree on the in-region offset"
+            );
+        }
+    }
+
+    #[test]
+    fn promotion_flips_the_pde_after_threshold_touches() {
+        let threshold = 4;
+        let mut pt = PageTable::with_policy(AllocPolicy::Promote2M { threshold });
+        let base = Vpn::new(0x4_0000); // 2 MB-region aligned
+                                       // Below threshold: 4 KB walks.
+        let mut frames = Vec::new();
+        for i in 0..threshold as u64 {
+            let walk = pt.translate(Vpn::new(base.raw() + i));
+            assert_eq!(walk.size, PageSize::Size4K);
+            assert!(walk.newly_mapped);
+            frames.push(walk.pfn);
+            let expected =
+                if i + 1 < u64::from(threshold) { PageSize::Size4K } else { PageSize::Size2M };
+            assert_eq!(pt.probe_size(Vpn::new(base.raw() + i)), expected, "touch {i}");
+        }
+        // Promotion preserved the carved frames: the huge walk returns
+        // exactly the frame each 4 KB walk returned.
+        for (i, &frame) in frames.iter().enumerate() {
+            let walk = pt.translate(Vpn::new(base.raw() + i as u64));
+            assert_eq!(walk.size, PageSize::Size2M);
+            assert!(!walk.newly_mapped);
+            assert_eq!(walk.pfn, frame, "promotion must not move frames");
+        }
+        // Untouched pages of the promoted region translate too.
+        let fresh = pt.translate(Vpn::new(base.raw() + 100));
+        assert_eq!(fresh.size, PageSize::Size2M);
+        assert_eq!(
+            fresh.pfn.raw() - PageSize::Size2M.frame_offset(Vpn::new(fresh.pfn.raw())),
+            frames[0].raw() - PageSize::Size2M.frame_offset(Vpn::new(frames[0].raw())),
+        );
+    }
+
+    #[test]
+    fn unpromoted_regions_stay_4k() {
+        let mut pt = PageTable::with_policy(AllocPolicy::Promote2M { threshold: 512 });
+        for i in 0..100u64 {
+            assert_eq!(pt.translate(Vpn::new(0x4_0000 + i)).size, PageSize::Size4K);
+        }
+        assert_eq!(pt.probe_size(Vpn::new(0x4_0000)), PageSize::Size4K);
+        assert_eq!(pt.probe_size(Vpn::new(0xFFFF_0000)), PageSize::Size4K, "unmapped VPN");
+    }
+
+    #[test]
+    fn reservation_frames_are_carved_contiguously() {
+        let mut pt = PageTable::with_policy(AllocPolicy::Promote2M { threshold: 512 });
+        let a = pt.translate(Vpn::new(0x4_0000)).pfn;
+        let b = pt.translate(Vpn::new(0x4_0001)).pfn;
+        let far = pt.translate(Vpn::new(0x4_0000 + 0x1ff)).pfn;
+        assert_eq!(b.raw(), a.raw() + 1, "adjacent pages share the reservation");
+        assert_eq!(far.raw(), a.raw() + 0x1ff);
     }
 }

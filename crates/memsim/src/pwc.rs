@@ -59,9 +59,22 @@ impl PwcSet {
     /// exactly like a hardware walker searching for the longest cached
     /// prefix.
     pub fn probe(&mut self, vpn: Vpn) -> PwcProbe {
+        self.probe_from(vpn, 0)
+    }
+
+    /// Probes only the PWC levels at or above `min_level` — the walker's
+    /// entry point for huge mappings, whose walks terminate at the PDE
+    /// (`min_level == 1`, 2 MB) or PDPTE (`min_level == 2`, 1 GB) and
+    /// therefore never consult the levels below. Skipping those levels
+    /// also sidesteps stale sub-terminal entries left behind when a
+    /// region is promoted.
+    ///
+    /// On a hit at level `L`, `remaining_loads` is `L + 1 - min_level`;
+    /// on a full miss it is `4 - min_level` (the walk's total PTE loads).
+    pub fn probe_from(&mut self, vpn: Vpn, min_level: usize) -> PwcProbe {
         self.probes += 1;
         let mut latency = 0u64;
-        for (level, &shift) in LEVEL_SHIFT.iter().enumerate() {
+        for (level, &shift) in LEVEL_SHIFT.iter().enumerate().skip(min_level) {
             latency += u64::from(self.latency[level]);
             let tag = vpn.raw() >> shift;
             if let Some(way) = self.levels[level].lookup(tag, tag) {
@@ -71,11 +84,16 @@ impl PwcSet {
                     hit_level: Some(level),
                     resume_node: node,
                     latency,
-                    remaining_loads: level as u32 + 1,
+                    remaining_loads: (level + 1 - min_level) as u32,
                 };
             }
         }
-        PwcProbe { hit_level: None, resume_node: Pfn::new(0), latency, remaining_loads: 4 }
+        PwcProbe {
+            hit_level: None,
+            resume_node: Pfn::new(0),
+            latency,
+            remaining_loads: (4 - min_level) as u32,
+        }
     }
 
     /// Installs the nodes discovered by a completed walk into every PWC
@@ -83,8 +101,15 @@ impl PwcSet {
     /// `level` (0 = leaf PT), as produced by
     /// [`WalkPath`](crate::page_table::WalkPath).
     pub fn fill(&mut self, vpn: Vpn, node_pfns: &[Pfn; 4]) {
-        for level in 0..3 {
-            let tag = vpn.raw() >> LEVEL_SHIFT[level];
+        self.fill_from(vpn, node_pfns, 0);
+    }
+
+    /// Installs only the levels at or above `min_level` — a huge walk
+    /// never visited the nodes below its terminal level, so it has
+    /// nothing to install there (`node_pfns` holds `Pfn(0)` fillers).
+    pub fn fill_from(&mut self, vpn: Vpn, node_pfns: &[Pfn; 4], min_level: usize) {
+        for (level, &shift) in LEVEL_SHIFT.iter().enumerate().skip(min_level) {
+            let tag = vpn.raw() >> shift;
             if self.levels[level].peek(tag, tag).is_none() {
                 self.levels[level].fill(tag, tag, node_pfns[level], InsertPriority::Normal);
             }
@@ -156,6 +181,37 @@ mod tests {
         }
         let probe = p.probe(Vpn::new(0)); // oldest PT region
         assert_ne!(probe.hit_level, Some(0), "LRU entry must have been evicted");
+    }
+
+    #[test]
+    fn probe_from_skips_sub_terminal_levels() {
+        let mut p = pwc();
+        // Cold 2 MB probe: levels 1 and 2 only → 1 + 2 cycles, 3 loads.
+        let probe = p.probe_from(Vpn::new(0x1234), 1);
+        assert_eq!(probe.hit_level, None);
+        assert_eq!(probe.remaining_loads, 3);
+        assert_eq!(probe.latency, 3);
+        // Cold 1 GB probe: level 2 only → 2 cycles, 2 loads.
+        let probe = p.probe_from(Vpn::new(0x1234), 2);
+        assert_eq!(probe.remaining_loads, 2);
+        assert_eq!(probe.latency, 2);
+    }
+
+    #[test]
+    fn fill_from_leaves_lower_levels_cold() {
+        let mut p = pwc();
+        let nodes = [Pfn::new(0), Pfn::new(21), Pfn::new(22), Pfn::new(23)];
+        p.fill_from(Vpn::new(0x1234), &nodes, 1);
+        // A warm 2 MB probe resumes from the PD node with one load left.
+        let probe = p.probe_from(Vpn::new(0x1234), 1);
+        assert_eq!(probe.hit_level, Some(1));
+        assert_eq!(probe.resume_node, Pfn::new(21));
+        assert_eq!(probe.remaining_loads, 1);
+        assert_eq!(probe.latency, 1);
+        // Level 0 was never filled: a 4 KB probe of the same VPN must not
+        // see a stale leaf entry.
+        let probe = p.probe(Vpn::new(0x1234));
+        assert_ne!(probe.hit_level, Some(0));
     }
 
     #[test]

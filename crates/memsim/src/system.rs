@@ -9,13 +9,13 @@ use crate::page_table::PageTable;
 use crate::policy::{EvictedPage, LlcPolicy, LltPolicy, PageFillDecision};
 use crate::set_assoc::InsertPriority;
 use crate::stats::{DeadnessSampler, EvictionClasses, SimStats};
-use crate::tlb::Tlb;
+use crate::tlb::{Tlb, TlbGroup};
 use crate::walker::Walker;
 use dpc_types::hash::FastBuildHasher;
 use dpc_types::stream::{EventBatch, EventStream, StreamCursor};
 use dpc_types::{
-    AccessKind, ConfigError, Event, Pc, Pfn, PhysAddr, SystemConfig, TlbFillPolicy, VirtAddr, Vpn,
-    Workload, BLOCK_SHIFT,
+    AccessKind, ConfigError, Event, PageSize, Pc, Pfn, PhysAddr, SystemConfig, TlbFillPolicy,
+    VirtAddr, Vpn, Workload, BLOCK_SHIFT,
 };
 use std::collections::HashMap;
 use std::error::Error;
@@ -89,10 +89,22 @@ enum Side {
 pub struct System<L: LltPolicy = DynLltPolicy, C: LlcPolicy = DynLlcPolicy> {
     config: SystemConfig,
     core: CoreModel,
-    l1i_tlb: Tlb,
-    l1d_tlb: Tlb,
+    l1i_tlb: TlbGroup,
+    l1d_tlb: TlbGroup,
     llt: Tlb,
     llt_policy: L,
+    /// Page sizes the allocation policy can map, in probe order (smallest
+    /// first). A single-size policy keeps the whole translation path on
+    /// untagged 4 KB keys — byte-identical to the pre-page-size code.
+    llt_sizes: &'static [PageSize],
+    /// Whether LLT/shadow/reverse-map keys carry a size tag. Only true
+    /// when more than one page size can coexist (Promote2M), so
+    /// same-numbered units of different sizes cannot alias.
+    size_tagged: bool,
+    /// dpPred→cbPred PFQ messages name frames at the *prediction unit* —
+    /// the policy's largest page size — so a dead 2 MB page kills its
+    /// blocks as one unit. Zero for the paper's 4 KB configuration.
+    pfq_unit_shift: u32,
     /// Cached [`LltPolicy::is_null`]: `true` for the baseline no-op
     /// policy, letting the translation path skip hook dispatch entirely
     /// (every skipped hook is a no-op, so behavior is identical).
@@ -138,15 +150,19 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
     ) -> Result<Self, SystemError> {
         config.validate()?;
         let llt_null = llt_policy.is_null();
+        let page_policy = config.page_policy;
         Ok(System {
             core: CoreModel::new(config.core.width, config.core.rob_size, config.core.mem_slots),
-            l1i_tlb: Tlb::new(&config.l1_itlb),
-            l1d_tlb: Tlb::new(&config.l1_dtlb),
+            l1i_tlb: TlbGroup::for_policy(&config.l1_itlb, page_policy, true),
+            l1d_tlb: TlbGroup::for_policy(&config.l1_dtlb, page_policy, false),
             llt: Tlb::new(&config.l2_tlb),
             llt_policy,
             llt_null,
+            llt_sizes: page_policy.page_sizes(),
+            size_tagged: page_policy.page_sizes().len() > 1,
+            pfq_unit_shift: page_policy.prediction_unit_shift(),
             hier: Hierarchy::with_typed_policy(&config, llc_policy),
-            page_table: PageTable::new(),
+            page_table: PageTable::with_policy(page_policy),
             walker: Walker::new(&config.pwc),
             mshr: Mshr::new(MSHR_CAPACITY),
             llt_evictions: EvictionClasses::default(),
@@ -268,7 +284,7 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
                     // the set, which costs nothing. Hints never change
                     // simulated state (see SetAssoc::prefetch_set).
                     if let Some(&Event::Mem { vaddr, .. }) = events.get(i + PREFETCH_DISTANCE) {
-                        self.l1d_tlb.array().prefetch_set(vaddr.vpn().raw());
+                        self.l1d_tlb.prefetch(vaddr);
                         self.hier.l1d.array().prefetch_set(vaddr.raw() >> BLOCK_SHIFT);
                     }
                 }
@@ -341,6 +357,40 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
         self.drain_doa_evictions();
     }
 
+    /// The LLT/shadow/reverse-map key for a page of `size` holding the
+    /// 4 KB-grain `vpn`: the size's *unit* VPN, tagged with the size
+    /// index when several sizes can coexist. Untagged single-size keys
+    /// keep the paper's 4 KB configuration byte-identical.
+    #[inline]
+    fn llt_key(&self, size: PageSize, vpn: Vpn) -> Vpn {
+        self.llt_key_from_unit(size, size.vpn_unit(vpn))
+    }
+
+    #[inline]
+    fn llt_key_from_unit(&self, size: PageSize, unit: Vpn) -> Vpn {
+        if self.size_tagged {
+            Vpn::new((unit.raw() << 2) | size.index())
+        } else {
+            unit
+        }
+    }
+
+    /// Key into the reverse translation map for a unit frame of `size`.
+    #[inline]
+    fn pfn_map_key(&self, size: PageSize, unit_pfn: Pfn) -> Pfn {
+        if self.size_tagged {
+            Pfn::new((unit_pfn.raw() << 2) | size.index())
+        } else {
+            unit_pfn
+        }
+    }
+
+    /// Reconstructs the 4 KB-grain frame from a unit translation.
+    #[inline]
+    fn compose_pfn(size: PageSize, unit_pfn: u64, vpn: Vpn) -> Pfn {
+        Pfn::new((unit_pfn << size.unit_shift()) | size.frame_offset(vpn))
+    }
+
     /// Translates `vpn`, going L1 TLB → LLT (+ shadow) → page walk.
     fn translate(&mut self, pc: Pc, vpn: Vpn, side: Side) -> (Pfn, u64) {
         let l1 = match side {
@@ -355,37 +405,64 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
 
         // --- LLT lookup with policy hooks (all no-ops for the baseline,
         // so `llt_null` skips the dynamic dispatch without changing
-        // behavior) ---
-        let hit_way = self.llt.lookup_way(vpn);
+        // behavior). The unified LLT holds every size; each enabled size
+        // probes its own key, smallest first. ---
+        self.llt.stats.lookups += 1;
+        let mut hit: Option<(PageSize, Vpn, usize)> = None;
+        for &size in self.llt_sizes {
+            let key = self.llt_key(size, vpn);
+            if let Some(way) = self.llt.array_mut().lookup(key.raw(), key.raw()) {
+                hit = Some((size, key, way));
+                break;
+            }
+        }
+        if hit.is_some() {
+            self.llt.stats.hits += 1;
+        } else {
+            self.llt.stats.misses += 1;
+        }
+        // Policy hooks see the key of the hit, or — on a miss — the key
+        // the page would occupy at its mapped size, so training and the
+        // shadow probe agree with the eventual fill.
+        let (hook_size, hook_key) = match hit {
+            Some((size, key, _)) => (size, key),
+            None => {
+                let size = self.page_table.probe_size(vpn);
+                (size, self.llt_key(size, vpn))
+            }
+        };
+        let hit_way = hit.map(|(_, _, way)| way);
         if !self.llt_null {
-            self.llt_policy.on_lookup(vpn, hit_way.is_some());
+            self.llt_policy.on_lookup(hook_key, hit_way.is_some());
             // Policies that don't observe set views skip view construction.
             if self.llt_policy.uses_set_views() {
                 let policy = &mut self.llt_policy;
                 self.llt
                     .array_mut()
-                    .with_set_views(vpn.raw(), hit_way, |views| policy.on_set_access(views));
+                    .with_set_views(hook_key.raw(), hit_way, |views| policy.on_set_access(views));
             }
         }
-        if let Some(way) = hit_way {
-            let entry = self.llt.array_mut().payload_mut(vpn.raw(), way);
-            let pfn = Pfn::new(entry.pfn);
+        if let Some((size, key, way)) = hit {
+            let entry = self.llt.array_mut().payload_mut(key.raw(), way);
+            let unit_pfn = entry.pfn;
             if !self.llt_null {
-                self.llt_policy.on_hit(vpn, &mut entry.state);
+                self.llt_policy.on_hit(key, &mut entry.state);
             }
-            self.fill_l1(side, vpn, pfn, pc);
+            let pfn = Self::compose_pfn(size, unit_pfn, vpn);
+            self.fill_l1(side, size, vpn, pfn, pc);
             return (pfn, latency);
         }
 
         // --- LLT miss: shadow/victim-buffer probe ---
         if !self.llt_null {
-            if let Some(pfn) = self.llt_policy.shadow_lookup(vpn) {
+            if let Some(unit_pfn) = self.llt_policy.shadow_lookup(hook_key) {
                 self.llt.stats.shadow_hits += 1;
                 // Paper Fig. 6a: re-allocate the mispredicted entry in the
                 // LLT.
-                let state = self.llt_policy.refill_state(vpn, pc);
-                self.fill_llt(vpn, pfn, InsertPriority::Normal, state);
-                self.fill_l1(side, vpn, pfn, pc);
+                let state = self.llt_policy.refill_state(hook_key, pc);
+                self.fill_llt(hook_key, unit_pfn, InsertPriority::Normal, state);
+                let pfn = Self::compose_pfn(hook_size, unit_pfn.raw(), vpn);
+                self.fill_l1(side, hook_size, vpn, pfn, pc);
                 return (pfn, latency);
             }
         }
@@ -394,44 +471,50 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
         self.mshr.allocate(vpn, pc);
         let outcome = self.walker.walk(vpn, &mut self.page_table, &mut self.hier);
         latency += outcome.latency;
-        self.pfn_to_vpn.insert(outcome.pfn, vpn);
+        let size = outcome.size;
+        let key = self.llt_key(size, vpn);
+        let unit_pfn = size.pfn_unit(outcome.pfn);
+        self.pfn_to_vpn.insert(self.pfn_map_key(size, unit_pfn), key);
         let fill_pc = self.mshr.complete(vpn);
         if self.config.tlb_fill == TlbFillPolicy::Both {
-            self.llt_insert(vpn, outcome.pfn, fill_pc);
+            self.llt_insert(size, key, unit_pfn, fill_pc);
         }
         // Under L1ThenVictim, the LLT is filled when the L1 evicts the
         // entry (see `fill_l1`).
-        self.fill_l1(side, vpn, outcome.pfn, fill_pc);
+        self.fill_l1(side, size, vpn, outcome.pfn, fill_pc);
         (outcome.pfn, latency)
     }
 
     /// Runs the LLT fill-decision flow (policy consultation, bypass
-    /// bookkeeping, dpPred → PFQ message).
-    fn llt_insert(&mut self, vpn: Vpn, pfn: Pfn, pc: Pc) {
+    /// bookkeeping, dpPred → PFQ message). `key` and `unit_pfn` are at
+    /// `size`'s grain: one huge page is one prediction unit.
+    fn llt_insert(&mut self, size: PageSize, key: Vpn, unit_pfn: Pfn, pc: Pc) {
         // The baseline always allocates with default priority and state —
         // exactly what `LltPolicy::on_fill`'s default body returns.
         let decision = if self.llt_null {
             PageFillDecision::ALLOCATE
         } else {
-            self.llt_policy.on_fill(vpn, pfn, pc)
+            self.llt_policy.on_fill(key, unit_pfn, pc)
         };
         match decision {
             PageFillDecision::Allocate { priority, state } => {
-                self.fill_llt(vpn, pfn, priority, state);
+                self.fill_llt(key, unit_pfn, priority, state);
             }
             PageFillDecision::Bypass => {
                 self.llt.stats.bypasses += 1;
-                self.llt_policy.on_bypass(vpn, pfn);
+                self.llt_policy.on_bypass(key, unit_pfn);
                 // A bypassed page had no LLT stay; for the block↔page
                 // correlation it counts as a (predicted) dead page.
-                self.page_stay_doa.insert(vpn, true);
-                // dpPred → PFQ message (paper Fig. 7).
-                self.hier.policy_mut().note_doa_page(pfn);
+                self.page_stay_doa.insert(key, true);
+                // dpPred → PFQ message (paper Fig. 7), renamed to the
+                // prediction unit (the policy's largest page size).
+                let pfq_pfn = Pfn::new(unit_pfn.raw() >> (self.pfq_unit_shift - size.unit_shift()));
+                self.hier.policy_mut().note_doa_page(pfq_pfn);
             }
         }
     }
 
-    fn fill_l1(&mut self, side: Side, vpn: Vpn, pfn: Pfn, pc: Pc) {
+    fn fill_l1(&mut self, side: Side, size: PageSize, vpn: Vpn, pfn: Pfn, pc: Pc) {
         // Under the victim-TLB organization the L1 entry remembers the PC
         // that brought it, so the LLT policy can be consulted when the
         // entry trickles down at L1-eviction time.
@@ -443,12 +526,14 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
             Side::Instruction => &mut self.l1i_tlb,
             Side::Data => &mut self.l1d_tlb,
         };
-        let evicted = l1.fill(vpn, pfn, InsertPriority::Normal, state);
+        let evicted = l1.fill(size, vpn, pfn, InsertPriority::Normal, state);
         if self.config.tlb_fill == TlbFillPolicy::L1ThenVictim {
-            if let Some((evicted_vpn, entry, _)) = evicted {
-                if !self.llt.contains(evicted_vpn) {
+            if let Some((evicted_size, evicted_unit, entry, _)) = evicted {
+                let evicted_key = self.llt_key_from_unit(evicted_size, evicted_unit);
+                if !self.llt.contains(evicted_key) {
                     self.llt_insert(
-                        evicted_vpn,
+                        evicted_size,
+                        evicted_key,
                         Pfn::new(entry.pfn),
                         Pc::new(u64::from(entry.state)),
                     );
@@ -457,31 +542,31 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
         }
     }
 
-    fn fill_llt(&mut self, vpn: Vpn, pfn: Pfn, priority: InsertPriority, state: u32) {
-        let evicted = if self.llt.array().set_full(vpn.raw()) {
+    fn fill_llt(&mut self, key: Vpn, unit_pfn: Pfn, priority: InsertPriority, state: u32) {
+        let evicted = if self.llt.array().set_full(key.raw()) {
             let choice = if !self.llt_null && self.llt_policy.overrides_victim() {
                 let policy = &mut self.llt_policy;
                 self.llt
                     .array_mut()
-                    .with_set_views(vpn.raw(), None, |views| policy.pick_victim(views))
+                    .with_set_views(key.raw(), None, |views| policy.pick_victim(views))
             } else {
                 None
             };
             match choice {
-                Some(way) => self.llt.fill_way(vpn, way, pfn, priority, state),
-                None => self.llt.fill(vpn, pfn, priority, state),
+                Some(way) => self.llt.fill_way(key, way, unit_pfn, priority, state),
+                None => self.llt.fill(key, unit_pfn, priority, state),
             }
         } else {
-            self.llt.fill(vpn, pfn, priority, state)
+            self.llt.fill(key, unit_pfn, priority, state)
         };
-        if let Some((evicted_vpn, entry, life)) = evicted {
+        if let Some((evicted_key, entry, life)) = evicted {
             let end_seq = self.llt.array().seq();
             self.llt_evictions.record(life, end_seq);
             self.llt_sampler.record_stay(life, end_seq);
-            self.page_stay_doa.insert(evicted_vpn, life.hits == 0);
+            self.page_stay_doa.insert(evicted_key, life.hits == 0);
             if !self.llt_null {
                 self.llt_policy.on_evict(EvictedPage {
-                    vpn: evicted_vpn,
+                    vpn: evicted_key,
                     pfn: Pfn::new(entry.pfn),
                     state: entry.state,
                     life,
@@ -497,12 +582,22 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
         }
         let mut pending = std::mem::take(&mut self.hier.pending_doa_evictions);
         for pfn in pending.drain(..) {
-            let Some(&vpn) = self.pfn_to_vpn.get(&pfn) else {
+            // The block's 4 KB-grain frame may be mapped at any enabled
+            // size; the reverse map resolves to the page's LLT key.
+            let mut mapped = None;
+            for &size in self.llt_sizes {
+                let map_key = self.pfn_map_key(size, size.pfn_unit(pfn));
+                if let Some(&key) = self.pfn_to_vpn.get(&map_key) {
+                    mapped = Some(key);
+                    break;
+                }
+            }
+            let Some(key) = mapped else {
                 continue; // page-table frame or unmapped: unclassifiable
             };
-            let page_doa = match self.llt.resident_hits(vpn) {
+            let page_doa = match self.llt.resident_hits(key) {
                 Some(hits) => hits == 0,
-                None => match self.page_stay_doa.get(&vpn) {
+                None => match self.page_stay_doa.get(&key) {
                     Some(&doa) => doa,
                     None => continue,
                 },
@@ -783,6 +878,86 @@ mod tests {
         let typed = typed_sys.run_stream(&stream, &mut typed_cursor, 500);
         assert_eq!(typed.cycles, item.cycles, "typed and dyn systems must agree");
         assert_eq!(typed.llt, item.llt);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "simulates 19.2k mem ops; too slow under Miri")]
+    fn huge_pages_shorten_walks_and_cut_tlb_misses() {
+        use dpc_types::AllocPolicy;
+        let run = |policy| {
+            let config = SystemConfig::paper_baseline().with_page_policy(policy);
+            let mut sys = System::new(config).unwrap();
+            sys.run(&mut SyntheticLoads::strided(4096, 6400))
+        };
+        let base = run(AllocPolicy::Base4K);
+        let two_m = run(AllocPolicy::Uniform(PageSize::Size2M));
+        let one_g = run(AllocPolicy::Uniform(PageSize::Size1G));
+        for s in [&base, &two_m, &one_g] {
+            assert_eq!(s.llt.hits + s.llt.misses, s.llt.lookups);
+        }
+        // 6400 pages span 13 regions at 2 MB and 1 at 1 GB: almost every
+        // access becomes an L1 TLB hit, and the few walks are shorter.
+        assert!(two_m.llt.misses < base.llt.misses / 10);
+        assert!(one_g.llt.misses < two_m.llt.misses);
+        // Far fewer walks, and a smaller total walk burden (count and
+        // cycles); per-walk averages are not comparable because the 4 KB
+        // run's walks are mostly warm leaf-PWC hits.
+        assert!(two_m.walks < base.walks / 10);
+        assert!(one_g.walks < two_m.walks);
+        assert!(two_m.walk_pte_loads < base.walk_pte_loads);
+        assert!(
+            two_m.walk_cycles < base.walk_cycles,
+            "2 MB total walk cycles must shrink: {} vs {}",
+            two_m.walk_cycles,
+            base.walk_cycles
+        );
+        assert!(one_g.walk_cycles < two_m.walk_cycles);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "simulates 12.8k mem ops; too slow under Miri")]
+    fn promotion_policy_converges_and_stays_consistent() {
+        use dpc_types::AllocPolicy;
+        let config = SystemConfig::paper_baseline()
+            .with_page_policy(AllocPolicy::Promote2M { threshold: 64 });
+        let mut sys = System::new(config).unwrap();
+        // Two passes over 100 pages (64 accesses each): regions promote
+        // during the first pass, the second runs on 2 MB mappings.
+        let stats = sys.run(&mut SyntheticLoads::strided(64, 6400));
+        assert_eq!(stats.l1d_tlb.hits + stats.l1d_tlb.misses, stats.l1d_tlb.lookups);
+        sys.reset_stats();
+        let warm = sys.run(&mut SyntheticLoads::strided(64, 6400));
+        assert_eq!(warm.mem_ops, 6400);
+        // Promoted regions cover the working set with one L1 D-TLB entry
+        // per 2 MB: the second pass misses (almost) never.
+        assert!(
+            warm.l1d_tlb.misses < stats.l1d_tlb.misses / 4,
+            "promotion must cut L1 D-TLB misses: {} -> {}",
+            stats.l1d_tlb.misses,
+            warm.l1d_tlb.misses
+        );
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "simulates 9.6k mem ops; too slow under Miri")]
+    fn huge_page_runs_are_deterministic() {
+        use dpc_types::AllocPolicy;
+        for policy in [
+            AllocPolicy::Uniform(PageSize::Size2M),
+            AllocPolicy::Uniform(PageSize::Size1G),
+            AllocPolicy::Promote2M { threshold: 64 },
+        ] {
+            let run = || {
+                let config = SystemConfig::paper_baseline().with_page_policy(policy);
+                let mut sys = System::new(config).unwrap();
+                sys.run(&mut SyntheticLoads::strided(1024, 3200))
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a.cycles, b.cycles, "{policy:?} must be deterministic");
+            assert_eq!(a.llt, b.llt);
+            assert_eq!(a.llc, b.llc);
+        }
     }
 
     #[test]

@@ -5,10 +5,21 @@
 //! (dpPred keeps its 6-bit PC hash there; the `Accessed` bit is derived
 //! from the entry's hit count). The last-level-TLB policy logic itself
 //! lives in [`System`](crate::system::System).
+//!
+//! [`TlbGroup`] models a first-level TLB as real cores build it: one
+//! set-associative structure *per page size* (x86 cpuid reports e.g.
+//! 64-entry/4-way for 4 KB data pages, 32-entry/4-way for 2 MB, a small
+//! fully-associative array for 1 GB), probed in parallel and presented
+//! to the core as a single lookup. Entries are tagged and filled at
+//! their page's grain — one 2 MB mapping occupies one entry — and the
+//! 4 KB-grain translation is reconstructed from the in-page offset on a
+//! hit. With a single 4 KB member the group is call-for-call identical
+//! to a bare [`Tlb`], which keeps the paper's default configuration
+//! byte-identical.
 
 use crate::set_assoc::{Evicted, HasPolicyState, InsertPriority, LineLife, SetAssoc};
 use crate::stats::StructStats;
-use dpc_types::{Pfn, TlbConfig, Vpn};
+use dpc_types::{AllocPolicy, PageSize, Pfn, TlbConfig, VirtAddr, Vpn};
 
 /// Per-entry TLB metadata.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -139,6 +150,150 @@ fn evicted_parts(e: Evicted<TlbEntry>) -> (Vpn, TlbEntry, LineLife) {
     (Vpn::new(e.tag), e.payload, e.life)
 }
 
+/// One per-page-size structure inside a [`TlbGroup`].
+#[derive(Debug)]
+struct TlbMember {
+    size: PageSize,
+    array: SetAssoc<TlbEntry>,
+}
+
+impl TlbMember {
+    fn new(size: PageSize, config: &TlbConfig) -> Self {
+        TlbMember {
+            size,
+            array: SetAssoc::new(config.sets() as usize, config.ways as usize, config.replacement),
+        }
+    }
+}
+
+/// A first-level TLB: per-page-size structures probed as one lookup.
+#[derive(Debug)]
+pub struct TlbGroup {
+    members: Vec<TlbMember>,
+    /// Hit latency in cycles (shared by all members — they probe in
+    /// parallel).
+    pub latency: u32,
+    /// Counters for the group as a whole.
+    pub stats: StructStats,
+}
+
+impl TlbGroup {
+    /// Builds a single-structure 4 KB group with `config`'s geometry —
+    /// the paper's configuration, behaviorally identical to
+    /// `Tlb::new(config)`.
+    pub fn single(config: &TlbConfig) -> Self {
+        TlbGroup {
+            members: vec![TlbMember::new(PageSize::Size4K, config)],
+            latency: config.latency,
+            stats: StructStats::default(),
+        }
+    }
+
+    /// Builds the group `policy` requires: `config`'s geometry for the
+    /// 4 KB structure (when present) and the cpuid-derived split
+    /// geometries ([`PageSize::l1_itlb`] / [`PageSize::l1_dtlb`]) for
+    /// huge sizes. Single-size 4 KB policies collapse to
+    /// [`TlbGroup::single`].
+    pub fn for_policy(config: &TlbConfig, policy: AllocPolicy, instruction: bool) -> Self {
+        let sizes = policy.page_sizes();
+        if sizes == [PageSize::Size4K] {
+            return Self::single(config);
+        }
+        let members = sizes
+            .iter()
+            .map(|&size| {
+                if size == PageSize::Size4K {
+                    TlbMember::new(size, config)
+                } else if instruction {
+                    TlbMember::new(size, &size.l1_itlb())
+                } else {
+                    TlbMember::new(size, &size.l1_dtlb())
+                }
+            })
+            .collect();
+        TlbGroup { members, latency: config.latency, stats: StructStats::default() }
+    }
+
+    /// Looks up the 4 KB-grain `vpn` across every member, updating
+    /// recency and the group counters; a hit reconstructs the 4 KB-grain
+    /// frame from the member's unit translation and the in-page offset.
+    #[inline]
+    pub fn lookup(&mut self, vpn: Vpn) -> Option<Pfn> {
+        self.stats.lookups += 1;
+        for m in &mut self.members {
+            let unit = m.size.vpn_unit(vpn).raw();
+            if let Some((_, entry)) = m.array.lookup_payload(unit, unit) {
+                self.stats.hits += 1;
+                return Some(Pfn::new(
+                    (entry.pfn << m.size.unit_shift()) | m.size.frame_offset(vpn),
+                ));
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Probes every member without side effects.
+    #[inline]
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        self.members.iter().any(|m| {
+            let unit = m.size.vpn_unit(vpn).raw();
+            m.array.peek(unit, unit).is_some()
+        })
+    }
+
+    /// Allocates a translation into the member for `size`, tagging and
+    /// storing at that size's grain. `vpn`/`pfn` are 4 KB-grain; the
+    /// eviction (if any) reports the victim's size and *unit* VPN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` has no member in this group (the caller derives
+    /// the size from the same policy that built the group).
+    #[inline]
+    pub fn fill(
+        &mut self,
+        size: PageSize,
+        vpn: Vpn,
+        pfn: Pfn,
+        priority: InsertPriority,
+        state: u32,
+    ) -> Option<(PageSize, Vpn, TlbEntry, LineLife)> {
+        self.stats.fills += 1;
+        let m = self
+            .members
+            .iter_mut()
+            .find(|m| m.size == size)
+            // dpc-lint: allow(hot-path::unwrap) -- fill sizes come from walk outcomes of the same page policy whose sizes built this member list
+            .expect("fill size must be enabled in this TLB group");
+        let unit_vpn = size.vpn_unit(vpn).raw();
+        let unit_pfn = size.pfn_unit(pfn).raw();
+        m.array
+            .fill(unit_vpn, unit_vpn, TlbEntry { pfn: unit_pfn, state }, priority)
+            .map(|e| (size, Vpn::new(e.tag), e.payload, e.life))
+            .inspect(|_| self.stats.evictions += 1)
+    }
+
+    /// Early set-index hint for the upcoming access (state-free), aimed
+    /// at the primary (first-listed) member.
+    #[inline]
+    pub fn prefetch(&self, vaddr: VirtAddr) {
+        if let Some(m) = self.members.first() {
+            m.array.prefetch_set(m.size.vpn_unit(vaddr.vpn()).raw());
+        }
+    }
+
+    /// Read-only access to the primary member's array (tests, sampling).
+    pub fn primary_array(&self) -> &SetAssoc<TlbEntry> {
+        &self.members[0].array
+    }
+
+    /// The page sizes this group holds, in probe order.
+    pub fn sizes(&self) -> impl Iterator<Item = PageSize> + '_ {
+        self.members.iter().map(|m| m.size)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +339,54 @@ mod tests {
         let t = Tlb::new(&SystemConfig::paper_baseline().l2_tlb);
         assert_eq!(t.array().sets(), 128);
         assert_eq!(t.array().ways(), 8);
+    }
+
+    #[test]
+    fn single_group_matches_bare_tlb() {
+        let config = SystemConfig::paper_baseline().l1_dtlb;
+        let mut tlb = Tlb::new(&config);
+        let mut group = TlbGroup::single(&config);
+        // Identical fill/lookup sequence → identical results and counters.
+        for i in 0..200u64 {
+            let vpn = Vpn::new(i * 37 % 97);
+            let pfn = Pfn::new(1000 + vpn.raw());
+            assert_eq!(tlb.lookup(vpn), group.lookup(vpn), "lookup {i}");
+            tlb.fill(vpn, pfn, InsertPriority::Normal, 0);
+            group.fill(PageSize::Size4K, vpn, pfn, InsertPriority::Normal, 0);
+        }
+        assert_eq!(tlb.stats, group.stats);
+    }
+
+    #[test]
+    fn group_probes_all_sizes_and_reconstructs_offsets() {
+        let config = SystemConfig::paper_baseline().l1_dtlb;
+        let mut group =
+            TlbGroup::for_policy(&config, AllocPolicy::Promote2M { threshold: 64 }, false);
+        assert_eq!(group.sizes().collect::<Vec<_>>(), [PageSize::Size4K, PageSize::Size2M]);
+        // A 2 MB mapping: base frame 0x8000, page vpn 0x4_0055 inside
+        // region 0x200 (unit vpn).
+        let vpn = Vpn::new(0x4_0055);
+        let pfn = Pfn::new(0x8000 + 0x55);
+        group.fill(PageSize::Size2M, vpn, pfn, InsertPriority::Normal, 0);
+        assert_eq!(group.lookup(vpn), Some(pfn));
+        // Any other page of the same region hits the same entry.
+        let sibling = Vpn::new(0x4_01ff);
+        assert!(group.contains(sibling));
+        assert_eq!(group.lookup(sibling), Some(Pfn::new(0x8000 + 0x1ff)));
+        // A 4 KB entry with the same unit tag lives in its own member.
+        group.fill(PageSize::Size4K, Vpn::new(0x200), Pfn::new(7), InsertPriority::Normal, 0);
+        assert_eq!(group.lookup(Vpn::new(0x200)), Some(Pfn::new(7)));
+        assert_eq!(group.stats.hits, 3);
+        assert_eq!(group.stats.misses, 0);
+    }
+
+    #[test]
+    fn split_geometries_follow_cpuid() {
+        let config = SystemConfig::paper_baseline().l1_dtlb;
+        let group = TlbGroup::for_policy(&config, AllocPolicy::Uniform(PageSize::Size2M), false);
+        // Uniform 2 MB: one member with the cpuid 32-entry/4-way split.
+        assert_eq!(group.sizes().collect::<Vec<_>>(), [PageSize::Size2M]);
+        assert_eq!(group.primary_array().sets() * group.primary_array().ways(), 32);
+        assert_eq!(group.primary_array().ways(), 4);
     }
 }

@@ -44,6 +44,12 @@ pub struct CbPredConfig {
     /// `false` reproduces the cbPred−PF ablation: no PFQ filtering, every
     /// block trains and consults the bHIST.
     pub use_pfq: bool,
+    /// Right-shift applied to a block's 4 KB-grain frame number before
+    /// matching the PFQ — the prediction-unit shift of the system's page
+    /// allocation policy. 0 (the paper default) matches whole 4 KB
+    /// frames; 9 under a 2 MB policy makes the PFQ name 2 MB regions, so
+    /// one dead huge page covers all of its blocks with a single entry.
+    pub pfn_unit_shift: u32,
     /// LLC sets, for ghost-FIFO accuracy accounting.
     pub llc_sets: u64,
     /// LLC associativity.
@@ -60,6 +66,7 @@ impl CbPredConfig {
             threshold: 6,
             pfq_entries: 8,
             use_pfq: true,
+            pfn_unit_shift: 0,
             llc_sets: llc.sets(),
             llc_ways: u64::from(llc.ways),
         }
@@ -171,7 +178,14 @@ impl LlcPolicy for CbPred {
 
     #[inline]
     fn on_fill(&mut self, block: BlockAddr, _pc: Pc) -> BlockFillDecision {
-        let on_doa_page = if self.config.use_pfq { self.pfq.contains(&block.pfn()) } else { true };
+        // The PFQ holds prediction-unit frame names (see
+        // `CbPredConfig::pfn_unit_shift`); `note_doa_page` receives them
+        // already shifted, so only the block's frame needs reducing here.
+        let on_doa_page = if self.config.use_pfq {
+            self.pfq.contains(&Pfn::new(block.pfn().raw() >> self.config.pfn_unit_shift))
+        } else {
+            true
+        };
         if !on_doa_page {
             self.ghost.note_fill(block.raw());
             return BlockFillDecision::Allocate { priority: InsertPriority::Normal, state: 0 };
@@ -326,6 +340,36 @@ mod tests {
             doa_evict(&mut pred, block, true);
         }
         assert_eq!(pred.on_fill(block, Pc::new(0)), BlockFillDecision::Bypass);
+    }
+
+    #[test]
+    fn pfn_unit_shift_matches_whole_huge_pages() {
+        // A 2 MB prediction unit: PFQ entries name pfn >> 9.
+        let config = CbPredConfig {
+            pfn_unit_shift: 9,
+            ..CbPredConfig::paper_default(&SystemConfig::paper_baseline().llc)
+        };
+        let mut pred = CbPred::new(config);
+        // The system reports the dead huge page as its unit frame number.
+        pred.note_doa_page(Pfn::new(5));
+        // Any block in any of the region's 512 frames matches.
+        for frame in [5 << 9, (5 << 9) + 1, (5 << 9) + 511] {
+            let block = Pfn::new(frame).base().block();
+            assert!(
+                matches!(
+                    pred.on_fill(block, Pc::new(0)),
+                    BlockFillDecision::Allocate { state: DP_BIT, .. }
+                ),
+                "frame {frame} lies on the dead 2 MB page"
+            );
+        }
+        // A block one region over does not.
+        let outside = Pfn::new(6 << 9).base().block();
+        assert!(matches!(
+            pred.on_fill(outside, Pc::new(0)),
+            BlockFillDecision::Allocate { state: 0, .. }
+        ));
+        assert_eq!(pred.pfq_matches, 3);
     }
 
     #[test]

@@ -20,6 +20,19 @@ pub const TLB_ENTRY_BITS: u64 = 94;
 /// Bytes per dpPred shadow-table entry (VPN + translation ≈ 13 B).
 pub const SHADOW_ENTRY_BYTES: u64 = 13;
 
+/// dpPred's total budget at the paper geometry (1024-entry LLT, 6-bit PC
+/// hash, 4 VPN bits, 3-bit counters, 2 shadow entries): 896 B of entry
+/// metadata + 384 B pHIST + 26 B shadow = **1306 B** (Section V-D).
+///
+/// Re-derived for the multi-page-size LLT and unchanged: a huge page
+/// occupies one LLT entry and one prediction unit, so the per-entry
+/// metadata, pHIST geometry and shadow table are all shared across page
+/// sizes — no per-size replication. (The 2-bit size tag in the unified
+/// LLT entry is baseline TLB state, not predictor state: real split-size
+/// L2 TLBs carry it with or without dpPred.) Pinned by the
+/// `budget::counter-width` rule of `cargo xtask lint`.
+pub const DPPRED_BUDGET_BYTES: u64 = 1306;
+
 /// Storage budget of one predictor configuration, in bytes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StorageBudget {
@@ -140,6 +153,26 @@ mod tests {
         assert_eq!(b.table_bytes, 384);
         assert_eq!(b.aux_bytes, 26);
         assert_eq!(b.total(), 1306); // paper Section V-D
+        assert_eq!(b.total(), DPPRED_BUDGET_BYTES);
+    }
+
+    #[test]
+    fn dppred_budget_is_page_size_independent() {
+        // The structures dpPred adds are keyed by (hashed) LLT keys and
+        // prediction units, never by 4 KB frames, so enabling huge pages
+        // changes no term of the budget: same LLT entry count, same
+        // pHIST geometry, same shadow capacity.
+        let config = SystemConfig::paper_baseline();
+        for policy in [
+            dpc_types::AllocPolicy::Base4K,
+            dpc_types::AllocPolicy::Uniform(dpc_types::PageSize::Size2M),
+            dpc_types::AllocPolicy::Uniform(dpc_types::PageSize::Size1G),
+            dpc_types::AllocPolicy::Promote2M { threshold: 64 },
+        ] {
+            let sized = config.with_page_policy(policy);
+            let b = dppred_bytes(&sized.l2_tlb, 6, 4, 3, 2);
+            assert_eq!(b.total(), DPPRED_BUDGET_BYTES, "{policy:?}");
+        }
     }
 
     #[test]

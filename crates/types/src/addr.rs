@@ -7,7 +7,7 @@
 //!
 //! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
 
-use crate::{BLOCK_SHIFT, PAGE_SHIFT};
+use crate::{PageSize, BLOCK_SHIFT, PAGE_SHIFT};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -136,6 +136,20 @@ impl VirtAddr {
     pub const fn block_offset(self) -> u64 {
         self.0 & ((1 << BLOCK_SHIFT) - 1)
     }
+
+    /// Page number of this address at the given page size (unit grain:
+    /// the address shifted by `size.shift()`). `vpn_at(Size4K)` equals
+    /// [`VirtAddr::vpn`].
+    #[inline]
+    pub const fn vpn_at(self, size: PageSize) -> Vpn {
+        Vpn::new(self.0 >> size.shift())
+    }
+
+    /// Byte offset within the enclosing page of the given size.
+    #[inline]
+    pub const fn page_offset_at(self, size: PageSize) -> u64 {
+        self.0 & (size.bytes() - 1)
+    }
 }
 
 impl PhysAddr {
@@ -161,6 +175,12 @@ impl PhysAddr {
     pub const fn page_offset(self) -> u64 {
         self.0 & ((1 << PAGE_SHIFT) - 1)
     }
+
+    /// Frame number of this address at the given page size (unit grain).
+    #[inline]
+    pub const fn pfn_at(self, size: PageSize) -> Pfn {
+        Pfn::new(self.0 >> size.shift())
+    }
 }
 
 impl Vpn {
@@ -181,6 +201,35 @@ impl Vpn {
         assert!(level < 4, "four-level radix tree has levels 0..=3");
         ((self.0 >> (9 * level)) & 0x1ff) as usize
     }
+
+    /// The first byte address of this page number interpreted at the
+    /// given page size (unit grain). `base_at(Size4K)` equals
+    /// [`Vpn::base`].
+    #[inline]
+    pub const fn base_at(self, size: PageSize) -> VirtAddr {
+        VirtAddr::new(self.0 << size.shift())
+    }
+
+    /// Radix-tree index at `level` for a *unit-grain* page number of the
+    /// given size: a size-`s` unit VPN carries radix indices only for
+    /// levels `s.terminal_level()..=3` (the walk terminates at the
+    /// terminal level). For 4 KB units this equals
+    /// [`Vpn::radix_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= 4` or `level < size.terminal_level()` — there
+    /// is no radix index below a huge mapping's terminal level.
+    #[inline]
+    pub fn pte_index(self, level: u32, size: PageSize) -> usize {
+        assert!(level < 4, "four-level radix tree has levels 0..=3");
+        let terminal = size.terminal_level() as u32;
+        assert!(
+            level >= terminal,
+            "a {size} mapping terminates at level {terminal}; level {level} does not exist"
+        );
+        ((self.0 >> (9 * (level - terminal))) & 0x1ff) as usize
+    }
 }
 
 impl Pfn {
@@ -188,6 +237,13 @@ impl Pfn {
     #[inline]
     pub const fn base(self) -> PhysAddr {
         PhysAddr::new(self.0 << PAGE_SHIFT)
+    }
+
+    /// The first byte address of this frame number interpreted at the
+    /// given page size (unit grain).
+    #[inline]
+    pub const fn base_at(self, size: PageSize) -> PhysAddr {
+        PhysAddr::new(self.0 << size.shift())
     }
 }
 
@@ -208,6 +264,13 @@ impl BlockAddr {
     #[inline]
     pub const fn pfn(self) -> Pfn {
         Pfn::new(self.0 >> (PAGE_SHIFT - BLOCK_SHIFT))
+    }
+
+    /// The unit-grain frame of the given page size this block belongs to.
+    /// `pfn_at(Size4K)` equals [`BlockAddr::pfn`].
+    #[inline]
+    pub const fn pfn_at(self, size: PageSize) -> Pfn {
+        Pfn::new(self.0 >> (size.shift() - BLOCK_SHIFT))
     }
 }
 
@@ -315,5 +378,123 @@ mod tests {
         assert!(AccessKind::Write.is_write());
         assert!(!AccessKind::Read.is_write());
         assert_eq!(AccessKind::Read.to_string(), "read");
+    }
+
+    /// Addresses that exercise every alignment class: page-aligned at each
+    /// size, block-aligned, and arbitrary interior bytes up to 48 bits.
+    const SAMPLE_ADDRS: [u64; 8] =
+        [0, 0x3f, 0x1000, 0x1f_ffff, 0x20_0000, 0x4000_0000, 0xdead_beef_cafe, (1 << 48) - 1];
+
+    #[test]
+    fn sized_vpn_offset_roundtrip() {
+        // vpn_at / page_offset_at / base_at are inverses at every size.
+        for raw in SAMPLE_ADDRS {
+            let va = VirtAddr::new(raw);
+            for size in PageSize::ALL {
+                let vpn = va.vpn_at(size);
+                let offset = va.page_offset_at(size);
+                assert!(offset < size.bytes());
+                assert_eq!(vpn.base_at(size).raw() + offset, raw, "VA {raw:#x} at {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn sized_pfn_offset_roundtrip() {
+        for raw in SAMPLE_ADDRS {
+            let pa = PhysAddr::new(raw);
+            for size in PageSize::ALL {
+                let pfn = pa.pfn_at(size);
+                assert_eq!(pfn.base_at(size).raw() + pa.raw() % size.bytes(), raw);
+            }
+        }
+    }
+
+    #[test]
+    fn sized_accessors_reduce_to_legacy_at_4k() {
+        for raw in SAMPLE_ADDRS {
+            let va = VirtAddr::new(raw);
+            assert_eq!(va.vpn_at(PageSize::Size4K), va.vpn());
+            assert_eq!(va.page_offset_at(PageSize::Size4K), va.page_offset());
+            let pa = PhysAddr::new(raw);
+            assert_eq!(pa.pfn_at(PageSize::Size4K), pa.pfn());
+            assert_eq!(pa.pfn().base_at(PageSize::Size4K), pa.pfn().base());
+            assert_eq!(va.vpn().base_at(PageSize::Size4K), va.vpn().base());
+            assert_eq!(pa.block().pfn_at(PageSize::Size4K), pa.block().pfn());
+        }
+    }
+
+    #[test]
+    fn block_to_sized_pfn_consistent() {
+        // Bfn -> Pfn at size s must agree with PhysAddr -> Pfn at size s:
+        // the shift is size.shift() - BLOCK_SHIFT.
+        for raw in SAMPLE_ADDRS {
+            let pa = PhysAddr::new(raw);
+            for size in PageSize::ALL {
+                assert_eq!(pa.block().pfn_at(size), pa.pfn_at(size), "PA {raw:#x} at {size}");
+                assert_eq!(
+                    pa.block().pfn_at(size).raw(),
+                    pa.block().raw() >> (size.shift() - BLOCK_SHIFT)
+                );
+            }
+        }
+        // Huge sizes also relate through the unit shift from the 4 KB PFN.
+        let pa = PhysAddr::new(0xdead_beef_cafe);
+        for size in PageSize::ALL {
+            assert_eq!(pa.block().pfn_at(size), size.pfn_unit(pa.pfn()));
+        }
+    }
+
+    #[test]
+    fn pte_indices_cover_unit_vpns_at_each_size() {
+        // Reassembling the radix indices from the terminal level up must
+        // reproduce the unit VPN, at every size.
+        let va = VirtAddr::new(0x0eba_9876_5432 & ((1 << 48) - 1));
+        for size in PageSize::ALL {
+            let unit = va.vpn_at(size);
+            let terminal = size.terminal_level() as u32;
+            let mut rebuilt = 0u64;
+            for level in (terminal..4).rev() {
+                rebuilt = (rebuilt << 9) | unit.pte_index(level, size) as u64;
+            }
+            assert_eq!(rebuilt, unit.raw(), "{size}");
+        }
+    }
+
+    #[test]
+    fn pte_index_matches_radix_index_at_4k() {
+        let vpn = Vpn::new(0x0eba_9876_5432 & ((1 << 36) - 1));
+        for level in 0..4 {
+            assert_eq!(vpn.pte_index(level, PageSize::Size4K), vpn.radix_index(level));
+        }
+    }
+
+    #[test]
+    fn pte_index_depth_shrinks_with_size() {
+        // A 2 MB unit VPN's level-1 (terminal) index uses its low 9 bits;
+        // a 1 GB unit VPN's level-2 (terminal) index likewise.
+        let unit = Vpn::new(0b1_0000_0011); // 0x103
+        assert_eq!(unit.pte_index(1, PageSize::Size2M), 0x103);
+        assert_eq!(unit.pte_index(2, PageSize::Size2M), 0);
+        assert_eq!(unit.pte_index(2, PageSize::Size1G), 0x103);
+        assert_eq!(unit.pte_index(3, PageSize::Size1G), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminates at level 1")]
+    fn pte_index_rejects_levels_below_terminal_2m() {
+        Vpn::new(0).pte_index(0, PageSize::Size2M);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminates at level 2")]
+    fn pte_index_rejects_levels_below_terminal_1g() {
+        Vpn::new(0).pte_index(1, PageSize::Size1G);
+    }
+
+    #[test]
+    #[should_panic(expected = "four-level")]
+    fn pte_index_rejects_level_4() {
+        Vpn::new(0).pte_index(4, PageSize::Size2M);
     }
 }

@@ -4,6 +4,7 @@
 //! every sensitivity study in Section VI is expressed as a small mutation of
 //! that baseline through the builder-style `with_*` methods.
 
+use crate::page::AllocPolicy;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -152,6 +153,10 @@ pub struct SystemConfig {
     pub mem_latency: u32,
     /// Where walk results are placed (paper default: both TLB levels).
     pub tlb_fill: TlbFillPolicy,
+    /// How the simulated OS maps the address space onto page sizes
+    /// (default: 4 KB base pages everywhere, the paper's grain). Huge
+    /// policies add per-size L1 TLB structures and shorter radix walks.
+    pub page_policy: AllocPolicy,
 }
 
 impl SystemConfig {
@@ -177,6 +182,7 @@ impl SystemConfig {
             llc: CacheConfig { size_bytes: 2 << 20, ways: 16, latency: 40, replacement: Lru },
             mem_latency: 191,
             tlb_fill: TlbFillPolicy::Both,
+            page_policy: AllocPolicy::Base4K,
         }
     }
 
@@ -222,6 +228,15 @@ impl SystemConfig {
         self
     }
 
+    /// Returns a copy using the given page-size allocation policy. The
+    /// per-size L1 TLB geometries come from [`crate::PageSize::l1_dtlb`] /
+    /// [`crate::PageSize::l1_itlb`]; the `l1_itlb`/`l1_dtlb` fields keep
+    /// describing the 4 KB structures.
+    pub fn with_page_policy(mut self, page_policy: AllocPolicy) -> Self {
+        self.page_policy = page_policy;
+        self
+    }
+
     /// Checks structural invariants the simulator relies on.
     ///
     /// Set counts need not be powers of two (the 3 MB LLC of Fig. 11e has
@@ -257,6 +272,23 @@ impl SystemConfig {
         if self.pwc.entries.contains(&0) {
             return Err(ConfigError::Zero { structure: "pwc" });
         }
+        if let AllocPolicy::Promote2M { threshold } = self.page_policy {
+            // A region holds 512 base pages; a zero threshold would
+            // promote before any touch, a larger one would never fire.
+            if threshold == 0 {
+                return Err(ConfigError::Zero { structure: "page_policy" });
+            }
+            if u64::from(threshold) > crate::PageSize::Size2M.frames() {
+                return Err(ConfigError::PromotionThresholdTooLarge { threshold });
+            }
+        }
+        for size in self.page_policy.page_sizes() {
+            for tlb in [size.l1_dtlb(), size.l1_itlb()] {
+                if tlb.entries == 0 || tlb.ways == 0 || tlb.entries % tlb.ways != 0 {
+                    return Err(ConfigError::WaysDontDivide { structure: "page_policy" });
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -281,6 +313,12 @@ pub enum ConfigError {
         /// Which structure was misconfigured.
         structure: &'static str,
     },
+    /// A 2 MB promotion threshold beyond the 512 base pages of a region
+    /// can never fire.
+    PromotionThresholdTooLarge {
+        /// The rejected threshold.
+        threshold: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -291,6 +329,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::WaysDontDivide { structure } => {
                 write!(f, "{structure}: associativity must divide the capacity")
+            }
+            ConfigError::PromotionThresholdTooLarge { threshold } => {
+                write!(f, "page_policy: promotion threshold {threshold} exceeds the 512 base pages of a 2 MB region")
             }
         }
     }
@@ -357,6 +398,37 @@ mod tests {
         assert_eq!(c.l2_tlb.replacement, ReplacementKind::Srrip);
         assert_eq!(c.llc.replacement, ReplacementKind::Srrip);
         assert_eq!(ReplacementKind::Srrip.to_string(), "SRRIP");
+    }
+
+    #[test]
+    fn page_policy_knob() {
+        use crate::PageSize;
+        let c = SystemConfig::paper_baseline();
+        assert_eq!(c.page_policy, AllocPolicy::Base4K, "default stays the paper's 4 KB grain");
+
+        let huge =
+            SystemConfig::paper_baseline().with_page_policy(AllocPolicy::Uniform(PageSize::Size2M));
+        assert_eq!(huge.page_policy.page_sizes(), &[PageSize::Size2M]);
+        huge.validate().unwrap();
+        SystemConfig::paper_baseline()
+            .with_page_policy(AllocPolicy::Uniform(PageSize::Size1G))
+            .validate()
+            .unwrap();
+        SystemConfig::paper_baseline()
+            .with_page_policy(AllocPolicy::Promote2M { threshold: 64 })
+            .validate()
+            .unwrap();
+
+        let zero = SystemConfig::paper_baseline()
+            .with_page_policy(AllocPolicy::Promote2M { threshold: 0 });
+        assert_eq!(zero.validate(), Err(ConfigError::Zero { structure: "page_policy" }));
+        let huge_threshold = SystemConfig::paper_baseline()
+            .with_page_policy(AllocPolicy::Promote2M { threshold: 513 });
+        assert_eq!(
+            huge_threshold.validate(),
+            Err(ConfigError::PromotionThresholdTooLarge { threshold: 513 })
+        );
+        assert!(huge_threshold.validate().unwrap_err().to_string().contains("513"));
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod config;
 pub mod counter;
 pub mod hash;
 mod invariant;
+pub mod page;
 pub mod simd;
 pub mod stream;
 pub mod workload;
@@ -45,6 +46,7 @@ pub use config::{
     TlbFillPolicy,
 };
 pub use counter::SatCounter;
+pub use page::{AllocPolicy, PageSize};
 pub use stream::{EventStream, StreamCursor};
 pub use workload::{Event, Workload};
 

@@ -1,0 +1,353 @@
+//! The page-size axis: 4 KB base pages plus the x86-64 huge-page sizes.
+//!
+//! The paper evaluates dpPred/cbPred at a single 4 KB translation grain.
+//! [`PageSize`] makes the grain an explicit parameter so the same
+//! translation stack can run with 2 MB (PDE-mapped) and 1 GB
+//! (PDPTE-mapped) pages: shorter radix walks, per-size L1 TLB structures,
+//! and prediction units that cover a whole huge page.
+//!
+//! Per-size L1 TLB geometries are sourced from real cpuid leaves
+//! (Skylake-generation client parts): 64-entry/4-way for 4 KB data pages,
+//! 32-entry/4-way for 2 MB, and an 8-entry fully-associative array for
+//! 1 GB. Those numbers are pinned by dpc-lint (`budget::structure-size`)
+//! through the `L1_DTLB_GEOM_*` constants below.
+//!
+//! Throughout the simulator, VPNs/PFNs stay at the **4 KB grain** on the
+//! wire; a structure that tracks size-`s` units converts with
+//! [`PageSize::vpn_unit`] / [`PageSize::pfn_unit`] at its boundary and
+//! restores the low bits with [`PageSize::frame_offset`]. This keeps the
+//! default 4 KB configuration bit-identical to the pre-refactor code
+//! (every conversion is a shift by zero).
+
+use crate::{ReplacementKind, TlbConfig, PAGE_SHIFT};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// L1 data-TLB geometry for 4 KB pages: (entries, ways). cpuid-sourced;
+/// matches the paper's Table I.
+pub const L1_DTLB_GEOM_4K: (u32, u32) = (64, 4);
+/// L1 data-TLB geometry for 2 MB pages: (entries, ways). cpuid-sourced.
+pub const L1_DTLB_GEOM_2M: (u32, u32) = (32, 4);
+/// L1 data-TLB geometry for 1 GB pages: (entries, ways) — 8-entry fully
+/// associative. cpuid-sourced.
+pub const L1_DTLB_GEOM_1G: (u32, u32) = (8, 8);
+/// L1 instruction-TLB geometry for 4 KB pages: (entries, ways); Table I.
+pub const L1_ITLB_GEOM_4K: (u32, u32) = (128, 4);
+/// L1 instruction-TLB geometry for huge (2 MB / 1 GB) code pages:
+/// (entries, ways) — a small fully-associative array, as real parts
+/// provide for large code pages.
+pub const L1_ITLB_GEOM_HUGE: (u32, u32) = (8, 8);
+
+/// A translation granularity of the x86-64 four-level radix page table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PageSize {
+    /// 4 KiB base pages (PTE-mapped; the paper's only grain).
+    Size4K,
+    /// 2 MiB huge pages (PDE-mapped: the walk terminates one level early).
+    Size2M,
+    /// 1 GiB huge pages (PDPTE-mapped: the walk terminates two levels
+    /// early).
+    Size1G,
+}
+
+impl PageSize {
+    /// All sizes, smallest first.
+    pub const ALL: [PageSize; 3] = [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G];
+
+    /// log2 of the page size in bytes (12 / 21 / 30).
+    #[inline]
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size2M => 21,
+            PageSize::Size1G => 30,
+        }
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        1 << self.shift()
+    }
+
+    /// Shift from the global 4 KB grain up to this size's unit grain
+    /// (0 / 9 / 18): a size-`s` unit VPN is `vpn4k >> unit_shift()`.
+    #[inline]
+    pub const fn unit_shift(self) -> u32 {
+        self.shift() - PAGE_SHIFT
+    }
+
+    /// Number of 4 KB frames one page of this size spans (1 / 512 / 512²).
+    #[inline]
+    pub const fn frames(self) -> u64 {
+        1 << self.unit_shift()
+    }
+
+    /// The radix level whose entry maps a page of this size: 0 (PTE) for
+    /// 4 KB, 1 (PDE) for 2 MB, 2 (PDPTE) for 1 GB.
+    #[inline]
+    pub const fn terminal_level(self) -> usize {
+        (self.unit_shift() / 9) as usize
+    }
+
+    /// PTE loads a cold hardware walk issues for this size (4 / 3 / 2):
+    /// one per level from the root down to the terminal level.
+    #[inline]
+    pub const fn pte_loads(self) -> u32 {
+        4 - self.terminal_level() as u32
+    }
+
+    /// Dense index of this size (0 / 1 / 2), for size-tagged keys.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.terminal_level() as u64
+    }
+
+    /// Converts a 4 KB-grain VPN to this size's unit number.
+    #[inline]
+    pub const fn vpn_unit(self, vpn: crate::Vpn) -> crate::Vpn {
+        crate::Vpn::new(vpn.raw() >> self.unit_shift())
+    }
+
+    /// Converts a 4 KB-grain PFN to this size's unit frame number.
+    #[inline]
+    pub const fn pfn_unit(self, pfn: crate::Pfn) -> crate::Pfn {
+        crate::Pfn::new(pfn.raw() >> self.unit_shift())
+    }
+
+    /// The 4 KB-frame offset of a 4 KB-grain page number within its
+    /// enclosing page of this size (always 0 for 4 KB pages).
+    #[inline]
+    pub const fn frame_offset(self, vpn: crate::Vpn) -> u64 {
+        vpn.raw() & (self.frames() - 1)
+    }
+
+    /// L1 data-TLB geometry for this size, from the pinned cpuid numbers.
+    pub fn l1_dtlb(self) -> TlbConfig {
+        let (entries, ways) = match self {
+            PageSize::Size4K => L1_DTLB_GEOM_4K,
+            PageSize::Size2M => L1_DTLB_GEOM_2M,
+            PageSize::Size1G => L1_DTLB_GEOM_1G,
+        };
+        TlbConfig { entries, ways, latency: 1, replacement: ReplacementKind::Lru }
+    }
+
+    /// L1 instruction-TLB geometry for this size.
+    pub fn l1_itlb(self) -> TlbConfig {
+        let (entries, ways) =
+            if self == PageSize::Size4K { L1_ITLB_GEOM_4K } else { L1_ITLB_GEOM_HUGE };
+        TlbConfig { entries, ways, latency: 1, replacement: ReplacementKind::Lru }
+    }
+
+    /// Short lower-case label ("4k" / "2m" / "1g") used by CLI flags, run
+    /// keys and report tables.
+    #[inline]
+    pub const fn label(self) -> &'static str {
+        match self {
+            PageSize::Size4K => "4k",
+            PageSize::Size2M => "2m",
+            PageSize::Size1G => "1g",
+        }
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error from parsing a [`PageSize`] label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsePageSizeError(String);
+
+impl fmt::Display for ParsePageSizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown page size {:?} (expected 4k, 2m or 1g)", self.0)
+    }
+}
+
+impl std::error::Error for ParsePageSizeError {}
+
+impl FromStr for PageSize {
+    type Err = ParsePageSizeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "4k" | "4kb" | "4kib" => Ok(PageSize::Size4K),
+            "2m" | "2mb" | "2mib" => Ok(PageSize::Size2M),
+            "1g" | "1gb" | "1gib" => Ok(PageSize::Size1G),
+            _ => Err(ParsePageSizeError(s.to_owned())),
+        }
+    }
+}
+
+/// How the simulated OS maps a workload's address space onto page sizes.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum AllocPolicy {
+    /// Every mapping is a 4 KB base page — the paper's configuration and
+    /// the byte-identical default.
+    #[default]
+    Base4K,
+    /// Every mapping uses the given size (2 MB or 1 GB map whole aligned
+    /// regions on first touch; `Uniform(Size4K)` behaves like `Base4K`
+    /// but allocates frames from the partitioned allocator).
+    Uniform(PageSize),
+    /// Reservation-based 2 MB promotion (FreeBSD-style): the first touch
+    /// in a 2 MB-aligned virtual region reserves a physically contiguous
+    /// 2 MB frame range and maps 4 KB pages out of it; once `threshold`
+    /// distinct 4 KB pages of the region have been touched, the PDE is
+    /// flipped to a huge mapping (frames are preserved, so existing
+    /// translations stay coherent).
+    Promote2M {
+        /// Distinct 4 KB touches within a region that trigger promotion.
+        threshold: u32,
+    },
+}
+
+impl AllocPolicy {
+    /// The page sizes mappings under this policy can have, smallest first.
+    pub const fn page_sizes(self) -> &'static [PageSize] {
+        match self {
+            AllocPolicy::Base4K => &[PageSize::Size4K],
+            AllocPolicy::Uniform(PageSize::Size4K) => &[PageSize::Size4K],
+            AllocPolicy::Uniform(PageSize::Size2M) => &[PageSize::Size2M],
+            AllocPolicy::Uniform(PageSize::Size1G) => &[PageSize::Size1G],
+            AllocPolicy::Promote2M { .. } => &[PageSize::Size4K, PageSize::Size2M],
+        }
+    }
+
+    /// Shift from the 4 KB grain to the *prediction unit* the dead-page
+    /// machinery keys on: the largest page size the policy can produce.
+    /// dpPred's pHIST/shadow and cbPred's PFQ treat one such unit as one
+    /// page (a huge page is one prediction unit, not 512 of them).
+    pub const fn prediction_unit_shift(self) -> u32 {
+        match self {
+            AllocPolicy::Base4K => 0,
+            AllocPolicy::Uniform(size) => size.unit_shift(),
+            AllocPolicy::Promote2M { .. } => PageSize::Size2M.unit_shift(),
+        }
+    }
+
+    /// The policy mapping everything at `size`, with 4 KB collapsed onto
+    /// the byte-identical [`AllocPolicy::Base4K`] default — so a user
+    /// asking for "4 KB pages" gets the paper machine, not the
+    /// partitioned-allocator variant.
+    pub const fn uniform(size: PageSize) -> Self {
+        match size {
+            PageSize::Size4K => AllocPolicy::Base4K,
+            _ => AllocPolicy::Uniform(size),
+        }
+    }
+
+    /// Label used in run keys, report tables and timing JSON ("4k", "2m",
+    /// "1g", "promote2m").
+    pub const fn label(self) -> &'static str {
+        match self {
+            AllocPolicy::Base4K => "4k",
+            AllocPolicy::Uniform(size) => size.label(),
+            AllocPolicy::Promote2M { .. } => "promote2m",
+        }
+    }
+
+    /// Whether this is the paper's byte-identical default configuration.
+    pub const fn is_default(self) -> bool {
+        matches!(self, AllocPolicy::Base4K)
+    }
+}
+
+impl fmt::Display for AllocPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pfn, Vpn};
+
+    #[test]
+    fn shifts_and_geometry() {
+        assert_eq!(PageSize::Size4K.shift(), 12);
+        assert_eq!(PageSize::Size2M.shift(), 21);
+        assert_eq!(PageSize::Size1G.shift(), 30);
+        assert_eq!(PageSize::Size4K.bytes(), 4 << 10);
+        assert_eq!(PageSize::Size2M.bytes(), 2 << 20);
+        assert_eq!(PageSize::Size1G.bytes(), 1 << 30);
+        assert_eq!(PageSize::Size4K.frames(), 1);
+        assert_eq!(PageSize::Size2M.frames(), 512);
+        assert_eq!(PageSize::Size1G.frames(), 512 * 512);
+    }
+
+    #[test]
+    fn terminal_levels_and_walk_depth() {
+        assert_eq!(PageSize::Size4K.terminal_level(), 0);
+        assert_eq!(PageSize::Size2M.terminal_level(), 1);
+        assert_eq!(PageSize::Size1G.terminal_level(), 2);
+        assert_eq!(PageSize::Size4K.pte_loads(), 4);
+        assert_eq!(PageSize::Size2M.pte_loads(), 3);
+        assert_eq!(PageSize::Size1G.pte_loads(), 2);
+    }
+
+    #[test]
+    fn unit_conversions_roundtrip() {
+        let vpn = Vpn::new(0x0012_3456_789a);
+        for size in PageSize::ALL {
+            let unit = size.vpn_unit(vpn);
+            let offset = size.frame_offset(vpn);
+            assert_eq!((unit.raw() << size.unit_shift()) | offset, vpn.raw(), "{size}");
+            assert!(offset < size.frames());
+        }
+        // 4 KB units are the identity.
+        assert_eq!(PageSize::Size4K.vpn_unit(vpn), vpn);
+        assert_eq!(PageSize::Size4K.frame_offset(vpn), 0);
+        assert_eq!(PageSize::Size2M.pfn_unit(Pfn::new(0x1FF + 512)).raw(), 1);
+    }
+
+    #[test]
+    fn l1_geometries_match_cpuid_pins() {
+        let d4 = PageSize::Size4K.l1_dtlb();
+        assert_eq!((d4.entries, d4.ways), (64, 4));
+        let d2 = PageSize::Size2M.l1_dtlb();
+        assert_eq!((d2.entries, d2.ways), (32, 4));
+        let d1 = PageSize::Size1G.l1_dtlb();
+        assert_eq!((d1.entries, d1.ways), (8, 8), "1 GB D-TLB is fully associative");
+        assert_eq!(d1.sets(), 1);
+        let i4 = PageSize::Size4K.l1_itlb();
+        assert_eq!((i4.entries, i4.ways), (128, 4));
+        assert_eq!(PageSize::Size2M.l1_itlb().sets(), 1);
+    }
+
+    #[test]
+    fn labels_parse_back() {
+        for size in PageSize::ALL {
+            assert_eq!(size.label().parse::<PageSize>().unwrap(), size);
+            assert_eq!(size.to_string(), size.label());
+        }
+        assert_eq!("2MB".parse::<PageSize>().unwrap(), PageSize::Size2M);
+        assert!("3m".parse::<PageSize>().is_err());
+        assert!("3m".parse::<PageSize>().unwrap_err().to_string().contains("3m"));
+    }
+
+    #[test]
+    fn alloc_policy_sizes_and_units() {
+        assert_eq!(AllocPolicy::Base4K.page_sizes(), &[PageSize::Size4K]);
+        assert_eq!(AllocPolicy::Uniform(PageSize::Size2M).page_sizes(), &[PageSize::Size2M]);
+        assert_eq!(
+            AllocPolicy::Promote2M { threshold: 64 }.page_sizes(),
+            &[PageSize::Size4K, PageSize::Size2M]
+        );
+        assert_eq!(AllocPolicy::Base4K.prediction_unit_shift(), 0);
+        assert_eq!(AllocPolicy::Uniform(PageSize::Size1G).prediction_unit_shift(), 18);
+        assert_eq!(AllocPolicy::Promote2M { threshold: 8 }.prediction_unit_shift(), 9);
+        assert_eq!(AllocPolicy::default(), AllocPolicy::Base4K);
+        assert!(AllocPolicy::Base4K.is_default());
+        assert!(!AllocPolicy::Uniform(PageSize::Size4K).is_default());
+        assert_eq!(AllocPolicy::Uniform(PageSize::Size1G).label(), "1g");
+        assert_eq!(AllocPolicy::Promote2M { threshold: 8 }.to_string(), "promote2m");
+    }
+}

@@ -6,7 +6,7 @@
 //! allocator of page-aligned regions; [`VArray`] views a region as an
 //! array of fixed-size elements.
 
-use dpc_types::{VirtAddr, PAGE_SIZE};
+use dpc_types::{PageSize, VirtAddr, PAGE_SIZE};
 
 /// Base of the modeled heap (clear of the modeled code segment at
 /// 0x40_0000).
@@ -40,6 +40,25 @@ impl AddressSpace {
         self.next = base + aligned + GUARD;
         assert!(self.next < (1 << 47), "modeled virtual address space exhausted");
         VArray { base, elem_size, len }
+    }
+
+    /// Reserves a region like [`AddressSpace::array`], but with the base
+    /// aligned up to one page of `size` — so a hot structure starts on a
+    /// huge-page boundary and a `Uniform`/`Promote2M` page policy maps
+    /// (or promotes) it without sharing its first huge page with a
+    /// neighbouring region.
+    ///
+    /// Existing workloads keep using [`AddressSpace::array`], whose bump
+    /// sequence this method never perturbs unless called — the checked-in
+    /// goldens pin that every current layout is `array`-only.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`AddressSpace::array`].
+    pub fn huge_array(&mut self, len: u64, elem_size: u64, size: PageSize) -> VArray {
+        let align = size.bytes();
+        self.next = self.next.div_ceil(align) * align;
+        self.array(len, elem_size)
     }
 
     /// Total bytes reserved so far (the modeled footprint).
@@ -139,5 +158,26 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_elem_size_rejected() {
         AddressSpace::new().array(1, 0);
+    }
+
+    #[test]
+    fn huge_arrays_start_on_huge_page_boundaries() {
+        let mut space = AddressSpace::new();
+        space.array(3, 8); // misalign the bump pointer
+        let two_m = space.huge_array(100, 8, PageSize::Size2M);
+        assert_eq!(two_m.base().raw() % PageSize::Size2M.bytes(), 0);
+        let one_g = space.huge_array(100, 8, PageSize::Size1G);
+        assert_eq!(one_g.base().raw() % PageSize::Size1G.bytes(), 0);
+    }
+
+    #[test]
+    fn huge_array_of_4k_matches_plain_array() {
+        // HEAP_BASE is page-aligned and array() keeps the bump pointer
+        // page-aligned, so a 4 KB "huge" array degenerates to array().
+        let mut plain = AddressSpace::new();
+        let mut huge = AddressSpace::new();
+        plain.array(3, 8);
+        huge.array(3, 8);
+        assert_eq!(plain.array(100, 8), huge.huge_array(100, 8, PageSize::Size4K));
     }
 }

@@ -204,6 +204,36 @@ const CONST_PINS: &[ConstSpec] = &[
         expected: "2",
         note: "2-bit SRRIP long re-reference insertion (RRPV_MAX - 1)",
     },
+    // Per-size L1 TLB geometries (Skylake-class cpuid leaves): the
+    // huge-page axis only compares like-for-like while the split L1
+    // arrays keep these shapes.
+    ConstSpec {
+        file: "crates/types/src/page.rs",
+        name: "L1_DTLB_GEOM_4K",
+        expected: "(64, 4)",
+        note: "64-entry 4-way 4 KB L1 DTLB (cpuid)",
+    },
+    ConstSpec {
+        file: "crates/types/src/page.rs",
+        name: "L1_DTLB_GEOM_2M",
+        expected: "(32, 4)",
+        note: "32-entry 4-way 2 MB L1 DTLB (cpuid)",
+    },
+    ConstSpec {
+        file: "crates/types/src/page.rs",
+        name: "L1_DTLB_GEOM_1G",
+        expected: "(8, 8)",
+        note: "8-entry fully-associative 1 GB L1 DTLB (cpuid)",
+    },
+    // dpPred's total budget, re-derived for the multi-page-size LLT: a
+    // huge page is one LLT entry and one prediction unit, so the budget
+    // is unchanged from the paper's Section V-D figure.
+    ConstSpec {
+        file: "crates/predictors/src/storage.rs",
+        name: "DPPRED_BUDGET_BYTES",
+        expected: "1306",
+        note: "dpPred budget: 896 B metadata + 384 B pHIST + 26 B shadow (Section V-D)",
+    },
 ];
 
 pub fn check(file: &SourceFile, violations: &mut Vec<Violation>) {
@@ -517,6 +547,30 @@ mod tests {
     fn const_pins_scoped_to_their_file() {
         // Other files may define their own RRPV constants freely.
         assert!(run("crates/memsim/src/cache.rs", "pub const RRPV_MAX: u8 = 7;\n").is_empty());
+    }
+
+    const GOOD_TLB_GEOMS: &str = "pub const L1_DTLB_GEOM_4K: (u32, u32) = (64, 4);\n\
+        pub const L1_DTLB_GEOM_2M: (u32, u32) = (32, 4);\n\
+        pub const L1_DTLB_GEOM_1G: (u32, u32) = (8, 8);\n";
+
+    #[test]
+    fn per_size_tlb_geometries_pinned() {
+        assert!(run("crates/types/src/page.rs", GOOD_TLB_GEOMS).is_empty());
+        let grown = GOOD_TLB_GEOMS.replace("(32, 4)", "(1536, 12)");
+        let v = run("crates/types/src/page.rs", &grown);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, STRUCTURE_SIZE);
+        assert!(v[0].message.contains("2 MB L1 DTLB"));
+    }
+
+    #[test]
+    fn dppred_budget_const_pinned() {
+        let good = "pub const DPPRED_BUDGET_BYTES: u64 = 1306;\n";
+        assert!(run("crates/predictors/src/storage.rs", good).is_empty());
+        let inflated = "pub const DPPRED_BUDGET_BYTES: u64 = 2048;\n";
+        let v = run("crates/predictors/src/storage.rs", inflated);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("Section V-D"));
     }
 
     #[test]

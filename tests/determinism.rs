@@ -58,6 +58,7 @@ fn parallel_campaign_is_byte_identical_to_serial() {
         seed: 42,
         warmup_mem_ops: 500,
         measure_mem_ops: 5_000,
+        page_policy: dpc_types::AllocPolicy::Base4K,
     };
     let render_all = |ctx: &mut ExperimentContext| {
         let mut out = String::new();
@@ -96,6 +97,7 @@ fn campaign_matches_immediate_mode_oracle_runs() {
         seed: 7,
         warmup_mem_ops: 500,
         measure_mem_ops: 5_000,
+        page_policy: dpc_types::AllocPolicy::Base4K,
     };
     let mut planner = ExperimentContext::planner(options);
     experiments::table4_llt_mpki(&mut planner);
@@ -129,6 +131,7 @@ fn oracle_table_render_is_identical_across_fresh_contexts() {
         seed: 11,
         warmup_mem_ops: 500,
         measure_mem_ops: 5_000,
+        page_policy: dpc_types::AllocPolicy::Base4K,
     };
     let render = || {
         let mut ctx = ExperimentContext::new(options);
