@@ -1,0 +1,109 @@
+//! Microbenchmarks for the batched L1-hit fast path (DESIGN.md §15),
+//! split into its three phases: side-effect-free classification probes
+//! (`TlbGroup::probe` + `Cache::probe`), fast-path retirement of an
+//! all-hit stream through `System::run_stream`, and the event-at-a-time
+//! `step` fallback (`System::run_events`) over the same stream — the
+//! cost the fast path exists to avoid. The retire/fallback pair is the
+//! per-event speedup the end-to-end `paper all` throughput gain is
+//! built from.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dpc_memsim::cache::Cache;
+use dpc_memsim::set_assoc::InsertPriority;
+use dpc_memsim::tlb::TlbGroup;
+use dpc_memsim::System;
+use dpc_types::stream::{EventStream, StreamCursor};
+use dpc_types::{
+    BlockAddr, Event, PageSize, Pc, Pfn, SystemConfig, VirtAddr, Workload, BLOCK_SHIFT,
+};
+
+/// Memory operations per retire/fallback iteration.
+const MEM_OPS: u64 = 65_536;
+/// Classification probes per iteration.
+const PROBES: u64 = 4_096;
+/// Pages in the looping working set: small enough that, once warm,
+/// every access hits the L1 D-TLB and the L1D.
+const PAGES: u64 = 4;
+
+/// Minimal looping load generator: `PAGES` consecutive pages from one
+/// static PC, one block per page, forever.
+struct LoopingLoads {
+    i: u64,
+}
+
+impl Workload for LoopingLoads {
+    fn name(&self) -> &str {
+        "looping-loads"
+    }
+    fn next_event(&mut self) -> Option<Event> {
+        let va = VirtAddr::new(0x2000_0000 + (self.i % PAGES) * 4096);
+        self.i += 1;
+        Some(Event::load(Pc::new(0x40_0000), va))
+    }
+}
+
+fn all_hit_stream() -> EventStream {
+    EventStream::capture_mem_ops(&mut LoopingLoads { i: 0 }, MEM_OPS)
+}
+
+fn warm_system(stream: &EventStream) -> System {
+    let mut sys = System::new(SystemConfig::paper_baseline()).expect("baseline config is valid");
+    let mut cursor = StreamCursor::default();
+    sys.run_stream(stream, &mut cursor, MEM_OPS);
+    sys
+}
+
+fn bench_fastpath_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fastpath_phases");
+    group.sample_size(20);
+
+    // Phase 1 — classification: the probe-only TLB + L1D lookups the
+    // fast path performs before committing anything. Warm structures,
+    // every probe a hit (the fast path's steady state).
+    group.throughput(Throughput::Elements(PROBES));
+    let config = SystemConfig::paper_baseline();
+    let mut tlb = TlbGroup::single(&config.l1_dtlb);
+    let mut l1d = Cache::new(&config.l1d);
+    for i in 0..PROBES {
+        let va = VirtAddr::new(0x2000_0000 + (i % PAGES) * 4096);
+        tlb.fill(PageSize::Size4K, va.vpn(), Pfn::new(i % PAGES), InsertPriority::Normal, 0);
+        l1d.fill(BlockAddr::new(va.raw() >> BLOCK_SHIFT), InsertPriority::Normal, 0);
+    }
+    group.bench_function("classify_probes", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..PROBES {
+                let va = VirtAddr::new(0x2000_0000 + (i % PAGES) * 4096);
+                if let Some(hit) = tlb.probe(black_box(va.vpn())) {
+                    acc ^= hit.pfn.raw() as usize;
+                }
+                if let Some(way) = l1d.probe(black_box(BlockAddr::new(va.raw() >> BLOCK_SHIFT))) {
+                    acc ^= way;
+                }
+            }
+            acc
+        });
+    });
+
+    // Phases 2 and 3 — the same warm all-hit stream retired through the
+    // batched fast path (`run_stream`) and through the unbatched `step`
+    // loop (`run_events`). Identical machine state evolution (asserted
+    // by tests/fastpath.rs); the ratio is the fast path's per-event win.
+    group.throughput(Throughput::Elements(MEM_OPS));
+    let stream = all_hit_stream();
+    let mut fast_sys = warm_system(&stream);
+    group.bench_function("hit_run_retire", |b| {
+        b.iter(|| {
+            let mut cursor = StreamCursor::default();
+            black_box(fast_sys.run_stream(&stream, &mut cursor, MEM_OPS).mem_ops)
+        });
+    });
+    let mut slow_sys = warm_system(&stream);
+    group.bench_function("fallback_step", |b| {
+        b.iter(|| black_box(slow_sys.run_events(&mut stream.iter(), MEM_OPS).mem_ops));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fastpath_phases);
+criterion_main!(benches);

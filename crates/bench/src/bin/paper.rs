@@ -20,8 +20,10 @@
 //! `DPC_MEASURE`, `DPC_SEED`, `DPC_PAGE_SIZE` (`4k`/`2m`/`1g`; the
 //! `--page-size` flag wins over the environment), `DPC_THREADS` (worker
 //! threads for the campaign executor; default = available parallelism),
-//! and `DPC_TRACE_STORE` (`off` disables the shared trace store, forcing
-//! live generation per run). `--quick` overrides scale and budgets to a
+//! `DPC_TRACE_STORE` (`off` disables the shared trace store, forcing
+//! live generation per run), and `DPC_FASTPATH` (`off` disables the
+//! replay engine's batched L1-hit fast path; output is byte-identical
+//! either way). `--quick` overrides scale and budgets to a
 //! seconds-long smoke configuration (Tiny scale, 2K warm-up, 20K
 //! measured) regardless of the environment.
 

@@ -90,6 +90,10 @@ pub struct RunTiming {
     pub gen_wall: Duration,
     /// Memory operations simulated (warm-up + measured).
     pub mem_ops: u64,
+    /// Events the replay engine retired on the batched L1-hit fast path.
+    pub fast_hits: u64,
+    /// Events that went through the full `step` machinery.
+    pub slow_steps: u64,
 }
 
 impl RunTiming {
@@ -106,6 +110,21 @@ impl RunTiming {
         } else {
             0.0
         }
+    }
+
+    /// Fraction of this run's events retired on the fast path.
+    pub fn fast_hit_coverage(&self) -> f64 {
+        coverage(self.fast_hits, self.slow_steps)
+    }
+}
+
+/// `fast / (fast + slow)`, or 0 when no events were processed.
+fn coverage(fast_hits: u64, slow_steps: u64) -> f64 {
+    let total = fast_hits + slow_steps;
+    if total == 0 {
+        0.0
+    } else {
+        fast_hits as f64 / total as f64
     }
 }
 
@@ -159,6 +178,23 @@ impl CampaignStats {
         }
     }
 
+    /// Total events retired on the batched L1-hit fast path.
+    pub fn total_fast_hits(&self) -> u64 {
+        self.run_timings.iter().map(|t| t.fast_hits).sum()
+    }
+
+    /// Total events that went through the full `step` machinery.
+    pub fn total_slow_steps(&self) -> u64 {
+        self.run_timings.iter().map(|t| t.slow_steps).sum()
+    }
+
+    /// Campaign-wide fraction of events retired on the fast path (0 when
+    /// `DPC_FASTPATH=off` or when every run is generated live — the fast
+    /// path only engages on trace-store replay).
+    pub fn fast_hit_coverage(&self) -> f64 {
+        coverage(self.total_fast_hits(), self.total_slow_steps())
+    }
+
     /// Mean worker utilization in `[0, 1]`: busy time over wall time.
     pub fn worker_utilization(&self) -> f64 {
         let wall = self.wall.as_secs_f64();
@@ -174,7 +210,7 @@ impl CampaignStats {
         format!(
             "{} distinct runs ({} simulations) on {} worker{} in {:.1}s \
              ({:.1}s generating + {:.1}s simulating), \
-             {:.2}M mem-ops/s, {:.0}% worker utilization",
+             {:.2}M mem-ops/s, {:.0}% fast-path, {:.0}% worker utilization",
             self.distinct_runs,
             self.simulations(),
             self.threads,
@@ -183,6 +219,7 @@ impl CampaignStats {
             self.total_gen_wall().as_secs_f64(),
             self.total_sim_wall().as_secs_f64(),
             self.mem_ops_per_sec() / 1e6,
+            self.fast_hit_coverage() * 100.0,
             self.worker_utilization() * 100.0,
         )
     }
@@ -192,8 +229,11 @@ impl CampaignStats {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         // Schema history: 2 added the gen/sim wall split; 3 added the
-        // per-run "page" field (the machine's page-size policy label).
-        let _ = writeln!(out, "  \"schema\": 3,");
+        // per-run "page" field (the machine's page-size policy label);
+        // 4 added the fast-path telemetry (aggregate "total_fast_hits" /
+        // "total_slow_steps" / "fast_hit_coverage" and per-run
+        // "fast_hits" / "slow_steps").
+        let _ = writeln!(out, "  \"schema\": 4,");
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
         let _ = writeln!(out, "  \"wall_secs\": {:.6},", self.wall.as_secs_f64());
         let _ = writeln!(out, "  \"distinct_runs\": {},", self.distinct_runs);
@@ -202,6 +242,9 @@ impl CampaignStats {
         let _ = writeln!(out, "  \"mem_ops_per_sec\": {:.1},", self.mem_ops_per_sec());
         let _ = writeln!(out, "  \"total_gen_secs\": {:.6},", self.total_gen_wall().as_secs_f64());
         let _ = writeln!(out, "  \"total_sim_secs\": {:.6},", self.total_sim_wall().as_secs_f64());
+        let _ = writeln!(out, "  \"total_fast_hits\": {},", self.total_fast_hits());
+        let _ = writeln!(out, "  \"total_slow_steps\": {},", self.total_slow_steps());
+        let _ = writeln!(out, "  \"fast_hit_coverage\": {:.4},", self.fast_hit_coverage());
         let _ = writeln!(out, "  \"worker_utilization\": {:.4},", self.worker_utilization());
         let _ = writeln!(
             out,
@@ -219,7 +262,8 @@ impl CampaignStats {
                 "    {{\"workload\": {}, \"kind\": \"{}\", \"tlb\": {}, \"llc\": {}, \
                  \"page\": {}, \
                  \"wall_secs\": {:.6}, \"gen_secs\": {:.6}, \"sim_secs\": {:.6}, \
-                 \"mem_ops\": {}, \"mem_ops_per_sec\": {:.1}}}",
+                 \"mem_ops\": {}, \"mem_ops_per_sec\": {:.1}, \
+                 \"fast_hits\": {}, \"slow_steps\": {}}}",
                 json_string(&t.workload),
                 t.kind.as_str(),
                 json_string(&t.tlb_policy),
@@ -230,6 +274,8 @@ impl CampaignStats {
                 t.sim_wall().as_secs_f64(),
                 t.mem_ops,
                 t.mem_ops_per_sec(),
+                t.fast_hits,
+                t.slow_steps,
             );
             out.push_str(if i + 1 < self.run_timings.len() { ",\n" } else { "\n" });
         }
@@ -281,7 +327,7 @@ fn time_one<R>(f: impl FnOnce() -> R) -> (R, Duration) {
     (r, start.elapsed())
 }
 
-fn timing(key: &RunKey, kind: SimKind, wall: Duration, gen_wall: Duration) -> RunTiming {
+fn timing(key: &RunKey, kind: SimKind, wall: Duration, result: &RunResult) -> RunTiming {
     RunTiming {
         workload: key.0.clone(),
         tlb_policy: format!("{:?}", key.1.tlb_policy),
@@ -289,8 +335,10 @@ fn timing(key: &RunKey, kind: SimKind, wall: Duration, gen_wall: Duration) -> Ru
         page: key.1.system.page_policy.label().to_owned(),
         kind,
         wall,
-        gen_wall,
+        gen_wall: result.gen_wall,
         mem_ops: key.1.warmup_mem_ops + key.1.measure_mem_ops,
+        fast_hits: result.stats.fast_hits,
+        slow_steps: result.stats.slow_steps,
     }
 }
 
@@ -360,7 +408,7 @@ pub fn execute(
                                 let (result, wall) =
                                     time_one(|| run_workload(&worker_factory, &key.0, &key.1));
                                 busy += wall;
-                                timings.push(timing(key, SimKind::Plain, wall, result.gen_wall));
+                                timings.push(timing(key, SimKind::Plain, wall, &result));
                                 completions.push(Completion {
                                     key: key.clone(),
                                     oracle: false,
@@ -375,7 +423,7 @@ pub fn execute(
                                     baseline_key,
                                     SimKind::Record,
                                     wall,
-                                    baseline.gen_wall,
+                                    &baseline,
                                 ));
                                 completions.push(Completion {
                                     key: (**baseline_key).clone(),
@@ -386,7 +434,7 @@ pub fn execute(
                                     run_oracle_from_trace(trace, &worker_factory, &key.0, &key.1)
                                 });
                                 busy += wall;
-                                timings.push(timing(key, SimKind::Oracle, wall, oracle.gen_wall));
+                                timings.push(timing(key, SimKind::Oracle, wall, &oracle));
                                 completions.push(Completion {
                                     key: key.clone(),
                                     oracle: true,
@@ -527,11 +575,13 @@ mod tests {
                 wall: Duration::from_millis(750),
                 gen_wall: Duration::from_millis(250),
                 mem_ops: 1_000,
+                fast_hits: 900,
+                slow_steps: 300,
             }],
             worker_busy: vec![Duration::from_millis(750), Duration::from_millis(600)],
         };
         let json = stats.to_json();
-        assert!(json.contains("\"schema\": 3"));
+        assert!(json.contains("\"schema\": 4"));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"workload\": \"cg.B\""));
         assert!(json.contains("\"kind\": \"plain\""));
@@ -540,10 +590,17 @@ mod tests {
         assert!(json.contains("\"sim_secs\": 0.500000"));
         assert!(json.contains("\"total_gen_secs\": 0.250000"));
         assert!(json.contains("\"total_sim_secs\": 0.500000"));
+        assert!(json.contains("\"total_fast_hits\": 900"));
+        assert!(json.contains("\"total_slow_steps\": 300"));
+        assert!(json.contains("\"fast_hit_coverage\": 0.7500"));
+        assert!(json.contains("\"fast_hits\": 900, \"slow_steps\": 300"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!((stats.worker_utilization() - 0.45).abs() < 1e-9);
+        assert!((stats.fast_hit_coverage() - 0.75).abs() < 1e-12);
+        assert!((stats.run_timings[0].fast_hit_coverage() - 0.75).abs() < 1e-12);
         assert!(stats.summary_line().contains("1 distinct runs"));
         assert!(stats.summary_line().contains("0.2s generating + 0.5s simulating"));
+        assert!(stats.summary_line().contains("75% fast-path"));
         assert_eq!(stats.run_timings[0].sim_wall(), Duration::from_millis(500));
     }
 

@@ -149,6 +149,27 @@ impl<C: LlcPolicy> Hierarchy<C> {
         latency
     }
 
+    /// Side-effect-free L1D probe: the way `block` would hit at the first
+    /// level, or `None` when an access would have to descend past the
+    /// L1D. The classification half of the replay fast path's
+    /// probe-then-commit split.
+    #[inline]
+    pub fn probe_l1d(&self, block: BlockAddr) -> Option<usize> {
+        self.l1d.probe(block)
+    }
+
+    /// Commits an L1D hit found by [`probe_l1d`](Self::probe_l1d),
+    /// returning the access latency. This replays exactly the L1-hit
+    /// prefix of [`access`](Self::access): no other level is looked up,
+    /// no fill happens, and no policy hook fires — `access` only invokes
+    /// the LLC policy for accesses that reach the LLC, so the commit is
+    /// bit-identical for *every* policy, null or not.
+    #[inline]
+    pub fn commit_l1d_hit(&mut self, block: BlockAddr, way: usize) -> u64 {
+        self.l1d.commit_hit(block, way);
+        u64::from(self.l1d.latency)
+    }
+
     fn fill_llc(&mut self, block: BlockAddr, priority: InsertPriority, state: u32) {
         // Give the policy a chance to override the victim when the set is
         // full (AIP victimizes predicted-dead blocks first).
@@ -232,6 +253,26 @@ mod tests {
         h.access(pa(0x10000), AccessKind::Read, Pc::new(1), true);
         let lat = h.access(pa(0x10008), AccessKind::Read, Pc::new(1), true);
         assert_eq!(lat, 5, "same block must hit L1");
+    }
+
+    /// probe_l1d + commit_l1d_hit must be indistinguishable from a full
+    /// `access` that hits the L1D, latency included.
+    #[test]
+    fn l1d_probe_then_commit_matches_access() {
+        let mut via_access = hierarchy();
+        let mut via_commit = hierarchy();
+        for h in [&mut via_access, &mut via_commit] {
+            h.access(pa(0x10000), AccessKind::Read, Pc::new(1), true);
+        }
+        let block = pa(0x10008).block();
+        let lat_access = via_access.access(pa(0x10008), AccessKind::Read, Pc::new(1), true);
+        let way = via_commit.probe_l1d(block).expect("resident block must probe");
+        let lat_commit = via_commit.commit_l1d_hit(block, way);
+        assert_eq!(lat_commit, lat_access);
+        assert_eq!(via_commit.l1d.stats, via_access.l1d.stats);
+        assert_eq!(via_commit.l2.stats, via_access.l2.stats, "L2 must stay untouched");
+        assert_eq!(via_commit.llc.stats, via_access.llc.stats, "LLC must stay untouched");
+        assert_eq!(via_commit.l1d.array().seq(), via_access.l1d.array().seq());
     }
 
     #[test]

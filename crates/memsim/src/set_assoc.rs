@@ -224,6 +224,39 @@ impl<P> SetAssoc<P> {
         Some((way, &self.cols.payloads[idx]))
     }
 
+    /// Commits a hit previously found by [`peek`](Self::peek), applying
+    /// exactly the state transitions a hitting [`lookup`](Self::lookup)
+    /// performs: lookup clock, recency tick, lifetime stats, and the
+    /// replacement-policy stamp. This is the second half of the replay
+    /// fast path's probe-then-commit split — classification peeks without
+    /// perturbing state, and only a fully classified hit commits.
+    ///
+    /// `way` must be the way a `peek` of the same `addr`/tag returned,
+    /// with the array unmodified in between.
+    #[inline]
+    pub fn commit_hit(&mut self, addr: u64, way: usize) {
+        self.seq += 1;
+        let (_, idx) = self.locate(addr, way);
+        self.tick += 1;
+        invariant!(idx < self.cols.lives.len(), "locate() stays inside the columns");
+        let life = &mut self.cols.lives[idx];
+        life.hits += 1;
+        life.last_hit_seq = self.seq;
+        match self.replacement {
+            ReplacementKind::Lru => self.cols.stamps[idx] = self.tick,
+            ReplacementKind::Srrip => self.cols.rrpvs[idx] = 0,
+            ReplacementKind::Fifo => {}
+        }
+    }
+
+    /// Commits a miss previously established by [`peek`](Self::peek):
+    /// only the lookup clock advances, exactly like a missing
+    /// [`lookup`](Self::lookup).
+    #[inline]
+    pub fn commit_miss(&mut self) {
+        self.seq += 1;
+    }
+
     /// Hints the hardware prefetcher at the tag column and validity word
     /// of the set `addr` maps to, ahead of a future [`lookup`](Self::lookup)
     /// for the same address. Pure scheduling hint: no clock, recency, or
@@ -635,6 +668,36 @@ mod tests {
         assert_eq!(seen, (false, true, 2));
         assert_eq!(s.payload(0, 0).0, 15, "hook state must be written back");
         assert_eq!(s.payload(0, 1).0, 16);
+    }
+
+    /// peek + commit_hit / commit_miss must be indistinguishable from
+    /// lookup, for every replacement kind, across a mixed hit/miss
+    /// sequence — the contract the replay fast path rests on.
+    #[test]
+    fn probe_then_commit_matches_lookup() {
+        for kind in [ReplacementKind::Lru, ReplacementKind::Srrip, ReplacementKind::Fifo] {
+            let mut via_lookup = sa(4, 2, kind);
+            let mut via_commit = sa(4, 2, kind);
+            for s in [&mut via_lookup, &mut via_commit] {
+                s.fill(1, 1, 10, InsertPriority::Normal);
+                s.fill(1, 5, 11, InsertPriority::Normal);
+                s.fill(2, 2, 12, InsertPriority::Normal);
+            }
+            for addr in [1u64, 5, 2, 3, 1, 1, 5, 9, 2] {
+                let want = via_lookup.lookup(addr, addr);
+                match via_commit.peek(addr, addr) {
+                    Some(way) => via_commit.commit_hit(addr, way),
+                    None => via_commit.commit_miss(),
+                }
+                assert_eq!(via_commit.peek(addr, addr), want, "{kind:?} addr {addr}");
+            }
+            assert_eq!(via_commit.seq(), via_lookup.seq(), "{kind:?} lookup clocks");
+            // Same replacement order afterwards: evictions must agree.
+            let a = via_lookup.fill(1, 7, 0, InsertPriority::Normal).expect("set full");
+            let b = via_commit.fill(1, 7, 0, InsertPriority::Normal).expect("set full");
+            assert_eq!(a.tag, b.tag, "{kind:?} victim choice");
+            assert_eq!(a.life, b.life, "{kind:?} evicted lifetime stats");
+        }
     }
 
     #[test]

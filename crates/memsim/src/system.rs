@@ -1,7 +1,7 @@
 //! The full simulated system: core + TLBs + page walks + caches, with the
 //! dead-page and dead-block policy attachment points.
 
-use crate::core_model::CoreModel;
+use crate::core_model::{CoreModel, MemRun};
 use crate::fallback::{DynLlcPolicy, DynLltPolicy};
 use crate::hierarchy::Hierarchy;
 use crate::mshr::Mshr;
@@ -9,13 +9,13 @@ use crate::page_table::PageTable;
 use crate::policy::{EvictedPage, LlcPolicy, LltPolicy, PageFillDecision};
 use crate::set_assoc::InsertPriority;
 use crate::stats::{DeadnessSampler, EvictionClasses, SimStats};
-use crate::tlb::{Tlb, TlbGroup};
+use crate::tlb::{Tlb, TlbGroup, TlbProbe};
 use crate::walker::Walker;
 use dpc_types::hash::FastBuildHasher;
 use dpc_types::stream::{EventBatch, EventStream, StreamCursor};
 use dpc_types::{
-    AccessKind, ConfigError, Event, PageSize, Pc, Pfn, PhysAddr, SystemConfig, TlbFillPolicy,
-    VirtAddr, Vpn, Workload, BLOCK_SHIFT,
+    AccessKind, BlockAddr, ConfigError, Event, PageSize, Pc, Pfn, PhysAddr, SystemConfig,
+    TlbFillPolicy, VirtAddr, Vpn, Workload, BLOCK_SHIFT,
 };
 use std::collections::HashMap;
 use std::error::Error;
@@ -33,6 +33,12 @@ const EVENT_CHUNK: usize = 256;
 /// issues set prefetch hints: far enough to beat the L1D/L2 tag-column
 /// miss latency, near enough that the hinted lines survive until use.
 const PREFETCH_DISTANCE: usize = 8;
+/// Cap on the fast-path classification backoff shift: after repeated
+/// empty run attempts, up to `1 << FAST_BACKOFF_SHIFT_CAP` events are
+/// slow-stepped without re-attempting. Large enough that a long miss
+/// streak pays ~one wasted probe pair per 32 events, small enough that
+/// a phase change back to L1 hits is noticed within a chunk.
+const FAST_BACKOFF_SHIFT_CAP: u32 = 5;
 
 /// Errors from [`System`] construction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -127,6 +133,11 @@ pub struct System<L: LltPolicy = DynLltPolicy, C: LlcPolicy = DynLlcPolicy> {
     next_sample_at: u64,
     cur_code_vpn: Option<Vpn>,
     mem_ops: u64,
+    /// Events retired by the batched L1-hit fast path (engine telemetry;
+    /// see [`System::fast_retire_run`]).
+    fast_hits: u64,
+    /// Events processed by the full [`System::step`] machinery.
+    slow_steps: u64,
     /// Reusable decode scratch for [`System::run_stream`], hoisted into
     /// the machine so repeated calls (warm-up + measure, and every run of
     /// a long campaign) replay with zero per-call heap allocations.
@@ -175,6 +186,8 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
             next_sample_at: DEFAULT_SAMPLE_INTERVAL,
             cur_code_vpn: None,
             mem_ops: 0,
+            fast_hits: 0,
+            slow_steps: 0,
             batch: EventBatch::with_capacity(EVENT_CHUNK),
             config,
         })
@@ -251,6 +264,12 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
     /// event-at-a-time loop; see
     /// [`EventStream::decode_chunk`]).
     ///
+    /// Unless `DPC_FASTPATH=off`, each decoded chunk first retires runs
+    /// of trivially-hitting events through the L1-hit fast path
+    /// ([`System::fast_retire_run`]) — bit-identical to stepping them
+    /// (DESIGN.md §15) — and only the first event failing a fast-path
+    /// predicate goes through the unchanged [`System::step`].
+    ///
     /// The cursor is left on the first event not simulated, so a
     /// warm-up/measure split drives two `run_stream` calls over the same
     /// stream with the same cursor.
@@ -265,6 +284,7 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
         // `step` needs `&mut self` while the decoded slice is walked.
         let mut batch = std::mem::take(&mut self.batch);
         let prefetch = dpc_types::simd::prefetch_enabled();
+        let fastpath = dpc_types::simd::fastpath_enabled();
         let mut remaining = max_mem_ops;
         while remaining > 0 {
             let mem_taken = stream.decode_chunk(cursor, &mut batch, EVENT_CHUNK, remaining);
@@ -272,7 +292,35 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
                 break;
             }
             let events = batch.events();
-            for (i, &event) in events.iter().enumerate() {
+            let mut i = 0;
+            // Classification backoff: a zero-length run attempt is pure
+            // loss — the probes it paid are immediately redone by the
+            // full lookup in `step`. In miss-heavy stretches (streaming
+            // blocks, thrashing pages) every attempt comes back empty,
+            // so after consecutive empty attempts the next ones are
+            // skipped for a geometrically growing number of events
+            // (capped at FAST_BACKOFF_CAP). Which path retires an event
+            // never affects simulated state (DESIGN.md §15), so the
+            // heuristic is free to be wrong — it only trades coverage
+            // for probe overhead — and it is deterministic, so replay
+            // stays reproducible.
+            let mut empty_runs = 0u32;
+            let mut penalty = 0usize;
+            while i < events.len() {
+                if fastpath && penalty == 0 {
+                    let Some(rest) = events.get(i..) else { break };
+                    let taken = self.fast_retire_run(rest, prefetch);
+                    i += taken;
+                    if taken == 0 {
+                        empty_runs = (empty_runs + 1).min(FAST_BACKOFF_SHIFT_CAP);
+                        penalty = 1usize << empty_runs;
+                    } else {
+                        empty_runs = 0;
+                    }
+                    if i >= events.len() {
+                        break;
+                    }
+                }
                 if prefetch {
                     // Hide the tag-column latency of upcoming lookups:
                     // hint the L1 D-TLB set and the L1D set of the memory
@@ -288,12 +336,146 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
                         self.hier.l1d.array().prefetch_set(vaddr.raw() >> BLOCK_SHIFT);
                     }
                 }
+                // With the fast path on, this is the one event that failed
+                // a predicate (or the sampler-boundary event): the full
+                // machinery handles it, then the fast path resumes.
+                let Some(&event) = events.get(i) else { break };
                 self.step(event);
+                i += 1;
+                penalty = penalty.saturating_sub(1);
             }
             remaining -= mem_taken;
         }
         self.batch = batch;
         self.stats()
+    }
+
+    /// Retires the longest prefix of `events` that qualifies for the
+    /// batched L1-hit fast path, returning how many events were consumed
+    /// (possibly 0). The caller slow-steps the first non-qualifying
+    /// event, after which a new run can start.
+    ///
+    /// A `Mem` event qualifies when **all** of the following hold — each
+    /// predicate guards one piece of machinery [`System::step`] would
+    /// otherwise engage (DESIGN.md §15):
+    ///
+    /// * its PC stays on the current code page (no I-side translation);
+    /// * its VPN hits the L1 D-TLB (probe only — LLT, policy hooks and
+    ///   the walker are never consulted);
+    /// * its block hits the L1D (probe only — L2/LLC and the LLC policy
+    ///   are never consulted; an L1 hit returns before any of them in
+    ///   [`Hierarchy::access`]);
+    /// * no DOA-eviction drain is pending (the drain is re-checked
+    ///   per event on the slow path but can only become non-empty through
+    ///   an LLC eviction, which no L1 hit can cause — so one check
+    ///   up front covers the whole run);
+    /// * it does not reach the sampler boundary (the boundary event is
+    ///   slow-stepped so [`System::step`]'s sampler fires identically).
+    ///
+    /// `Compute` events inside the run are issued unchanged (they touch
+    /// only the core and the sampler budget), so the emitter's
+    /// compute/mem interleaving never cuts runs short.
+    ///
+    /// Qualifying events are retired via the probe-then-commit split
+    /// ([`TlbGroup::commit_probe`], [`Hierarchy::commit_l1d_hit`]) and
+    /// the batch-aware [`CoreModel::issue_mem_run`] — each commits
+    /// exactly the state transitions the slow path would perform, so
+    /// machine state stays bit-identical whichever path ran.
+    fn fast_retire_run(&mut self, events: &[Event], prefetch: bool) -> usize {
+        // Run-wide predicates, hoisted: a current code page must exist
+        // (the first-ever event always slow-steps) and no DOA drain may
+        // be pending.
+        let Some(code_vpn) = self.cur_code_vpn else { return 0 };
+        if !self.hier.pending_doa_evictions.is_empty() {
+            return 0;
+        }
+        // Instruction budget to the sampler boundary: every fast event
+        // must leave `instructions()` strictly below `next_sample_at` so
+        // the event that reaches the boundary takes the slow path and
+        // samples there, exactly like event-at-a-time replay.
+        let mut budget =
+            self.next_sample_at.saturating_sub(self.core.instructions()).saturating_sub(1);
+        // The fixed L1-hit latency: L1 D-TLB hit + L1D hit, exactly the
+        // sum the slow path accumulates when both first levels hit and
+        // the code page is unchanged.
+        let latency = u64::from(self.l1d_tlb.latency) + u64::from(self.hier.l1d.latency);
+        let mut run = MemRun::new(latency);
+        // Within a run the fast path only commits hits — recency stamps
+        // and clocks move, but no entry is filled, evicted or relocated
+        // — so a probe result stays valid for every later event on the
+        // same page (or block). Caching the last one turns the common
+        // same-page / sub-block-stride patterns into a compare instead
+        // of a tag scan. The *commits* still happen once per event.
+        let mut last_tlb: Option<(Vpn, TlbProbe)> = None;
+        let mut last_l1d: Option<(BlockAddr, usize)> = None;
+        let mut taken = 0usize;
+        for &event in events {
+            match event {
+                Event::Compute { ops } => {
+                    let ops = u64::from(ops);
+                    if ops > budget {
+                        break;
+                    }
+                    budget -= ops;
+                    self.core.issue_compute(ops);
+                }
+                Event::Mem { pc, vaddr, kind: _, dependent } => {
+                    // `kind` is irrelevant on this path: `Hierarchy::access`
+                    // ignores it, and no other slow-path state depends on it.
+                    if budget == 0 || VirtAddr::new(pc.raw()).vpn() != code_vpn {
+                        break;
+                    }
+                    let vpn = vaddr.vpn();
+                    let tlb_hit = match last_tlb {
+                        Some((cached_vpn, hit)) if cached_vpn == vpn => hit,
+                        _ => {
+                            let Some(hit) = self.l1d_tlb.probe(vpn) else { break };
+                            last_tlb = Some((vpn, hit));
+                            hit
+                        }
+                    };
+                    let pa = PhysAddr::new(tlb_hit.pfn.base().raw() | vaddr.page_offset());
+                    let block = pa.block();
+                    let l1d_way = match last_l1d {
+                        Some((cached_block, way)) if cached_block == block => way,
+                        _ => {
+                            let Some(way) = self.hier.probe_l1d(block) else { break };
+                            last_l1d = Some((block, way));
+                            way
+                        }
+                    };
+                    if prefetch {
+                        // Per-retired-access hint, like the slow loop's
+                        // per-event hint (hints are state-free scheduling
+                        // advice, so the slightly different cadence cannot
+                        // change simulated state).
+                        if let Some(&Event::Mem { vaddr: ahead, .. }) =
+                            events.get(taken + PREFETCH_DISTANCE)
+                        {
+                            self.l1d_tlb.prefetch(ahead);
+                            self.hier.l1d.array().prefetch_set(ahead.raw() >> BLOCK_SHIFT);
+                        }
+                    }
+                    budget -= 1;
+                    self.fast_mem_hit(vpn, tlb_hit, block, l1d_way);
+                    self.core.issue_mem_run(&mut run, dependent);
+                }
+            }
+            taken += 1;
+        }
+        taken
+    }
+
+    /// Retires one fully classified L1-hit memory event: commits the TLB
+    /// and L1D probes so counters, recency and lifetime state advance
+    /// exactly as a slow-path [`System::mem_access`] would have advanced
+    /// them. The core issue goes through the caller's [`MemRun`].
+    #[inline]
+    fn fast_mem_hit(&mut self, vpn: Vpn, tlb_hit: TlbProbe, block: BlockAddr, l1d_way: usize) {
+        self.mem_ops += 1;
+        self.fast_hits += 1;
+        self.l1d_tlb.commit_probe(vpn, tlb_hit);
+        self.hier.commit_l1d_hit(block, l1d_way);
     }
 
     /// Zeroes all statistics while keeping the machine state (cache/TLB/
@@ -320,11 +502,14 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
         self.doa_blocks_on_doa_pages = 0;
         self.doa_blocks_classified = 0;
         self.mem_ops = 0;
+        self.fast_hits = 0;
+        self.slow_steps = 0;
         self.next_sample_at = self.sample_interval;
     }
 
     /// Processes one event.
     pub fn step(&mut self, event: Event) {
+        self.slow_steps += 1;
         match event {
             Event::Compute { ops } => self.core.issue_compute(u64::from(ops)),
             Event::Mem { pc, vaddr, kind, dependent } => {
@@ -644,6 +829,8 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
             llc_deadness: llc_sampler.stats(),
             doa_blocks_on_doa_pages: self.doa_blocks_on_doa_pages,
             doa_blocks_classified: self.doa_blocks_classified,
+            fast_hits: self.fast_hits,
+            slow_steps: self.slow_steps,
         }
     }
 }
@@ -878,6 +1065,35 @@ mod tests {
         let typed = typed_sys.run_stream(&stream, &mut typed_cursor, 500);
         assert_eq!(typed.cycles, item.cycles, "typed and dyn systems must agree");
         assert_eq!(typed.llt, item.llt);
+    }
+
+    /// The fast path must hand the sampler-boundary event to the slow
+    /// path so deadness samples fire at identical instruction counts. A
+    /// tiny looping working set makes (almost) every event fast-path
+    /// eligible, and a 37-instruction sample interval forces a boundary
+    /// inside essentially every run.
+    #[test]
+    fn fast_path_respects_sampler_boundaries() {
+        let stream = EventStream::capture_mem_ops(&mut SyntheticLoads::looping(4, 2000), 800);
+        let mut slow_sys = system();
+        slow_sys.set_sample_interval(37);
+        let slow = slow_sys.run_events(&mut stream.iter(), 800);
+        let mut fast_sys = system();
+        fast_sys.set_sample_interval(37);
+        let fast = fast_sys.run_stream(&stream, &mut StreamCursor::default(), 800);
+        assert_eq!(fast, slow, "fast-path run must be architecturally identical");
+        assert_eq!(fast.llt_deadness, slow.llt_deadness, "same samples at same boundaries");
+        assert_eq!(fast.llc_deadness, slow.llc_deadness);
+        assert_eq!(slow.fast_hits, 0, "run_events never takes the fast path");
+        if dpc_types::simd::fastpath_enabled() {
+            assert!(fast.fast_hits > 0, "looping hits must retire on the fast path");
+            assert!(
+                fast.slow_steps < slow.slow_steps,
+                "the fast path must take work away from step()"
+            );
+        } else {
+            assert_eq!(fast.fast_hits, 0);
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub const GROUPS: &[(&str, &str)] = &[
     ("simulator", "cargo bench --bench simulator"),
     ("predictor_phases", "cargo bench --bench predictor_phases"),
     ("simd_phases", "cargo bench --bench simd_phases"),
+    ("fastpath_phases", "cargo bench --bench fastpath_phases"),
 ];
 
 /// Report file name at the workspace root.

@@ -3,8 +3,9 @@
 //! Built from [`crate::items`]: nodes are `fn` definitions, edges are the
 //! conservatively-resolved call sites inside each body. The graph is
 //! rooted at the replay entry points the warm loop runs through —
-//! `System::run_stream`/`step`, `SetAssoc::locate`/`fill`,
-//! `EventStream::decode_chunk` — plus every method of a `LltPolicy`/
+//! `System::run_stream`/`step`/`fast_mem_hit`, `SetAssoc::locate`/`fill`,
+//! `EventStream::decode_chunk`, `CoreModel::issue_mem_run` — plus every
+//! method of a `LltPolicy`/
 //! `LlcPolicy` impl (and the trait default bodies), since policy hooks
 //! fire once per simulated memory operation. Everything reachable from a
 //! root is **hot**, and [`crate::rules::hot_path`] holds it to the
@@ -31,9 +32,11 @@ use std::ops::Range;
 pub const HOT_ROOTS: &[(&str, &str)] = &[
     ("System", "run_stream"),
     ("System", "step"),
+    ("System", "fast_mem_hit"),
     ("SetAssoc", "locate"),
     ("SetAssoc", "fill"),
     ("EventStream", "decode_chunk"),
+    ("CoreModel", "issue_mem_run"),
 ];
 
 /// Traits whose entire method surface (impls and default bodies) roots

@@ -1,0 +1,62 @@
+//! Fast-path ≡ slow-path differential suite (DESIGN.md §15).
+//!
+//! Replayed runs go through `System::run_stream`, where the batched
+//! L1-hit fast path retires trivially-hitting events; live runs go
+//! through `System::run_until`, which steps every event through the full
+//! machinery. The two must be architecturally indistinguishable — same
+//! `SimStats` (whose equality deliberately excludes the engine's
+//! fast/slow telemetry split) and same predictor accuracy — for every
+//! workload, across policy mixes and page sizes.
+
+use dpc::prelude::*;
+
+fn config(tlb: TlbPolicySel, llc: LlcPolicySel, page: AllocPolicy) -> RunConfig {
+    RunConfig {
+        system: SystemConfig::paper_baseline().with_page_policy(page),
+        tlb_policy: tlb,
+        llc_policy: llc,
+        warmup_mem_ops: 500,
+        measure_mem_ops: 6_000,
+    }
+}
+
+/// Every workload × {baseline, dpPred+cbPred, AIP} × {4 KB, 2 MB}:
+/// replayed (fast-path) statistics must equal live (slow-path) ones, and
+/// the fast path must actually engage on the replay side.
+#[test]
+fn fast_path_is_architecturally_invisible_across_the_suite() {
+    let fastpath_on = dpc_types::simd::fastpath_enabled();
+    let replay = WorkloadFactory::new(Scale::Tiny, 21).with_trace_store(true);
+    let live = WorkloadFactory::new(Scale::Tiny, 21).with_trace_store(false);
+    let combos = [
+        (TlbPolicySel::Baseline, LlcPolicySel::Baseline),
+        (TlbPolicySel::DpPred, LlcPolicySel::CbPred),
+        (TlbPolicySel::AipTlb, LlcPolicySel::AipLlc),
+    ];
+    let pages = [AllocPolicy::Base4K, AllocPolicy::Uniform(PageSize::Size2M)];
+    let mut fast_hits_total = 0u64;
+    for page in pages {
+        for (tlb, llc) in combos {
+            for workload in WORKLOAD_NAMES {
+                let cfg = config(tlb, llc, page);
+                let r = dpc::run_workload(&replay, workload, &cfg);
+                let l = dpc::run_workload(&live, workload, &cfg);
+                let label = format!("{workload} {tlb:?}/{llc:?} {page:?}");
+                assert_eq!(r.stats, l.stats, "{label}: fast path must be invisible");
+                assert_eq!(r.llt_accuracy, l.llt_accuracy, "{label}: TLB accuracy");
+                assert_eq!(r.llc_accuracy, l.llc_accuracy, "{label}: LLC accuracy");
+                // Live generation never enters `run_stream`, so it never
+                // takes the fast path; the slow path accounts for every
+                // event either way.
+                assert_eq!(l.stats.fast_hits, 0, "{label}: live runs are all slow-path");
+                if fastpath_on {
+                    assert!(r.stats.fast_hits > 0, "{label}: the fast path must engage on replay");
+                } else {
+                    assert_eq!(r.stats.fast_hits, 0, "{label}: DPC_FASTPATH=off must disable");
+                }
+                fast_hits_total += r.stats.fast_hits;
+            }
+        }
+    }
+    assert_eq!(fast_hits_total > 0, fastpath_on, "telemetry must reflect the gate");
+}
