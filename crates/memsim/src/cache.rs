@@ -84,6 +84,17 @@ impl Cache {
         self.array.commit_hit(block.raw(), way);
     }
 
+    /// Commits a miss previously established by [`probe`](Self::probe)
+    /// exactly as if a missing [`lookup`](Self::lookup) had run: level
+    /// counters plus the array's lookup clock. The second-tier fast path
+    /// uses this to descend past a missing level without re-scanning it.
+    #[inline]
+    pub fn commit_miss(&mut self) {
+        self.stats.lookups += 1;
+        self.stats.misses += 1;
+        self.array.commit_miss();
+    }
+
     /// Allocates `block`, evicting via the base replacement policy.
     /// Returns the displaced block, if any.
     #[inline]

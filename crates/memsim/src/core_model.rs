@@ -192,13 +192,27 @@ impl CoreModel {
     ///   are unobservable — only the value enters `start`).
     #[inline]
     pub fn issue_mem_run(&mut self, run: &mut MemRun, dependent: bool) {
+        let latency = run.latency;
+        self.issue_mem_run_at(run, latency, dependent);
+    }
+
+    /// [`issue_mem_run`](Self::issue_mem_run) with a per-call latency —
+    /// the second fast tier's entry point, whose L2-hit retires carry a
+    /// longer latency than the run's L1-hit base. The slot *choice* is
+    /// latency-independent (only the completion value depends on it), so
+    /// the equivalence argument above carries over verbatim; a shorter
+    /// completion landing below the FIFO back is caught by the same
+    /// monotonicity check as a dependence stall and handled by the exact
+    /// rebuild path.
+    #[inline]
+    pub fn issue_mem_run_at(&mut self, run: &mut MemRun, latency: u64, dependent: bool) {
         if !run.init {
             run.init(self.mem_slots.len());
         }
         if run.fallback {
             // Geometry beyond the fixed-size run caches: stay exact by
             // delegating to the per-instruction scan.
-            self.issue_mem(run.latency, dependent);
+            self.issue_mem(latency, dependent);
             return;
         }
         let dispatch = self.dispatch_slot();
@@ -230,7 +244,7 @@ impl CoreModel {
         if dependent {
             start = start.max(self.last_mem_complete);
         }
-        let complete = start + run.latency;
+        let complete = start + latency;
         dpc_types::invariant!(idx < self.mem_slots.len(), "picked slot index is in range");
         self.mem_slots[idx] = complete;
         if from_fifo {

@@ -32,7 +32,11 @@ pub struct Hierarchy<C: LlcPolicy = DynLlcPolicy> {
     pub l2: Cache,
     /// L3 / last-level cache (inclusive).
     pub llc: Cache,
-    mem_latency: u32,
+    /// Precomputed cumulative latency of an access that terminates at
+    /// each level: `[L1D hit, L2 hit, LLC hit, memory]`. The flattened
+    /// miss pipeline indexes this table instead of accumulating per-level
+    /// latencies as it descends.
+    cum_latency: [u64; 4],
     policy: C,
     /// Cached [`LlcPolicy::is_null`]: `true` for the baseline no-op
     /// policy, letting the access path skip hook dispatch entirely
@@ -58,11 +62,14 @@ impl<C: LlcPolicy> Hierarchy<C> {
     /// [`Hierarchy::new`] (in [`crate::fallback`]) delegates here.
     pub fn with_typed_policy(config: &SystemConfig, policy: C) -> Self {
         let policy_null = policy.is_null();
+        let l1d = u64::from(config.l1d.latency);
+        let l2 = l1d + u64::from(config.l2.latency);
+        let llc = l2 + u64::from(config.llc.latency);
         Hierarchy {
             l1d: Cache::new(&config.l1d),
             l2: Cache::new(&config.l2),
             llc: Cache::new(&config.llc),
-            mem_latency: config.mem_latency,
+            cum_latency: [l1d, l2, llc, llc + u64::from(config.mem_latency)],
             policy,
             policy_null,
             llc_evictions: EvictionClasses::default(),
@@ -87,19 +94,39 @@ impl<C: LlcPolicy> Hierarchy<C> {
     ///
     /// `is_demand` distinguishes program accesses from page-walker loads
     /// (both are cached; they are counted separately).
+    ///
+    /// The walk is flattened into probe-then-commit form (DESIGN.md §16):
+    /// side-effect-free probes descend the levels until the first hit
+    /// classifies the access, then that outcome's commit helper replays
+    /// exactly the state transitions the nested per-level lookups used to
+    /// perform — counters, clocks, recency, hooks and fills in the
+    /// original order — and returns the precomputed cumulative latency.
+    /// Each commit helper is shared with the replay fast path's
+    /// second-tier retire, so the two paths cannot drift.
     pub fn access(&mut self, pa: PhysAddr, _kind: AccessKind, pc: Pc, is_demand: bool) -> u64 {
         let block = pa.block();
-        let mut latency = u64::from(self.l1d.latency);
-        if self.l1d.lookup(block).is_some() {
-            return latency;
+        if let Some(way) = self.l1d.probe(block) {
+            return self.commit_l1d_hit(block, way);
         }
-        latency += u64::from(self.l2.latency);
-        if self.l2.lookup(block).is_some() {
-            self.l1d.fill(block, InsertPriority::Normal, 0);
-            return latency;
+        if let Some(way) = self.l2.probe(block) {
+            return self.commit_l2_hit(block, way);
         }
-        latency += u64::from(self.llc.latency);
-        let hit_way = self.llc.lookup(block);
+        self.l1d.commit_miss();
+        self.l2.commit_miss();
+        let hit_way = self.llc.probe(block);
+        self.commit_llc(block, hit_way, pc, is_demand)
+    }
+
+    /// Commits an access that terminated at the LLC: the LLC's own
+    /// hit-or-miss bookkeeping, the policy hooks (which fire on every
+    /// access that reaches the LLC, hit or miss), and the return-path
+    /// fills — batched into one straight-line sequence. The caller has
+    /// already committed the L1D and L2 misses.
+    fn commit_llc(&mut self, block: BlockAddr, hit_way: Option<usize>, pc: Pc, is_demand: bool) -> u64 {
+        match hit_way {
+            Some(way) => self.llc.commit_hit(block, way),
+            None => self.llc.commit_miss(),
+        }
         if !self.policy_null {
             self.policy.on_lookup(block, hit_way.is_some());
             // Set-access hook (AIP-style interval predictors train on
@@ -119,10 +146,9 @@ impl<C: LlcPolicy> Hierarchy<C> {
             }
             self.l2.fill(block, InsertPriority::Normal, 0);
             self.l1d.fill(block, InsertPriority::Normal, 0);
-            return latency;
+            return self.cum_latency[2];
         }
         // LLC miss: go to memory.
-        latency += u64::from(self.mem_latency);
         if is_demand {
             self.llc_demand_misses += 1;
         } else {
@@ -146,7 +172,7 @@ impl<C: LlcPolicy> Hierarchy<C> {
         // The block is returned upward either way.
         self.l2.fill(block, InsertPriority::Normal, 0);
         self.l1d.fill(block, InsertPriority::Normal, 0);
-        latency
+        self.cum_latency[3]
     }
 
     /// Side-effect-free L1D probe: the way `block` would hit at the first
@@ -167,7 +193,30 @@ impl<C: LlcPolicy> Hierarchy<C> {
     #[inline]
     pub fn commit_l1d_hit(&mut self, block: BlockAddr, way: usize) -> u64 {
         self.l1d.commit_hit(block, way);
-        u64::from(self.l1d.latency)
+        self.cum_latency[0]
+    }
+
+    /// Side-effect-free L2 probe: the way `block` would hit at the second
+    /// level. Only meaningful when an L1D probe of the same block missed
+    /// (the second-tier classification order matches the descent order).
+    #[inline]
+    pub fn probe_l2(&self, block: BlockAddr) -> Option<usize> {
+        self.l2.probe(block)
+    }
+
+    /// Commits an access that missed the L1D and hit the L2 (found by
+    /// [`probe_l2`](Self::probe_l2)), returning the access latency. This
+    /// replays exactly the L2-hit path of [`access`](Self::access): the
+    /// L1D's miss bookkeeping, the L2's hit bookkeeping, and the L1D
+    /// return-path fill — the LLC and its policy are never consulted, so
+    /// the commit is bit-identical for every policy, null or not. Shared
+    /// by the flattened walk and the replay fast path's second tier.
+    #[inline]
+    pub fn commit_l2_hit(&mut self, block: BlockAddr, way: usize) -> u64 {
+        self.l1d.commit_miss();
+        self.l2.commit_hit(block, way);
+        self.l1d.fill(block, InsertPriority::Normal, 0);
+        self.cum_latency[1]
     }
 
     fn fill_llc(&mut self, block: BlockAddr, priority: InsertPriority, state: u32) {
@@ -273,6 +322,32 @@ mod tests {
         assert_eq!(via_commit.l2.stats, via_access.l2.stats, "L2 must stay untouched");
         assert_eq!(via_commit.llc.stats, via_access.llc.stats, "LLC must stay untouched");
         assert_eq!(via_commit.l1d.array().seq(), via_access.l1d.array().seq());
+    }
+
+    /// probe_l2 + commit_l2_hit (the second fast tier) must be
+    /// indistinguishable from a full `access` that misses the L1D and hits
+    /// the L2 — latency, per-level counters, clocks, and the L1D refill.
+    #[test]
+    fn l2_probe_then_commit_matches_access() {
+        let mut via_access = hierarchy();
+        let mut via_commit = hierarchy();
+        let block = pa(0x10000).block();
+        for h in [&mut via_access, &mut via_commit] {
+            h.access(pa(0x10000), AccessKind::Read, Pc::new(1), true);
+            h.l1d.invalidate(block); // leave the block in L2 only
+        }
+        let lat_access = via_access.access(pa(0x10000), AccessKind::Read, Pc::new(1), true);
+        assert!(via_commit.probe_l1d(block).is_none(), "block must miss the L1D");
+        let way = via_commit.probe_l2(block).expect("resident block must probe in L2");
+        let lat_commit = via_commit.commit_l2_hit(block, way);
+        assert_eq!(lat_commit, lat_access);
+        assert_eq!(lat_commit, 5 + 11, "L1D latency + L2 latency");
+        assert_eq!(via_commit.l1d.stats, via_access.l1d.stats);
+        assert_eq!(via_commit.l2.stats, via_access.l2.stats);
+        assert_eq!(via_commit.llc.stats, via_access.llc.stats, "LLC must stay untouched");
+        assert_eq!(via_commit.l1d.array().seq(), via_access.l1d.array().seq());
+        assert_eq!(via_commit.l2.array().seq(), via_access.l2.array().seq());
+        assert!(via_commit.l1d.contains(block), "L2 hit must refill the L1D");
     }
 
     #[test]

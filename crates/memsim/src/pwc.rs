@@ -17,7 +17,10 @@ use dpc_types::{Pfn, PwcConfig, ReplacementKind, Vpn};
 /// Tag shift applied to the VPN for PWC level `i` (0-based).
 const LEVEL_SHIFT: [u32; 3] = [9, 18, 27];
 
-/// Result of probing the PWC hierarchy.
+/// Result of probing the PWC hierarchy. Produced side-effect-free by
+/// [`PwcSet::probe`] / [`PwcSet::probe_from`]; pass it back to
+/// [`PwcSet::commit_probe`] to apply the counters and recency updates the
+/// probe classified.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PwcProbe {
     /// Which PWC level hit (0 is closest to the leaf), or `None` for a
@@ -29,6 +32,11 @@ pub struct PwcProbe {
     pub latency: u64,
     /// Number of PTE loads the walk still needs (1..=4).
     pub remaining_loads: u32,
+    /// Way of the hit inside its level (meaningful only on a hit).
+    hit_way: usize,
+    /// The level the probe started from, so the commit replays the same
+    /// levels.
+    min_level: usize,
 }
 
 /// The three-level page-walk cache hierarchy.
@@ -57,8 +65,9 @@ impl PwcSet {
 
     /// Probes the PWCs closest-to-leaf first, accumulating probe latency,
     /// exactly like a hardware walker searching for the longest cached
-    /// prefix.
-    pub fn probe(&mut self, vpn: Vpn) -> PwcProbe {
+    /// prefix. Side-effect-free: counters and recency move only when the
+    /// result is passed to [`commit_probe`](Self::commit_probe).
+    pub fn probe(&self, vpn: Vpn) -> PwcProbe {
         self.probe_from(vpn, 0)
     }
 
@@ -71,20 +80,24 @@ impl PwcSet {
     ///
     /// On a hit at level `L`, `remaining_loads` is `L + 1 - min_level`;
     /// on a full miss it is `4 - min_level` (the walk's total PTE loads).
-    pub fn probe_from(&mut self, vpn: Vpn, min_level: usize) -> PwcProbe {
-        self.probes += 1;
+    ///
+    /// Side-effect-free: the classification half of the probe-then-commit
+    /// split. [`commit_probe`](Self::commit_probe) applies the state
+    /// transitions.
+    pub fn probe_from(&self, vpn: Vpn, min_level: usize) -> PwcProbe {
         let mut latency = 0u64;
         for (level, &shift) in LEVEL_SHIFT.iter().enumerate().skip(min_level) {
             latency += u64::from(self.latency[level]);
             let tag = vpn.raw() >> shift;
-            if let Some(way) = self.levels[level].lookup(tag, tag) {
-                self.hits[level] += 1;
+            if let Some(way) = self.levels[level].peek(tag, tag) {
                 let node = *self.levels[level].payload(tag, way);
                 return PwcProbe {
                     hit_level: Some(level),
                     resume_node: node,
                     latency,
                     remaining_loads: (level + 1 - min_level) as u32,
+                    hit_way: way,
+                    min_level,
                 };
             }
         }
@@ -93,6 +106,27 @@ impl PwcSet {
             resume_node: Pfn::new(0),
             latency,
             remaining_loads: (4 - min_level) as u32,
+            hit_way: 0,
+            min_level,
+        }
+    }
+
+    /// Commits a [`probe_from`](Self::probe_from) result exactly as the
+    /// pre-split mutating probe did: the probe counter, then — for every
+    /// level the probe visited — that level's lookup clock (a miss) or
+    /// recency/lifetime/hit-counter update (the hit that ended the
+    /// search). `probe` must come from this `vpn` with the PWCs
+    /// unmodified in between.
+    pub fn commit_probe(&mut self, vpn: Vpn, probe: &PwcProbe) {
+        self.probes += 1;
+        for (level, &shift) in LEVEL_SHIFT.iter().enumerate().skip(probe.min_level) {
+            if probe.hit_level == Some(level) {
+                let tag = vpn.raw() >> shift;
+                self.levels[level].commit_hit(tag, probe.hit_way);
+                self.hits[level] += 1;
+                return;
+            }
+            self.levels[level].commit_miss();
         }
     }
 
@@ -138,7 +172,7 @@ mod tests {
 
     #[test]
     fn cold_probe_misses_everywhere() {
-        let mut p = pwc();
+        let p = pwc();
         let probe = p.probe(Vpn::new(0x1234));
         assert_eq!(probe.hit_level, None);
         assert_eq!(probe.remaining_loads, 4);
@@ -156,7 +190,43 @@ mod tests {
         assert_eq!(probe.resume_node, Pfn::new(10));
         assert_eq!(probe.remaining_loads, 1);
         assert_eq!(probe.latency, 1);
+        assert_eq!(p.hits(), [0, 0, 0], "a probe alone moves no counters");
+        p.commit_probe(Vpn::new(0x1234), &probe);
         assert_eq!(p.hits(), [1, 0, 0]);
+        assert_eq!(p.probes(), 1);
+    }
+
+    /// Probing is pure: repeating it yields the identical classification
+    /// and leaves every counter untouched.
+    #[test]
+    fn probe_is_side_effect_free() {
+        let mut p = pwc();
+        p.fill(Vpn::new(0x1234), &[Pfn::new(10), Pfn::new(11), Pfn::new(12), Pfn::new(13)]);
+        let first = p.probe(Vpn::new(0x1234));
+        let second = p.probe(Vpn::new(0x1234));
+        assert_eq!(first, second);
+        assert_eq!(p.hits(), [0, 0, 0]);
+        assert_eq!(p.probes(), 0);
+    }
+
+    /// commit_probe must replay the recency update the pre-split mutating
+    /// probe performed: a committed leaf hit becomes MRU and survives the
+    /// fills that would otherwise evict it.
+    #[test]
+    fn commit_probe_replays_recency() {
+        let mut p = pwc();
+        // PWC L1 holds 4 entries; fill it, then re-reference the oldest.
+        for i in 0..4u64 {
+            p.fill(Vpn::new(i << 9), &[Pfn::new(i); 4]);
+        }
+        let probe = p.probe(Vpn::new(0));
+        assert_eq!(probe.hit_level, Some(0));
+        p.commit_probe(Vpn::new(0), &probe);
+        // The next two distinct regions evict the two actual LRU entries,
+        // not the freshly promoted one.
+        p.fill(Vpn::new(4 << 9), &[Pfn::new(4); 4]);
+        p.fill(Vpn::new(5 << 9), &[Pfn::new(5); 4]);
+        assert_eq!(p.probe(Vpn::new(0)).hit_level, Some(0), "promoted entry must survive");
     }
 
     #[test]
@@ -185,7 +255,7 @@ mod tests {
 
     #[test]
     fn probe_from_skips_sub_terminal_levels() {
-        let mut p = pwc();
+        let p = pwc();
         // Cold 2 MB probe: levels 1 and 2 only → 1 + 2 cycles, 3 loads.
         let probe = p.probe_from(Vpn::new(0x1234), 1);
         assert_eq!(probe.hit_level, None);
@@ -217,8 +287,10 @@ mod tests {
     #[test]
     fn probes_counted() {
         let mut p = pwc();
-        p.probe(Vpn::new(1));
-        p.probe(Vpn::new(2));
+        for vpn in [Vpn::new(1), Vpn::new(2)] {
+            let probe = p.probe(vpn);
+            p.commit_probe(vpn, &probe);
+        }
         assert_eq!(p.probes(), 2);
     }
 }

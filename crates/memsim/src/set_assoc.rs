@@ -67,6 +67,36 @@ pub struct LineLife {
     pub hits: u64,
 }
 
+/// Sentinel for [`PendingHit::idx`]: no hit-promotion is buffered.
+const NO_PENDING: usize = usize::MAX;
+
+/// A buffered hit-promotion not yet applied to the metadata columns.
+///
+/// The hit paths advance the scalar clocks eagerly but defer the column
+/// stores (lifetime stats, LRU stamp / SRRIP promotion) into this
+/// one-entry buffer; consecutive hits to the same line coalesce into a
+/// single eventual store. The buffer is applied ([`SetAssoc`]'s
+/// `flush_pending`) before any code path reads or writes the metadata
+/// columns, and merged on the fly by the `&self` readers — so the
+/// deferral is unobservable (DESIGN.md §16).
+#[derive(Clone, Copy, Debug)]
+struct PendingHit {
+    /// Flat column index of the hit line, or [`NO_PENDING`].
+    idx: usize,
+    /// Coalesced hit count.
+    hits: u64,
+    /// Lookup-clock value of the most recent coalesced hit.
+    last_seq: u64,
+    /// Recency-clock value of the most recent coalesced hit.
+    last_tick: u64,
+}
+
+impl PendingHit {
+    const fn empty() -> Self {
+        PendingHit { idx: NO_PENDING, hits: 0, last_seq: 0, last_tick: 0 }
+    }
+}
+
 /// Contents evicted by an insertion.
 #[derive(Clone, Debug)]
 pub struct Evicted<P> {
@@ -100,6 +130,8 @@ pub struct SetAssoc<P> {
     /// Monotonic lookup sequence (advanced on every lookup), used for
     /// lifetime statistics.
     seq: u64,
+    /// Lazily-applied hit-promotion buffer (see [`PendingHit`]).
+    pending: PendingHit,
 }
 
 impl<P: Default> SetAssoc<P> {
@@ -124,6 +156,7 @@ impl<P: Default> SetAssoc<P> {
             scratch: Vec::with_capacity(ways),
             tick: 0,
             seq: 0,
+            pending: PendingHit::empty(),
         }
     }
 }
@@ -169,9 +202,52 @@ impl<P> SetAssoc<P> {
         (set, set * self.ways + way)
     }
 
+    /// Records a hit on flat index `idx` in the lazy promotion buffer.
+    /// Consecutive hits to the same line coalesce; a hit elsewhere first
+    /// applies whatever was buffered. Must run *after* the hit advanced
+    /// `seq` and `tick` (the buffer captures their current values).
+    #[inline]
+    fn note_hit(&mut self, idx: usize) {
+        if self.pending.idx == idx {
+            self.pending.hits += 1;
+            self.pending.last_seq = self.seq;
+            self.pending.last_tick = self.tick;
+        } else {
+            self.flush_pending();
+            self.pending = PendingHit { idx, hits: 1, last_seq: self.seq, last_tick: self.tick };
+        }
+    }
+
+    /// Applies the buffered hit-promotion to the metadata columns.
+    ///
+    /// Equivalent to having performed the eager per-hit stores: the
+    /// intermediate values of a coalesced run are overwritten by its
+    /// last hit (`last_hit_seq`, LRU stamp) or idempotent (SRRIP
+    /// promotion to 0), and `hits` accumulates — so applying once at the
+    /// first metadata read gives the exact eager column state. Called
+    /// before every path that reads or writes stamps/rrpvs/lives.
+    #[inline]
+    fn flush_pending(&mut self) {
+        let idx = self.pending.idx;
+        if idx == NO_PENDING {
+            return;
+        }
+        invariant!(idx < self.cols.lives.len(), "pending index came from an in-bounds hit");
+        let life = &mut self.cols.lives[idx];
+        life.hits += self.pending.hits;
+        life.last_hit_seq = self.pending.last_seq;
+        match self.replacement {
+            ReplacementKind::Lru => self.cols.stamps[idx] = self.pending.last_tick,
+            ReplacementKind::Srrip => self.cols.rrpvs[idx] = 0,
+            ReplacementKind::Fifo => {}
+        }
+        self.pending.idx = NO_PENDING;
+    }
+
     /// Looks up `tag` in its set. On a hit, advances the lookup clock,
-    /// updates recency and lifetime stats, and returns the way index.
-    /// On a miss, only the lookup clock advances.
+    /// updates recency and lifetime stats (buffered lazily, see
+    /// [`PendingHit`]), and returns the way index. On a miss, only the
+    /// lookup clock advances.
     #[inline]
     pub fn lookup(&mut self, addr: u64, tag: u64) -> Option<usize> {
         self.seq += 1;
@@ -183,16 +259,8 @@ impl<P> SetAssoc<P> {
         }
         // First-match-wins, exactly like the previous linear scan.
         let way = hit.trailing_zeros() as usize;
-        let idx = base + way;
         self.tick += 1;
-        let life = &mut self.cols.lives[idx];
-        life.hits += 1;
-        life.last_hit_seq = self.seq;
-        match self.replacement {
-            ReplacementKind::Lru => self.cols.stamps[idx] = self.tick,
-            ReplacementKind::Srrip => self.cols.rrpvs[idx] = 0,
-            ReplacementKind::Fifo => {}
-        }
+        self.note_hit(base + way);
         Some(way)
     }
 
@@ -212,14 +280,7 @@ impl<P> SetAssoc<P> {
         let way = hit.trailing_zeros() as usize;
         let idx = base + way;
         self.tick += 1;
-        let life = &mut self.cols.lives[idx];
-        life.hits += 1;
-        life.last_hit_seq = self.seq;
-        match self.replacement {
-            ReplacementKind::Lru => self.cols.stamps[idx] = self.tick,
-            ReplacementKind::Srrip => self.cols.rrpvs[idx] = 0,
-            ReplacementKind::Fifo => {}
-        }
+        self.note_hit(idx);
         invariant!(idx < self.cols.payloads.len(), "set * ways + way stays inside the columns");
         Some((way, &self.cols.payloads[idx]))
     }
@@ -239,14 +300,7 @@ impl<P> SetAssoc<P> {
         let (_, idx) = self.locate(addr, way);
         self.tick += 1;
         invariant!(idx < self.cols.lives.len(), "locate() stays inside the columns");
-        let life = &mut self.cols.lives[idx];
-        life.hits += 1;
-        life.last_hit_seq = self.seq;
-        match self.replacement {
-            ReplacementKind::Lru => self.cols.stamps[idx] = self.tick,
-            ReplacementKind::Srrip => self.cols.rrpvs[idx] = 0,
-            ReplacementKind::Fifo => {}
-        }
+        self.note_hit(idx);
     }
 
     /// Commits a miss previously established by [`peek`](Self::peek):
@@ -304,12 +358,19 @@ impl<P> SetAssoc<P> {
         &mut self.cols.payloads[idx]
     }
 
-    /// Lifetime statistics of a way in the set that `addr` maps to.
+    /// Lifetime statistics of a way in the set that `addr` maps to,
+    /// with any buffered hit-promotion merged in (`&self` readers merge
+    /// instead of flushing).
     #[inline]
     pub fn life_of(&self, addr: u64, way: usize) -> LineLife {
         let (_, idx) = self.locate(addr, way);
         invariant!(idx < self.cols.lives.len(), "locate() stays inside the columns");
-        self.cols.lives[idx]
+        let mut life = self.cols.lives[idx];
+        if self.pending.idx == idx {
+            life.hits += self.pending.hits;
+            life.last_hit_seq = self.pending.last_seq;
+        }
+        life
     }
 
     /// The way the base replacement policy would evict from the set `addr`
@@ -317,6 +378,7 @@ impl<P> SetAssoc<P> {
     /// effect (that *is* the SRRIP victim-search algorithm).
     #[inline]
     pub fn victim_way(&mut self, addr: u64) -> usize {
+        self.flush_pending();
         let set = self.set_of(addr);
         let base = set * self.ways;
         // Prefer the first invalid way.
@@ -362,6 +424,7 @@ impl<P> SetAssoc<P> {
         priority: InsertPriority,
     ) -> Option<Evicted<P>> {
         assert!(way < self.ways, "way {way} out of range (ways = {})", self.ways);
+        self.flush_pending();
         self.tick += 1;
         let tick = self.tick;
         let seq = self.seq;
@@ -420,6 +483,7 @@ impl<P> SetAssoc<P> {
         P: Default,
     {
         let way = self.peek(addr, tag)?;
+        self.flush_pending();
         let set = self.set_of(addr);
         invariant!(way < self.ways, "peek returned way {way} beyond {}-way set", self.ways);
         let idx = set * self.ways + way;
@@ -456,6 +520,7 @@ impl<P> SetAssoc<P> {
     where
         P: HasPolicyState,
     {
+        self.flush_pending();
         let set = self.set_of(addr);
         let base = set * self.ways;
         self.scratch.clear();
@@ -485,9 +550,10 @@ impl<P> SetAssoc<P> {
     }
 
     /// Iterates over all valid lines (used by the deadness sampler's final
-    /// flush and by tests).
+    /// flush and by tests), with any buffered hit-promotion merged into
+    /// the yielded lifetime stats.
     pub fn iter_valid(&self) -> impl Iterator<Item = LineRef<'_, P>> {
-        self.cols.iter_valid()
+        self.cols.iter_valid_pending(self.pending.idx, self.pending.hits, self.pending.last_seq)
     }
 
     /// Number of currently valid lines.

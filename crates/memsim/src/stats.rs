@@ -262,6 +262,11 @@ pub struct SimStats {
     /// Events retired by the replay engine's batched L1-hit fast path
     /// (engine telemetry, not architecture; excluded from equality).
     pub fast_hits: u64,
+    /// Events retired by the replay engine's second fast tier — an L1
+    /// D-TLB miss absorbed by the L2 TLB and/or an L1D miss absorbed by
+    /// the L2 cache (engine telemetry, not architecture; excluded from
+    /// equality).
+    pub fast_l2_hits: u64,
     /// Events processed by the full `step` machinery (engine telemetry,
     /// not architecture; excluded from equality).
     pub slow_steps: u64,
@@ -294,6 +299,7 @@ impl PartialEq for SimStats {
             doa_blocks_on_doa_pages,
             doa_blocks_classified,
             fast_hits: _,
+            fast_l2_hits: _,
             slow_steps: _,
         } = self;
         *instructions == other.instructions

@@ -39,6 +39,16 @@ const PREFETCH_DISTANCE: usize = 8;
 /// streak pays ~one wasted probe pair per 32 events, small enough that
 /// a phase change back to L1 hits is noticed within a chunk.
 const FAST_BACKOFF_SHIFT_CAP: u32 = 5;
+/// Cap on the tier-2 deep-probe backoff shift: after consecutive tier-2
+/// classification *failures* (an event missed the L1 D-TLB or L1D, the
+/// LLT/L2 probes were paid, and the event still fell to the slow path),
+/// up to `1 << DEEP_BACKOFF_SHIFT_CAP` subsequent first-level probe
+/// misses break the run immediately instead of probing deeper. Streams
+/// that thrash past the L2/LLT (where tier-2 probes are pure loss — the
+/// slow step redoes them as full lookups) pay ~one wasted deep probe per
+/// 32 deep misses, while a phase whose misses terminate at L2 re-engages
+/// the tier within a chunk.
+const DEEP_BACKOFF_SHIFT_CAP: u32 = 5;
 
 /// Errors from [`System`] construction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,6 +84,41 @@ impl From<ConfigError> for SystemError {
 enum Side {
     Instruction,
     Data,
+}
+
+/// Classification of a unified-LLT hit, produced side-effect-free by
+/// [`System::probe_llt`] and replayed by [`System::commit_llt_hit`] — the
+/// probe-then-commit split of the translation path's second level, shared
+/// verbatim between the slow path and the second fast tier.
+#[derive(Clone, Copy, Debug)]
+struct LltProbe {
+    /// Page size whose key hit.
+    size: PageSize,
+    /// The size-tagged LLT key that hit.
+    key: Vpn,
+    /// Way of the hit.
+    way: usize,
+    /// How many smaller sizes were probed (and missed) first; the commit
+    /// replays one lookup clock per missing probe.
+    missed_probes: usize,
+}
+
+/// The TLB tier a fast-path event's translation was classified into.
+#[derive(Clone, Copy, Debug)]
+enum TlbTier {
+    /// L1 D-TLB hit (the first tier).
+    L1(TlbProbe),
+    /// L1 D-TLB miss absorbed by a unified-LLT hit (the second tier).
+    Llt(LltProbe),
+}
+
+/// The cache tier a fast-path event's data access was classified into.
+#[derive(Clone, Copy, Debug)]
+enum CacheTier {
+    /// L1D hit (the first tier).
+    L1d(usize),
+    /// L1D miss absorbed by an L2 hit (the second tier).
+    L2(usize),
 }
 
 /// The simulated machine, generic over its two content-management
@@ -136,8 +181,19 @@ pub struct System<L: LltPolicy = DynLltPolicy, C: LlcPolicy = DynLlcPolicy> {
     /// Events retired by the batched L1-hit fast path (engine telemetry;
     /// see [`System::fast_retire_run`]).
     fast_hits: u64,
+    /// Events retired by the second fast tier (an LLT and/or L2 hit
+    /// absorbed a first-level miss).
+    fast_l2_hits: u64,
     /// Events processed by the full [`System::step`] machinery.
     slow_steps: u64,
+    /// Tier-2 deep-probe backoff (see [`DEEP_BACKOFF_SHIFT_CAP`]):
+    /// consecutive tier-2 classification failures, and how many upcoming
+    /// first-level probe misses skip the deep probes. Replay heuristics
+    /// only — which path retires an event never affects simulated state,
+    /// and both evolve as pure functions of the event stream, so replay
+    /// stays deterministic.
+    deep_fails: u32,
+    deep_skip: u64,
     /// Reusable decode scratch for [`System::run_stream`], hoisted into
     /// the machine so repeated calls (warm-up + measure, and every run of
     /// a long campaign) replay with zero per-call heap allocations.
@@ -187,7 +243,10 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
             cur_code_vpn: None,
             mem_ops: 0,
             fast_hits: 0,
+            fast_l2_hits: 0,
             slow_steps: 0,
+            deep_fails: 0,
+            deep_skip: 0,
             batch: EventBatch::with_capacity(EVENT_CHUNK),
             config,
         })
@@ -351,24 +410,25 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
     }
 
     /// Retires the longest prefix of `events` that qualifies for the
-    /// batched L1-hit fast path, returning how many events were consumed
+    /// batched fast path, returning how many events were consumed
     /// (possibly 0). The caller slow-steps the first non-qualifying
     /// event, after which a new run can start.
     ///
     /// A `Mem` event qualifies when **all** of the following hold — each
     /// predicate guards one piece of machinery [`System::step`] would
-    /// otherwise engage (DESIGN.md §15):
+    /// otherwise engage (DESIGN.md §15–16):
     ///
     /// * its PC stays on the current code page (no I-side translation);
-    /// * its VPN hits the L1 D-TLB (probe only — LLT, policy hooks and
-    ///   the walker are never consulted);
-    /// * its block hits the L1D (probe only — L2/LLC and the LLC policy
-    ///   are never consulted; an L1 hit returns before any of them in
-    ///   [`Hierarchy::access`]);
+    /// * its VPN hits the L1 D-TLB (**tier 1**), or misses it and hits
+    ///   the unified LLT (**tier 2** — the walker, shadow buffer, and
+    ///   MSHR are still never consulted);
+    /// * its block hits the L1D (**tier 1**), or misses it and hits the
+    ///   L2 (**tier 2** — the LLC and its policy are still never
+    ///   consulted, so no LLC fill, eviction, or bypass can occur);
     /// * no DOA-eviction drain is pending (the drain is re-checked
     ///   per event on the slow path but can only become non-empty through
-    ///   an LLC eviction, which no L1 hit can cause — so one check
-    ///   up front covers the whole run);
+    ///   an LLC eviction, which no tier-1/tier-2 shape can cause — so one
+    ///   check up front covers the whole run);
     /// * it does not reach the sampler boundary (the boundary event is
     ///   slow-stepped so [`System::step`]'s sampler fires identically).
     ///
@@ -376,11 +436,35 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
     /// only the core and the sampler budget), so the emitter's
     /// compute/mem interleaving never cuts runs short.
     ///
-    /// Qualifying events are retired via the probe-then-commit split
-    /// ([`TlbGroup::commit_probe`], [`Hierarchy::commit_l1d_hit`]) and
-    /// the batch-aware [`CoreModel::issue_mem_run`] — each commits
-    /// exactly the state transitions the slow path would perform, so
-    /// machine state stays bit-identical whichever path ran.
+    /// Qualifying events are retired via the probe-then-commit splits
+    /// ([`TlbGroup::commit_probe`] / [`TlbGroup::commit_miss`] +
+    /// [`System::commit_llt_hit`], [`Hierarchy::commit_l1d_hit`] /
+    /// [`Hierarchy::commit_l2_hit`]) and the batch-aware
+    /// [`CoreModel::issue_mem_run_at`] — each commits exactly the state
+    /// transitions the slow path would perform, in the same order, so
+    /// machine state stays bit-identical whichever path ran. Tier-2
+    /// commits *fill* upper levels (the LLT hit refills the L1 D-TLB, the
+    /// L2 hit refills the L1D), so they invalidate the run's one-entry
+    /// probe caches; classification itself is fully side-effect-free, so
+    /// an event that fails any predicate leaves no trace before its slow
+    /// step.
+    ///
+    /// Deep probes carry their own backoff: consecutive tier-2
+    /// classification failures (deep probes paid, event slow-stepped
+    /// anyway) suppress the LLT/L2 probes for a geometrically growing
+    /// number of first-level misses ([`DEEP_BACKOFF_SHIFT_CAP`]), so
+    /// streams thrashing past the L2 degrade to the tier-1-only
+    /// classification cost instead of paying two wasted probes per miss.
+    /// Records a tier-2 classification failure and arms the deep-probe
+    /// backoff: the next `1 << deep_fails` first-level probe misses break
+    /// their run without paying the LLT/L2 probes (see
+    /// [`DEEP_BACKOFF_SHIFT_CAP`]).
+    #[inline]
+    fn note_deep_fail(&mut self) {
+        self.deep_fails = (self.deep_fails + 1).min(DEEP_BACKOFF_SHIFT_CAP);
+        self.deep_skip = 1u64 << self.deep_fails;
+    }
+
     fn fast_retire_run(&mut self, events: &[Event], prefetch: bool) -> usize {
         // Run-wide predicates, hoisted: a current code page must exist
         // (the first-ever event always slow-steps) and no DOA drain may
@@ -395,15 +479,19 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
         // samples there, exactly like event-at-a-time replay.
         let mut budget =
             self.next_sample_at.saturating_sub(self.core.instructions()).saturating_sub(1);
-        // The fixed L1-hit latency: L1 D-TLB hit + L1D hit, exactly the
-        // sum the slow path accumulates when both first levels hit and
-        // the code page is unchanged.
-        let latency = u64::from(self.l1d_tlb.latency) + u64::from(self.hier.l1d.latency);
-        let mut run = MemRun::new(latency);
-        // Within a run the fast path only commits hits — recency stamps
-        // and clocks move, but no entry is filled, evicted or relocated
-        // — so a probe result stays valid for every later event on the
-        // same page (or block). Caching the last one turns the common
+        // The tier-1 latency: L1 D-TLB hit + L1D hit, exactly the sum the
+        // slow path accumulates when both first levels hit and the code
+        // page is unchanged. Tier-2 events add the missed level's latency
+        // per call via `issue_mem_run_at`.
+        let l1_tlb_latency = u64::from(self.l1d_tlb.latency);
+        let llt_latency = u64::from(self.llt.latency);
+        let mut run = MemRun::new(l1_tlb_latency + u64::from(self.hier.l1d.latency));
+        // Within a run the fast path commits hits and tier-2 upper-level
+        // refills — recency stamps and clocks move, and the L1 D-TLB/L1D
+        // gain entries, but nothing below them changes — so a probe
+        // result stays valid for every later event on the same page (or
+        // block) until a tier-2 commit fills the probed structure (which
+        // clears the cache). Caching the last one turns the common
         // same-page / sub-block-stride patterns into a compare instead
         // of a tag scan. The *commits* still happen once per event.
         let mut last_tlb: Option<(Vpn, TlbProbe)> = None;
@@ -426,23 +514,54 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
                         break;
                     }
                     let vpn = vaddr.vpn();
-                    let tlb_hit = match last_tlb {
-                        Some((cached_vpn, hit)) if cached_vpn == vpn => hit,
-                        _ => {
-                            let Some(hit) = self.l1d_tlb.probe(vpn) else { break };
-                            last_tlb = Some((vpn, hit));
-                            hit
-                        }
+                    // --- classification: probes only, no state moves ---
+                    let tlb_tier = match last_tlb {
+                        Some((cached_vpn, hit)) if cached_vpn == vpn => TlbTier::L1(hit),
+                        _ => match self.l1d_tlb.probe(vpn) {
+                            Some(hit) => {
+                                last_tlb = Some((vpn, hit));
+                                TlbTier::L1(hit)
+                            }
+                            None if self.deep_skip > 0 => {
+                                self.deep_skip -= 1;
+                                break;
+                            }
+                            None => match self.probe_llt(vpn) {
+                                Some(probe) => TlbTier::Llt(probe),
+                                None => {
+                                    self.note_deep_fail();
+                                    break;
+                                }
+                            },
+                        },
                     };
-                    let pa = PhysAddr::new(tlb_hit.pfn.base().raw() | vaddr.page_offset());
+                    let pfn = match tlb_tier {
+                        TlbTier::L1(hit) => hit.pfn,
+                        TlbTier::Llt(ref probe) => self.probed_llt_pfn(vpn, probe),
+                    };
+                    let pa = PhysAddr::new(pfn.base().raw() | vaddr.page_offset());
                     let block = pa.block();
-                    let l1d_way = match last_l1d {
-                        Some((cached_block, way)) if cached_block == block => way,
-                        _ => {
-                            let Some(way) = self.hier.probe_l1d(block) else { break };
-                            last_l1d = Some((block, way));
-                            way
+                    let cache_tier = match last_l1d {
+                        Some((cached_block, way)) if cached_block == block => {
+                            CacheTier::L1d(way)
                         }
+                        _ => match self.hier.probe_l1d(block) {
+                            Some(way) => {
+                                last_l1d = Some((block, way));
+                                CacheTier::L1d(way)
+                            }
+                            None if self.deep_skip > 0 => {
+                                self.deep_skip -= 1;
+                                break;
+                            }
+                            None => match self.hier.probe_l2(block) {
+                                Some(way) => CacheTier::L2(way),
+                                None => {
+                                    self.note_deep_fail();
+                                    break;
+                                }
+                            },
+                        },
                     };
                     if prefetch {
                         // Per-retired-access hint, like the slow loop's
@@ -457,25 +576,48 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
                         }
                     }
                     budget -= 1;
-                    self.fast_mem_hit(vpn, tlb_hit, block, l1d_way);
-                    self.core.issue_mem_run(&mut run, dependent);
+                    // --- commits, in the slow path's order: translation,
+                    // then hierarchy, then the core issue ---
+                    self.mem_ops += 1;
+                    let mut latency = l1_tlb_latency;
+                    let mut tier2 = false;
+                    match tlb_tier {
+                        TlbTier::L1(hit) => self.l1d_tlb.commit_probe(vpn, hit),
+                        TlbTier::Llt(probe) => {
+                            latency += llt_latency;
+                            self.l1d_tlb.commit_miss();
+                            self.commit_llt_hit(vpn, &probe, pc, Side::Data);
+                            // The commit refilled the L1 D-TLB (and, under
+                            // the victim organization, possibly churned
+                            // the LLT): the cached L1 probe is stale.
+                            last_tlb = None;
+                            tier2 = true;
+                        }
+                    }
+                    latency += match cache_tier {
+                        CacheTier::L1d(way) => self.hier.commit_l1d_hit(block, way),
+                        CacheTier::L2(way) => {
+                            // The commit refills the L1D, possibly evicting
+                            // the cached block: the cached probe is stale.
+                            last_l1d = None;
+                            tier2 = true;
+                            self.hier.commit_l2_hit(block, way)
+                        }
+                    };
+                    if tier2 {
+                        self.fast_l2_hits += 1;
+                        // A deep probe paid off: the stream's misses are
+                        // terminating at L2/LLT again, so stop suppressing.
+                        self.deep_fails = 0;
+                    } else {
+                        self.fast_hits += 1;
+                    }
+                    self.core.issue_mem_run_at(&mut run, latency, dependent);
                 }
             }
             taken += 1;
         }
         taken
-    }
-
-    /// Retires one fully classified L1-hit memory event: commits the TLB
-    /// and L1D probes so counters, recency and lifetime state advance
-    /// exactly as a slow-path [`System::mem_access`] would have advanced
-    /// them. The core issue goes through the caller's [`MemRun`].
-    #[inline]
-    fn fast_mem_hit(&mut self, vpn: Vpn, tlb_hit: TlbProbe, block: BlockAddr, l1d_way: usize) {
-        self.mem_ops += 1;
-        self.fast_hits += 1;
-        self.l1d_tlb.commit_probe(vpn, tlb_hit);
-        self.hier.commit_l1d_hit(block, l1d_way);
     }
 
     /// Zeroes all statistics while keeping the machine state (cache/TLB/
@@ -503,6 +645,7 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
         self.doa_blocks_classified = 0;
         self.mem_ops = 0;
         self.fast_hits = 0;
+        self.fast_l2_hits = 0;
         self.slow_steps = 0;
         self.next_sample_at = self.sample_interval;
     }
@@ -576,6 +719,63 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
         Pfn::new((unit_pfn << size.unit_shift()) | size.frame_offset(vpn))
     }
 
+    /// Side-effect-free unified-LLT probe: each enabled size peeks its own
+    /// key, smallest first, without touching clocks, counters, or policy
+    /// hooks — the classification half of the translation path's second
+    /// level. [`System::commit_llt_hit`] replays the state transitions.
+    fn probe_llt(&self, vpn: Vpn) -> Option<LltProbe> {
+        for (missed_probes, &size) in self.llt_sizes.iter().enumerate() {
+            let key = self.llt_key(size, vpn);
+            if let Some(way) = self.llt.array().peek(key.raw(), key.raw()) {
+                return Some(LltProbe { size, key, way, missed_probes });
+            }
+        }
+        None
+    }
+
+    /// The frame a [`probe_llt`](System::probe_llt) hit resolves `vpn` to,
+    /// read without committing (the hit's payload is immutable until the
+    /// commit, whose `on_hit` hook touches only the policy state word).
+    fn probed_llt_pfn(&self, vpn: Vpn, probe: &LltProbe) -> Pfn {
+        let entry = self.llt.array().payload(probe.key.raw(), probe.way);
+        Self::compose_pfn(probe.size, entry.pfn, vpn)
+    }
+
+    /// Commits a [`probe_llt`](System::probe_llt) hit exactly as the
+    /// pre-split lookup loop did: the group counters, one lookup clock per
+    /// smaller size probed first, the hit's recency/lifetime update, the
+    /// policy hooks in their original order, and the L1 refill. Shared
+    /// verbatim between [`System::translate`] and the second fast tier,
+    /// so the two paths cannot drift.
+    fn commit_llt_hit(&mut self, vpn: Vpn, probe: &LltProbe, pc: Pc, side: Side) -> Pfn {
+        self.llt.stats.lookups += 1;
+        for _ in 0..probe.missed_probes {
+            self.llt.array_mut().commit_miss();
+        }
+        self.llt.array_mut().commit_hit(probe.key.raw(), probe.way);
+        self.llt.stats.hits += 1;
+        if !self.llt_null {
+            self.llt_policy.on_lookup(probe.key, true);
+            // Policies that don't observe set views skip view construction.
+            if self.llt_policy.uses_set_views() {
+                let policy = &mut self.llt_policy;
+                self.llt
+                    .array_mut()
+                    .with_set_views(probe.key.raw(), Some(probe.way), |views| {
+                        policy.on_set_access(views)
+                    });
+            }
+        }
+        let entry = self.llt.array_mut().payload_mut(probe.key.raw(), probe.way);
+        let unit_pfn = entry.pfn;
+        if !self.llt_null {
+            self.llt_policy.on_hit(probe.key, &mut entry.state);
+        }
+        let pfn = Self::compose_pfn(probe.size, unit_pfn, vpn);
+        self.fill_l1(side, probe.size, vpn, pfn, pc);
+        pfn
+    }
+
     /// Translates `vpn`, going L1 TLB → LLT (+ shadow) → page walk.
     fn translate(&mut self, pc: Pc, vpn: Vpn, side: Side) -> (Pfn, u64) {
         let l1 = match side {
@@ -590,52 +790,33 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
 
         // --- LLT lookup with policy hooks (all no-ops for the baseline,
         // so `llt_null` skips the dynamic dispatch without changing
-        // behavior). The unified LLT holds every size; each enabled size
-        // probes its own key, smallest first. ---
+        // behavior). The unified LLT holds every size; probe-then-commit
+        // (the probe classifies side-effect-free, the commit replays the
+        // per-size lookup clocks, counters, and hooks in the pre-split
+        // order), shared with the second fast tier. ---
+        if let Some(probe) = self.probe_llt(vpn) {
+            let pfn = self.commit_llt_hit(vpn, &probe, pc, side);
+            return (pfn, latency);
+        }
         self.llt.stats.lookups += 1;
-        let mut hit: Option<(PageSize, Vpn, usize)> = None;
-        for &size in self.llt_sizes {
-            let key = self.llt_key(size, vpn);
-            if let Some(way) = self.llt.array_mut().lookup(key.raw(), key.raw()) {
-                hit = Some((size, key, way));
-                break;
-            }
+        for _ in 0..self.llt_sizes.len() {
+            self.llt.array_mut().commit_miss();
         }
-        if hit.is_some() {
-            self.llt.stats.hits += 1;
-        } else {
-            self.llt.stats.misses += 1;
-        }
-        // Policy hooks see the key of the hit, or — on a miss — the key
-        // the page would occupy at its mapped size, so training and the
-        // shadow probe agree with the eventual fill.
-        let (hook_size, hook_key) = match hit {
-            Some((size, key, _)) => (size, key),
-            None => {
-                let size = self.page_table.probe_size(vpn);
-                (size, self.llt_key(size, vpn))
-            }
-        };
-        let hit_way = hit.map(|(_, _, way)| way);
+        self.llt.stats.misses += 1;
+        // Policy hooks see the key the page would occupy at its mapped
+        // size, so training and the shadow probe agree with the eventual
+        // fill.
+        let hook_size = self.page_table.probe_size(vpn);
+        let hook_key = self.llt_key(hook_size, vpn);
         if !self.llt_null {
-            self.llt_policy.on_lookup(hook_key, hit_way.is_some());
+            self.llt_policy.on_lookup(hook_key, false);
             // Policies that don't observe set views skip view construction.
             if self.llt_policy.uses_set_views() {
                 let policy = &mut self.llt_policy;
                 self.llt
                     .array_mut()
-                    .with_set_views(hook_key.raw(), hit_way, |views| policy.on_set_access(views));
+                    .with_set_views(hook_key.raw(), None, |views| policy.on_set_access(views));
             }
-        }
-        if let Some((size, key, way)) = hit {
-            let entry = self.llt.array_mut().payload_mut(key.raw(), way);
-            let unit_pfn = entry.pfn;
-            if !self.llt_null {
-                self.llt_policy.on_hit(key, &mut entry.state);
-            }
-            let pfn = Self::compose_pfn(size, unit_pfn, vpn);
-            self.fill_l1(side, size, vpn, pfn, pc);
-            return (pfn, latency);
         }
 
         // --- LLT miss: shadow/victim-buffer probe ---
@@ -830,6 +1011,7 @@ impl<L: LltPolicy, C: LlcPolicy> System<L, C> {
             doa_blocks_on_doa_pages: self.doa_blocks_on_doa_pages,
             doa_blocks_classified: self.doa_blocks_classified,
             fast_hits: self.fast_hits,
+            fast_l2_hits: self.fast_l2_hits,
             slow_steps: self.slow_steps,
         }
     }

@@ -295,6 +295,21 @@ impl TlbGroup {
         }
     }
 
+    /// Commits a full miss previously established by a
+    /// [`probe`](Self::probe) that returned `None`, exactly as if
+    /// [`lookup`](Self::lookup) had missed: the group counters plus
+    /// every member's lookup clock (a missing `lookup` probes — and
+    /// clocks — every member). The second-tier fast path uses this to
+    /// descend to the LLT without re-scanning the L1 members.
+    #[inline]
+    pub fn commit_miss(&mut self) {
+        self.stats.lookups += 1;
+        self.stats.misses += 1;
+        for m in &mut self.members {
+            m.array.commit_miss();
+        }
+    }
+
     /// Allocates a translation into the member for `size`, tagging and
     /// storing at that size's grain. `vpn`/`pfn` are 4 KB-grain; the
     /// eviction (if any) reports the victim's size and *unit* VPN.
@@ -477,6 +492,30 @@ mod tests {
         // have advanced each member's clock identically.
         for (a, b) in via_lookup.members.iter().zip(&via_commit.members) {
             assert_eq!(b.array.seq() + 1, a.array.seq(), "member {:?} lookup clock", a.size);
+        }
+    }
+
+    /// commit_miss (the second fast tier descending past a missing L1
+    /// D-TLB) must be indistinguishable from a missing lookup: group
+    /// counters plus every member's lookup clock.
+    #[test]
+    fn commit_miss_matches_missing_lookup() {
+        let config = SystemConfig::paper_baseline().l1_dtlb;
+        let build = || {
+            let mut g =
+                TlbGroup::for_policy(&config, AllocPolicy::Promote2M { threshold: 64 }, false);
+            g.fill(PageSize::Size4K, Vpn::new(0x200), Pfn::new(7), InsertPriority::Normal, 0);
+            g
+        };
+        let mut via_lookup = build();
+        let mut via_commit = build();
+        let missing = Vpn::new(0x999);
+        assert_eq!(via_lookup.lookup(missing), None);
+        assert!(via_commit.probe(missing).is_none());
+        via_commit.commit_miss();
+        assert_eq!(via_commit.stats, via_lookup.stats);
+        for (a, b) in via_lookup.members.iter().zip(&via_commit.members) {
+            assert_eq!(a.array.seq(), b.array.seq(), "member {:?} lookup clock", a.size);
         }
     }
 

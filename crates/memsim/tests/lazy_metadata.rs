@@ -1,0 +1,460 @@
+//! Behavior-preservation proof for the lazy replacement metadata
+//! (DESIGN.md §16): [`SetAssoc`] defers hit-time column stores (lifetime
+//! stats, LRU stamp, SRRIP promotion) into a one-entry coalescing buffer
+//! and applies them only when a victim search, fill, invalidation, or
+//! set-view pass actually reads the metadata. This suite pits the lazy
+//! implementation against an *eager* reference model that performs every
+//! store at hit time — the pre-lazy semantics, transliterated — and
+//! asserts every observable after every operation:
+//!
+//! * the op's own result (hit way, evicted tag/payload/[`LineLife`]);
+//! * `life_of` of **every valid line** (forces the `&self` merge path);
+//! * the full `iter_valid` snapshot in storage order;
+//! * `valid_count`.
+//!
+//! Three drivers:
+//!
+//! * **exhaustive**: every op sequence of a fixed depth over a per-tag
+//!   alphabet that includes both hit flavors (`lookup` and
+//!   `peek`+`commit_hit` — the replay fast path's entry point into the
+//!   lazy buffer) for LRU, SRRIP and FIFO;
+//! * **hit runs**: long same-line hit streaks — the case the buffer
+//!   coalesces — cut by each metadata reader in turn (victim probe,
+//!   fill, invalidate, `life_of`), so every flush point is crossed with
+//!   a maximally stale buffer;
+//! * **randomized**: LCG sequences biased toward repeating the previous
+//!   tag (so the buffer stays populated across many ops) on pow2,
+//!   non-pow2 and paper-LLC geometries.
+
+use dpc_memsim::set_assoc::{Evicted, InsertPriority, LineLife, SetAssoc, RRPV_LONG, RRPV_MAX};
+use dpc_types::ReplacementKind;
+
+const KINDS: [ReplacementKind; 3] =
+    [ReplacementKind::Lru, ReplacementKind::Srrip, ReplacementKind::Fifo];
+
+/// One line of the eager reference: every replacement-state field inline,
+/// updated at hit time exactly as the pre-lazy implementation did.
+#[derive(Clone, Copy, Default)]
+struct EagerLine {
+    valid: bool,
+    tag: u64,
+    stamp: u64,
+    rrpv: u8,
+    life: LineLife,
+    payload: u32,
+}
+
+/// The eager specification the lazy [`SetAssoc`] must be indistinguishable
+/// from: naive nested `Vec`s, every hit stores its promotion immediately.
+struct EagerModel {
+    sets: usize,
+    ways: usize,
+    kind: ReplacementKind,
+    lines: Vec<Vec<EagerLine>>,
+    tick: u64,
+    seq: u64,
+}
+
+impl EagerModel {
+    fn new(sets: usize, ways: usize, kind: ReplacementKind) -> Self {
+        EagerModel {
+            sets,
+            ways,
+            kind,
+            lines: vec![vec![EagerLine::default(); ways]; sets],
+            tick: 0,
+            seq: 0,
+        }
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        (addr % self.sets as u64) as usize
+    }
+
+    fn peek(&self, addr: u64, tag: u64) -> Option<usize> {
+        let set = self.set_of(addr);
+        (0..self.ways).find(|&w| {
+            let line = &self.lines[set][w];
+            line.valid && line.tag == tag
+        })
+    }
+
+    /// The eager hit bookkeeping both `lookup` and `commit_hit` share.
+    fn apply_hit(&mut self, set: usize, way: usize) {
+        self.tick += 1;
+        let tick = self.tick;
+        let seq = self.seq;
+        let line = &mut self.lines[set][way];
+        line.life.hits += 1;
+        line.life.last_hit_seq = seq;
+        match self.kind {
+            ReplacementKind::Lru => line.stamp = tick,
+            ReplacementKind::Srrip => line.rrpv = 0,
+            ReplacementKind::Fifo => {}
+        }
+    }
+
+    fn lookup(&mut self, addr: u64, tag: u64) -> Option<usize> {
+        self.seq += 1;
+        let way = self.peek(addr, tag)?;
+        self.apply_hit(self.set_of(addr), way);
+        Some(way)
+    }
+
+    fn commit_hit(&mut self, addr: u64, way: usize) {
+        self.seq += 1;
+        self.apply_hit(self.set_of(addr), way);
+    }
+
+    fn commit_miss(&mut self) {
+        self.seq += 1;
+    }
+
+    fn victim_way(&mut self, addr: u64) -> usize {
+        let set = self.set_of(addr);
+        if let Some(way) = (0..self.ways).find(|&w| !self.lines[set][w].valid) {
+            return way;
+        }
+        match self.kind {
+            ReplacementKind::Lru | ReplacementKind::Fifo => {
+                let mut best = 0;
+                for way in 1..self.ways {
+                    if self.lines[set][way].stamp < self.lines[set][best].stamp {
+                        best = way;
+                    }
+                }
+                best
+            }
+            ReplacementKind::Srrip => loop {
+                if let Some(way) = (0..self.ways).find(|&w| self.lines[set][w].rrpv >= RRPV_MAX) {
+                    return way;
+                }
+                for line in &mut self.lines[set] {
+                    line.rrpv += 1;
+                }
+            },
+        }
+    }
+
+    fn fill_way(
+        &mut self,
+        addr: u64,
+        way: usize,
+        tag: u64,
+        payload: u32,
+        priority: InsertPriority,
+    ) -> Option<Evicted<u32>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let seq = self.seq;
+        let set = self.set_of(addr);
+        let line = &mut self.lines[set][way];
+        let evicted =
+            line.valid.then_some(Evicted { tag: line.tag, life: line.life, payload: line.payload });
+        line.valid = true;
+        line.tag = tag;
+        line.payload = payload;
+        line.life = LineLife { fill_seq: seq, last_hit_seq: seq, hits: 0 };
+        match self.kind {
+            ReplacementKind::Lru => {
+                line.stamp = match priority {
+                    InsertPriority::Normal | InsertPriority::High => tick,
+                    InsertPriority::Distant => 0,
+                };
+            }
+            ReplacementKind::Fifo => line.stamp = tick,
+            ReplacementKind::Srrip => {
+                line.rrpv = match priority {
+                    InsertPriority::Normal => RRPV_LONG,
+                    InsertPriority::Distant => RRPV_MAX,
+                    InsertPriority::High => 0,
+                };
+            }
+        }
+        evicted
+    }
+
+    fn fill(
+        &mut self,
+        addr: u64,
+        tag: u64,
+        payload: u32,
+        priority: InsertPriority,
+    ) -> Option<Evicted<u32>> {
+        let way = self.victim_way(addr);
+        self.fill_way(addr, way, tag, payload, priority)
+    }
+
+    fn invalidate(&mut self, addr: u64, tag: u64) -> Option<Evicted<u32>> {
+        let way = self.peek(addr, tag)?;
+        let set = self.set_of(addr);
+        let line = &mut self.lines[set][way];
+        line.valid = false;
+        Some(Evicted { tag: line.tag, life: line.life, payload: line.payload })
+    }
+
+    fn life_of(&self, addr: u64, way: usize) -> LineLife {
+        self.lines[self.set_of(addr)][way].life
+    }
+
+    /// All valid lines in storage order: (tag, life, payload).
+    fn snapshot(&self) -> Vec<(u64, LineLife, u32)> {
+        self.lines
+            .iter()
+            .flatten()
+            .filter(|line| line.valid)
+            .map(|line| (line.tag, line.life, line.payload))
+            .collect()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Hit path #1: a full lookup.
+    Lookup(u64),
+    /// Hit path #2: peek + commit_hit / commit_miss — how the replay fast
+    /// path feeds the lazy buffer.
+    Commit(u64),
+    Fill(u64, InsertPriority),
+    Invalidate(u64),
+    /// Bare victim probe: reads (and under SRRIP mutates) the metadata
+    /// columns, forcing a flush of whatever is buffered.
+    Victim(u64),
+}
+
+fn evicted_parts(e: &Option<Evicted<u32>>) -> Option<(u64, LineLife, u32)> {
+    e.as_ref().map(|e| (e.tag, e.life, e.payload))
+}
+
+/// Applies `op` to the lazy array and the eager model and asserts every
+/// observable matches, including `life_of` of each valid line (the merge
+/// path a buffered promotion must survive).
+fn step(sa: &mut SetAssoc<u32>, model: &mut EagerModel, op: Op, trace: &[Op]) {
+    match op {
+        Op::Lookup(tag) => {
+            assert_eq!(sa.lookup(tag, tag), model.lookup(tag, tag), "lookup {tag} after {trace:?}");
+        }
+        Op::Commit(tag) => {
+            let got = sa.peek(tag, tag);
+            assert_eq!(got, model.peek(tag, tag), "peek {tag} after {trace:?}");
+            match got {
+                Some(way) => {
+                    sa.commit_hit(tag, way);
+                    model.commit_hit(tag, way);
+                }
+                None => {
+                    sa.commit_miss();
+                    model.commit_miss();
+                }
+            }
+        }
+        Op::Fill(tag, priority) => {
+            let payload = (tag as u32) ^ ((model.seq as u32) << 8);
+            let got = sa.fill(tag, tag, payload, priority);
+            let want = model.fill(tag, tag, payload, priority);
+            assert_eq!(
+                evicted_parts(&got),
+                evicted_parts(&want),
+                "fill {tag} {priority:?} after {trace:?}"
+            );
+        }
+        Op::Invalidate(tag) => {
+            let got = sa.invalidate(tag, tag);
+            let want = model.invalidate(tag, tag);
+            assert_eq!(
+                evicted_parts(&got),
+                evicted_parts(&want),
+                "invalidate {tag} after {trace:?}"
+            );
+        }
+        Op::Victim(addr) => {
+            assert_eq!(
+                sa.victim_way(addr),
+                model.victim_way(addr),
+                "victim {addr} after {trace:?}"
+            );
+        }
+    }
+    // Per-line lifetime reads go through the merge path while the buffer
+    // may still hold this op's promotion.
+    for set in 0..model.sets {
+        for way in 0..model.ways {
+            if model.lines[set][way].valid {
+                let addr = set as u64;
+                assert_eq!(
+                    sa.life_of(addr, way),
+                    model.life_of(addr, way),
+                    "life_of set {set} way {way} after {op:?} (history {trace:?})"
+                );
+            }
+        }
+    }
+    let got: Vec<(u64, LineLife, u32)> =
+        sa.iter_valid().map(|line| (line.tag(), line.life(), *line.payload)).collect();
+    assert_eq!(got, model.snapshot(), "state diverged after {op:?} (history {trace:?})");
+    assert_eq!(sa.valid_count(), model.snapshot().len());
+}
+
+/// Every sequence of `depth` operations drawn from the per-tag alphabet —
+/// both hit flavors, two fill priorities, invalidate, victim probe.
+fn exhaustive(sets: usize, ways: usize, kind: ReplacementKind, depth: u32) {
+    let mut alphabet = Vec::new();
+    // 2× oversubscription: every set sees twice as many tags as it has ways.
+    for tag in 0..(2 * sets * ways) as u64 {
+        alphabet.push(Op::Lookup(tag));
+        alphabet.push(Op::Commit(tag));
+        alphabet.push(Op::Fill(tag, InsertPriority::Normal));
+        alphabet.push(Op::Fill(tag, InsertPriority::Distant));
+        alphabet.push(Op::Invalidate(tag));
+        alphabet.push(Op::Victim(tag));
+    }
+    let n = alphabet.len();
+    let total = n.pow(depth);
+    let mut trace = Vec::with_capacity(depth as usize);
+    for mut code in 0..total {
+        let mut sa: SetAssoc<u32> = SetAssoc::new(sets, ways, kind);
+        let mut model = EagerModel::new(sets, ways, kind);
+        trace.clear();
+        for _ in 0..depth {
+            let op = alphabet[code % n];
+            code /= n;
+            step(&mut sa, &mut model, op, &trace);
+            trace.push(op);
+        }
+    }
+}
+
+#[test]
+fn exhaustive_1x2_all_kinds() {
+    for kind in KINDS {
+        exhaustive(1, 2, kind, 4);
+    }
+}
+
+#[test]
+fn exhaustive_2x2_all_kinds() {
+    for kind in KINDS {
+        exhaustive(2, 2, kind, 3);
+    }
+}
+
+/// Same-line hit streaks of every length up to twice the associativity,
+/// each cut by every metadata reader in turn. This is the coalescing case:
+/// the buffer accumulates the whole streak and must apply it exactly once,
+/// with the last hit's clock values, whichever reader forces the flush.
+#[test]
+fn hit_runs_cut_by_every_reader() {
+    #[derive(Clone, Copy)]
+    enum Cut {
+        Victim,
+        Fill,
+        Invalidate,
+        Nothing,
+    }
+    for kind in KINDS {
+        for ways in [2usize, 4] {
+            for streak in 1..=(2 * ways) {
+                for (hit_op, cut) in [
+                    (0, Cut::Victim),
+                    (0, Cut::Fill),
+                    (0, Cut::Invalidate),
+                    (0, Cut::Nothing),
+                    (1, Cut::Victim),
+                    (1, Cut::Fill),
+                    (1, Cut::Invalidate),
+                    (1, Cut::Nothing),
+                ] {
+                    let mut sa: SetAssoc<u32> = SetAssoc::new(2, ways, kind);
+                    let mut model = EagerModel::new(2, ways, kind);
+                    let mut trace = Vec::new();
+                    // Fill both sets to capacity so victim searches and
+                    // fills read real metadata, not the invalid-way
+                    // shortcut.
+                    for tag in 0..(2 * ways) as u64 {
+                        let op = Op::Fill(tag, InsertPriority::Normal);
+                        step(&mut sa, &mut model, op, &trace);
+                        trace.push(op);
+                    }
+                    // The streak: repeated hits to one line, via lookup or
+                    // the commit path.
+                    for _ in 0..streak {
+                        let op = if hit_op == 0 { Op::Lookup(2) } else { Op::Commit(2) };
+                        step(&mut sa, &mut model, op, &trace);
+                        trace.push(op);
+                    }
+                    // The cut: one reader observes the streak's effect.
+                    let op = match cut {
+                        Cut::Victim => Op::Victim(2),
+                        Cut::Fill => Op::Fill(2 * ways as u64 + 2, InsertPriority::Normal),
+                        Cut::Invalidate => Op::Invalidate(2),
+                        // `step` itself reads life_of/iter_valid, so even
+                        // "nothing" checks the merge path; follow with a
+                        // miss so the buffer outlives unrelated clocks.
+                        Cut::Nothing => Op::Lookup(1000),
+                    };
+                    step(&mut sa, &mut model, op, &trace);
+                    trace.push(op);
+                    // And one fill afterwards: replacement order must have
+                    // absorbed the streak identically.
+                    let op = Op::Fill(2 * ways as u64 + 7, InsertPriority::Normal);
+                    step(&mut sa, &mut model, op, &trace);
+                }
+            }
+        }
+    }
+}
+
+/// LCG sequences biased toward repeating the previous tag, so the buffer
+/// coalesces across many consecutive ops before each flush.
+fn randomized(sets: usize, ways: usize, kind: ReplacementKind, ops: usize, seed: u64) {
+    let mut sa: SetAssoc<u32> = SetAssoc::new(sets, ways, kind);
+    let mut model = EagerModel::new(sets, ways, kind);
+    let mut state = seed | 1;
+    let mut next = || {
+        // Numerical Recipes LCG: deterministic, dependency-free.
+        state =
+            state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        state >> 33
+    };
+    let tags = (3 * sets * ways) as u64;
+    let mut prev_tag = 0u64;
+    for _ in 0..ops {
+        // Half the time, stay on the previous tag: long same-line hit
+        // runs are exactly what the lazy buffer coalesces.
+        let tag = if next() % 2 == 0 { prev_tag } else { next() % tags };
+        prev_tag = tag;
+        let op = match next() % 10 {
+            0..=3 => Op::Lookup(tag),
+            4..=5 => Op::Commit(tag),
+            6 => Op::Fill(tag, InsertPriority::Normal),
+            7 => Op::Fill(tag, InsertPriority::Distant),
+            8 => Op::Invalidate(tag),
+            _ => Op::Victim(tag),
+        };
+        step(&mut sa, &mut model, op, &[]);
+    }
+}
+
+#[test]
+fn randomized_small_geometries() {
+    for kind in KINDS {
+        randomized(2, 2, kind, 20_000, 0xFEED_FACE);
+        randomized(4, 4, kind, 20_000, 0x0BAD_CAFE);
+    }
+}
+
+#[test]
+fn randomized_non_pow2_sets() {
+    for kind in KINDS {
+        randomized(3, 2, kind, 20_000, 271_828);
+    }
+}
+
+#[test]
+fn randomized_paper_llc_geometry() {
+    // 16 ways is the paper's LLC associativity; 8 sets keeps the
+    // per-op snapshot cheap.
+    for kind in KINDS {
+        randomized(8, 16, kind, 10_000, 31_337);
+    }
+}

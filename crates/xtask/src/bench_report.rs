@@ -10,16 +10,26 @@
 //! if any bench shared with the baseline got more than 15% slower
 //! (median vs median).
 //!
-//! Three groups gate: `simulator` (end-to-end throughput of the
+//! Five groups gate: `simulator` (end-to-end throughput of the
 //! monomorphized event loop), `predictor_phases` (pHIST/bHIST lookup,
 //! shadow-table hit, and PFQ probe micro-phases, which localise a
-//! simulator regression to the predictor structure that caused it), and
+//! simulator regression to the predictor structure that caused it),
 //! `simd_phases` (the vectorized kernels and their scalar twins, so a
-//! regression in either the AVX2 or the `DPC_SIMD=off` path trips CI).
-//! The `structures` micro-benches stay ungated: their one-shot samples
-//! are too noisy to act as a tripwire. Like the lint pass, everything
-//! here is hand-rolled (no serde) so the workspace stays
-//! dependency-free on an offline toolchain.
+//! regression in either the AVX2 or the `DPC_SIMD=off` path trips CI),
+//! `fastpath_phases` (the batched L1-hit retire and its `step`
+//! fallback), and `misspath_phases` (tier-2 classification, L2-hit
+//! retire, and the lazy replacement-metadata apply — the stages of
+//! DESIGN.md §16). The `structures` micro-benches stay ungated: their
+//! one-shot samples are too noisy to act as a tripwire. Like the lint
+//! pass, everything here is hand-rolled (no serde) so the workspace
+//! stays dependency-free on an offline toolchain.
+//!
+//! Besides the medians, each report records the commit it was measured
+//! at and the runtime-gate fingerprint (`DPC_SIMD` / `DPC_FASTPATH` /
+//! `DPC_PREFETCH`) active during the run: medians taken with a gate
+//! flipped are not comparable to the checked-in baseline, and `--check`
+//! warns when the baseline's commit is no longer an ancestor of `HEAD`
+//! (i.e. the baseline predates a rebase or was never regenerated).
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -36,6 +46,7 @@ pub const GROUPS: &[(&str, &str)] = &[
     ("predictor_phases", "cargo bench --bench predictor_phases"),
     ("simd_phases", "cargo bench --bench simd_phases"),
     ("fastpath_phases", "cargo bench --bench fastpath_phases"),
+    ("misspath_phases", "cargo bench --bench misspath_phases"),
 ];
 
 /// Report file name at the workspace root.
@@ -43,6 +54,58 @@ pub const REPORT_FILE: &str = "BENCH_simulator.json";
 
 /// Collected medians, bench id → nanoseconds.
 pub type Medians = BTreeMap<String, f64>;
+
+/// The runtime gates active while the benches ran, recorded in the
+/// report as a fingerprint: baseline medians are only comparable to a
+/// current run taken under the same gate settings.
+///
+/// The parse rules mirror `dpc_types::simd` exactly (xtask is
+/// deliberately dependency-free, so it cannot call them): `DPC_SIMD`
+/// and `DPC_FASTPATH` are on unless set to `off`/`0`/`false`;
+/// `DPC_PREFETCH` is off unless set to `on`/`1`/`true` *and* the SIMD
+/// gate is on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Gates {
+    /// `DPC_SIMD` — vector kernels (also gates prefetch).
+    pub simd: bool,
+    /// `DPC_FASTPATH` — the replay engine's batched fast tiers.
+    pub fastpath: bool,
+    /// `DPC_PREFETCH` — software prefetch hints (opt-in).
+    pub prefetch: bool,
+}
+
+impl Gates {
+    /// Reads the gate environment the same way the simulator does.
+    pub fn from_env() -> Self {
+        fn disabled(var: &str) -> bool {
+            std::env::var(var).is_ok_and(|v| matches!(v.as_str(), "off" | "0" | "false"))
+        }
+        fn opted_in(var: &str) -> bool {
+            std::env::var(var).is_ok_and(|v| matches!(v.as_str(), "on" | "1" | "true"))
+        }
+        let simd = !disabled("DPC_SIMD");
+        Gates { simd, fastpath: !disabled("DPC_FASTPATH"), prefetch: simd && opted_in("DPC_PREFETCH") }
+    }
+}
+
+impl std::fmt::Display for Gates {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn s(on: bool) -> &'static str {
+            if on {
+                "on"
+            } else {
+                "off"
+            }
+        }
+        write!(
+            f,
+            "simd={} fastpath={} prefetch={}",
+            s(self.simd),
+            s(self.fastpath),
+            s(self.prefetch)
+        )
+    }
+}
 
 /// Walk `target/criterion/<group>/*/new/estimates.json` under `root`
 /// for every gated group and return the median point estimate for each
@@ -91,12 +154,25 @@ pub fn extract_median(text: &str) -> Option<f64> {
 
 /// Render the report JSON: stable key order, one bench per line so the
 /// baseline parser (and humans diffing the file) stay simple.
-pub fn render(medians: &Medians, git_sha: &str, date: &str) -> String {
+pub fn render(medians: &Medians, git_sha: &str, date: &str, gates: Gates) -> String {
+    fn on_off(on: bool) -> &'static str {
+        if on {
+            "on"
+        } else {
+            "off"
+        }
+    }
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"schema\": 2,\n");
     out.push_str("  \"unit\": \"ns\",\n");
     out.push_str(&format!("  \"git_sha\": \"{git_sha}\",\n"));
     out.push_str(&format!("  \"date\": \"{date}\",\n"));
+    out.push_str(&format!(
+        "  \"gates\": {{ \"DPC_SIMD\": \"{}\", \"DPC_FASTPATH\": \"{}\", \"DPC_PREFETCH\": \"{}\" }},\n",
+        on_off(gates.simd),
+        on_off(gates.fastpath),
+        on_off(gates.prefetch)
+    ));
     out.push_str("  \"median_ns\": {\n");
     let last = medians.len().saturating_sub(1);
     for (i, (bench, median)) in medians.iter().enumerate() {
@@ -107,8 +183,19 @@ pub fn render(medians: &Medians, git_sha: &str, date: &str) -> String {
     out
 }
 
+/// Pull the recorded `git_sha` out of a report written by [`render`].
+/// Returns `None` for reports stamped `unknown` (no git available when
+/// they were written) — there is nothing to compare those against.
+pub fn parse_git_sha(text: &str) -> Option<String> {
+    let after_key = text.split_once("\"git_sha\"")?.1;
+    let sha = after_key.split('"').nth(1)?;
+    (!sha.is_empty() && sha != "unknown").then(|| sha.to_owned())
+}
+
 /// Parse a report previously written by [`render`]: every
 /// `"<group>/<bench>": <number>` line inside the `median_ns` object.
+/// Schema-1 reports (no `gates` field) parse identically — the medians
+/// block is unchanged.
 pub fn parse_report(text: &str) -> Medians {
     let mut medians = Medians::new();
     let body = text.split_once("\"median_ns\"").map_or("", |(_, rest)| rest);
@@ -194,6 +281,24 @@ pub fn run(root: &Path, check: bool) -> u8 {
             eprintln!("bench-report: baseline {} has no medians", report_path.display());
             return 2;
         }
+        // A baseline recorded at a commit that is no longer an ancestor
+        // of HEAD predates a rebase (or was measured on a branch that
+        // never merged): its medians may not describe this code at all.
+        // Warn rather than fail — the ratio comparison below still runs.
+        if let Some(sha) = parse_git_sha(&baseline_text) {
+            let is_ancestor = Command::new("git")
+                .args(["merge-base", "--is-ancestor", &sha, "HEAD"])
+                .current_dir(root)
+                .status()
+                .is_ok_and(|status| status.success());
+            if !is_ancestor {
+                eprintln!(
+                    "bench-report: warning: baseline {} was recorded at {sha}, which is not an \
+                     ancestor of HEAD — regenerate it with `cargo xtask bench-report`",
+                    report_path.display()
+                );
+            }
+        }
         let rows = compare(&baseline, &current);
         let mut regressions = 0;
         for row in &rows {
@@ -221,12 +326,17 @@ pub fn run(root: &Path, check: bool) -> u8 {
     // clock so re-running on the same tree rewrites the same file.
     let sha = git_output(root, &["rev-parse", "--short", "HEAD"]);
     let date = git_output(root, &["log", "-1", "--format=%cI"]);
-    let text = render(&current, &sha, &date);
+    let gates = Gates::from_env();
+    let text = render(&current, &sha, &date, gates);
     if let Err(err) = std::fs::write(&report_path, &text) {
         eprintln!("bench-report: cannot write {}: {err}", report_path.display());
         return 2;
     }
-    println!("bench-report: wrote {} ({} benches)", report_path.display(), current.len());
+    println!(
+        "bench-report: wrote {} ({} benches, gates {gates})",
+        report_path.display(),
+        current.len()
+    );
     0
 }
 
@@ -256,8 +366,47 @@ mod tests {
         medians.insert("simulator/canneal_baseline".to_owned(), 4_811_000.0);
         medians.insert("simulator/bfs_dppred_cbpred".to_owned(), 1_640_500.5);
         medians.insert("predictor_phases/phist_lookup".to_owned(), 31_250.0);
-        let text = render(&medians, "abc1234", "2026-08-06T00:00:00+00:00");
+        let gates = Gates { simd: true, fastpath: true, prefetch: false };
+        let text = render(&medians, "abc1234", "2026-08-06T00:00:00+00:00", gates);
         assert_eq!(parse_report(&text), medians);
+        assert_eq!(parse_git_sha(&text).as_deref(), Some("abc1234"));
+    }
+
+    #[test]
+    fn gates_fingerprint_is_rendered() {
+        let gates = Gates { simd: true, fastpath: false, prefetch: false };
+        let text = render(&Medians::new(), "abc1234", "2026-08-06T00:00:00+00:00", gates);
+        assert!(text.contains("\"schema\": 2"), "gates field bumps the schema: {text}");
+        assert!(
+            text.contains(
+                "\"gates\": { \"DPC_SIMD\": \"on\", \"DPC_FASTPATH\": \"off\", \"DPC_PREFETCH\": \"off\" }"
+            ),
+            "fingerprint line missing: {text}"
+        );
+        // The gates object must not confuse the medians parser.
+        assert!(parse_report(&text).is_empty());
+    }
+
+    #[test]
+    fn unknown_sha_is_not_comparable() {
+        let text = render(
+            &Medians::new(),
+            "unknown",
+            "2026-08-06T00:00:00+00:00",
+            Gates { simd: true, fastpath: true, prefetch: false },
+        );
+        assert_eq!(parse_git_sha(&text), None);
+    }
+
+    #[test]
+    fn schema_1_reports_still_parse() {
+        // The checked-in baseline may predate the gates field; the
+        // medians block is unchanged, so it must keep parsing.
+        let text = "{\n  \"schema\": 1,\n  \"unit\": \"ns\",\n  \"git_sha\": \"9c09b0f\",\n  \
+                    \"median_ns\": {\n    \"simulator/lbm_baseline\": 1349450.0\n  }\n}\n";
+        let medians = parse_report(text);
+        assert_eq!(medians.get("simulator/lbm_baseline"), Some(&1_349_450.0));
+        assert_eq!(parse_git_sha(text).as_deref(), Some("9c09b0f"));
     }
 
     #[test]
